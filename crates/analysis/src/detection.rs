@@ -1,0 +1,84 @@
+//! Score-based detection metrics (Section 6.3.1).
+//!
+//! The paper expels a node when its normalized score drops below a fixed
+//! threshold `η`. Given samples of honest and freerider scores, these helpers
+//! compute the achieved detection probability `α`, the false-positive
+//! probability `β`, and calibrate `η` for a target `β` (the paper picks
+//! `η = −9.75` so that `β < 1 %`).
+
+use crate::stats::quantile;
+
+/// Fraction of freerider scores strictly below the detection threshold `eta`
+/// (the detection probability `α`). Returns 0 for an empty sample.
+pub fn detection_rate(freerider_scores: &[f64], eta: f64) -> f64 {
+    rate_below(freerider_scores, eta)
+}
+
+/// Fraction of honest scores strictly below the detection threshold `eta`
+/// (the false-positive probability `β`). Returns 0 for an empty sample.
+pub fn false_positive_rate(honest_scores: &[f64], eta: f64) -> f64 {
+    rate_below(honest_scores, eta)
+}
+
+fn rate_below(scores: &[f64], eta: f64) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().filter(|s| **s < eta).count() as f64 / scores.len() as f64
+}
+
+/// Calibrates the detection threshold `η` so that at most a fraction
+/// `target_beta` of the given honest scores fall below it.
+///
+/// Returns the `target_beta`-quantile of the honest scores, i.e. the largest
+/// threshold meeting the false-positive budget. Returns `None` if the sample
+/// is empty.
+///
+/// # Panics
+///
+/// Panics if `target_beta` is outside `[0, 1]`.
+pub fn calibrate_threshold(honest_scores: &[f64], target_beta: f64) -> Option<f64> {
+    assert!(
+        (0.0..=1.0).contains(&target_beta),
+        "target β = {target_beta} not in [0, 1]"
+    );
+    quantile(honest_scores, target_beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_count_strictly_below_threshold() {
+        let honest = [0.0, -1.0, -2.0, -20.0];
+        let freeriders = [-30.0, -15.0, -5.0, -1.0];
+        assert_eq!(false_positive_rate(&honest, -9.75), 0.25);
+        assert_eq!(detection_rate(&freeriders, -9.75), 0.5);
+        assert_eq!(detection_rate(&[], -9.75), 0.0);
+        assert_eq!(false_positive_rate(&[], -9.75), 0.0);
+    }
+
+    #[test]
+    fn calibration_meets_false_positive_budget() {
+        // 1000 honest scores spread between -20 and 0.
+        let honest: Vec<f64> = (0..1000).map(|i| -20.0 + 0.02 * i as f64).collect();
+        let eta = calibrate_threshold(&honest, 0.01).unwrap();
+        let beta = false_positive_rate(&honest, eta);
+        assert!(beta <= 0.011, "β = {beta}");
+        // A threshold slightly larger would exceed the budget.
+        let beta_loose = false_positive_rate(&honest, eta + 0.5);
+        assert!(beta_loose > beta);
+    }
+
+    #[test]
+    fn calibration_of_empty_sample_is_none() {
+        assert_eq!(calibrate_threshold(&[], 0.01), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_target_beta_panics() {
+        let _ = calibrate_threshold(&[0.0], 2.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Analysis-level Monte-Carlo model of the blames applied to a node.
+//!
+//! Figures 10–12 of the paper are produced by Monte-Carlo simulations of the
+//! *blame process* (not of the full packet-level system): each gossip period,
+//! a node is blamed by its partners and verifiers according to the events
+//! described in Section 6.2, with message losses drawn from a Bernoulli
+//! distribution. [`BlameModel`] implements exactly that generative process; it
+//! mirrors the structure of the closed forms in [`crate::formulas`] so the two
+//! can be cross-validated (and are, in the tests below).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::formulas::{FreeridingDegree, ProtocolParams};
+use crate::stats::Summary;
+
+/// Generative model of per-period blames for one node.
+#[derive(Debug, Clone, Copy)]
+pub struct BlameModel {
+    params: ProtocolParams,
+    pdcc: f64,
+}
+
+/// Normalized scores sampled for a population of honest nodes and freeriders.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScoreSamples {
+    /// Normalized scores of honest nodes.
+    pub honest: Vec<f64>,
+    /// Normalized scores of freeriders.
+    pub freeriders: Vec<f64>,
+}
+
+impl BlameModel {
+    /// Creates a blame model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pdcc` is not in `[0, 1]`.
+    pub fn new(params: ProtocolParams, pdcc: f64) -> Self {
+        assert!((0.0..=1.0).contains(&pdcc), "pdcc = {pdcc} not in [0, 1]");
+        BlameModel { params, pdcc }
+    }
+
+    /// The protocol parameters of the model.
+    pub fn params(&self) -> ProtocolParams {
+        self.params
+    }
+
+    /// The probability `pdcc` of triggering a direct cross-check.
+    pub fn pdcc(&self) -> f64 {
+        self.pdcc
+    }
+
+    /// Expected wrongful blame per period given this model's `pdcc`
+    /// (Equation 5 covers `pdcc = 1`; for smaller `pdcc` only a fraction of
+    /// the cross-checking blames occur). This is the per-period compensation
+    /// LiFTinG applies to all scores.
+    pub fn compensation_per_period(&self) -> f64 {
+        self.params.expected_blame_direct_verification()
+            + self.pdcc * self.params.expected_blame_cross_checking()
+    }
+
+    /// Samples the blame applied to a node of degree `delta` during one gossip
+    /// period (Section 6.2's event model).
+    pub fn sample_period_blame<R: Rng + ?Sized>(
+        &self,
+        delta: FreeridingDegree,
+        rng: &mut R,
+    ) -> f64 {
+        let f = self.params.fanout;
+        let r_len = self.params.requested;
+        let pr = self.params.pr;
+        let mut blame = 0.0;
+
+        // --- Direct verification: blames from the partners this node proposed to.
+        // Fractional counts (e.g. serving 90 % of 4 chunks) are resolved by
+        // randomized rounding so expectations match the closed forms exactly.
+        let fanout_used = sample_count(rng, (1.0 - delta.delta1) * f as f64).min(f);
+        for _ in 0..fanout_used {
+            if !rng.gen_bool(pr) {
+                continue; // proposal lost: the partner never expects anything
+            }
+            if !rng.gen_bool(pr) {
+                // Request lost: nothing arrives, the partner blames by f.
+                blame += f as f64;
+                continue;
+            }
+            let served = sample_count(rng, (1.0 - delta.delta3) * r_len as f64).min(r_len);
+            let received = (0..served).filter(|_| rng.gen_bool(pr)).count();
+            blame += f as f64 * (r_len - received) as f64 / r_len as f64;
+        }
+
+        // --- Direct cross-checking: blames from the nodes that served this
+        // node during the previous period. Each other node picks its partners
+        // uniformly at random, so the number of verifiers is Poisson(f)
+        // distributed around the fanout in steady state.
+        let verifiers = sample_poisson(rng, f as f64);
+        for _ in 0..verifiers {
+            // Partial propose: this verifier's chunks were deliberately dropped.
+            if delta.delta2 > 0.0 && rng.gen_bool(delta.delta2) {
+                blame += f as f64;
+                continue;
+            }
+            if !rng.gen_bool(self.pdcc) {
+                continue; // this verifier does not cross-check this time
+            }
+            // The verifier only holds the node accountable if its own
+            // proposal/request exchange with the node succeeded.
+            if !rng.gen_bool(pr * pr) {
+                continue;
+            }
+            // All |R| serves plus the ack must arrive for the verifier to see
+            // a consistent acknowledgment; otherwise it blames by f.
+            if !rng.gen_bool(pr.powi(r_len as i32 + 1)) {
+                blame += f as f64;
+                continue;
+            }
+            // Per-witness checks: each of the f expected witnesses yields a
+            // blame of 1 if the propose/confirm/response chain breaks or if
+            // the node never proposed to it because of its reduced fanout.
+            for _ in 0..f {
+                let witness_ok = rng.gen_bool(1.0 - delta.delta1) && rng.gen_bool(pr.powi(3));
+                if !witness_ok {
+                    blame += 1.0;
+                }
+            }
+        }
+        blame
+    }
+
+    /// Samples the normalized score (Equation 6) of a node of degree `delta`
+    /// after `periods` gossip periods: blames are compensated by the expected
+    /// wrongful blame each period and averaged.
+    pub fn sample_normalized_score<R: Rng + ?Sized>(
+        &self,
+        delta: FreeridingDegree,
+        periods: usize,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(periods > 0, "at least one period is required");
+        let compensation = self.compensation_per_period();
+        let mut sum = 0.0;
+        for _ in 0..periods {
+            sum += self.sample_period_blame(delta, rng) - compensation;
+        }
+        -sum / periods as f64
+    }
+
+    /// Samples normalized scores for a whole population: `honest` honest nodes
+    /// and `freeriders` freeriders of degree `delta`, each observed for
+    /// `periods` gossip periods.
+    pub fn population_scores(
+        &self,
+        honest: usize,
+        freeriders: usize,
+        delta: FreeridingDegree,
+        periods: usize,
+        seed: u64,
+    ) -> ScoreSamples {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let honest_scores = (0..honest)
+            .map(|_| self.sample_normalized_score(FreeridingDegree::HONEST, periods, &mut rng))
+            .collect();
+        let freerider_scores = (0..freeriders)
+            .map(|_| self.sample_normalized_score(delta, periods, &mut rng))
+            .collect();
+        ScoreSamples {
+            honest: honest_scores,
+            freeriders: freerider_scores,
+        }
+    }
+
+    /// Monte-Carlo estimate of the mean and standard deviation of the
+    /// per-period blame applied to a node of degree `delta`.
+    ///
+    /// The paper's closed form for the standard deviation lives in a companion
+    /// technical report; this estimator plays its role when evaluating the
+    /// Chebyshev bounds of Section 6.3.1.
+    pub fn estimate_blame_stats(
+        &self,
+        delta: FreeridingDegree,
+        samples: usize,
+        seed: u64,
+    ) -> Summary {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draws: Vec<f64> = (0..samples)
+            .map(|_| self.sample_period_blame(delta, rng_mut(&mut rng)))
+            .collect();
+        Summary::of(&draws)
+    }
+}
+
+// Helper to satisfy the `?Sized` bound cleanly when passing a concrete RNG.
+fn rng_mut<R: Rng>(rng: &mut R) -> &mut R {
+    rng
+}
+
+/// Randomized rounding of a non-negative real count: returns `floor(x)` or
+/// `ceil(x)` with probabilities such that the expectation equals `x`.
+fn sample_count<R: Rng + ?Sized>(rng: &mut R, x: f64) -> usize {
+    let base = x.floor();
+    let frac = x - base;
+    let mut count = base as usize;
+    if frac > 0.0 && rng.gen_bool(frac) {
+        count += 1;
+    }
+    count
+}
+
+/// Samples a Poisson(λ) variate with Knuth's product-of-uniforms algorithm
+/// (fine for the small λ ≈ fanout used here).
+fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // defensive cap; unreachable for the λ used here
+        }
+    }
+}
+
+impl ScoreSamples {
+    /// All scores (honest then freeriders).
+    pub fn all(&self) -> Vec<f64> {
+        let mut v = self.honest.clone();
+        v.extend_from_slice(&self.freeriders);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_mean_blame_matches_closed_form() {
+        // Figure 10 setting: f = 12, |R| = 4, pl = 7 %, pdcc = 1.
+        let params = ProtocolParams::simulation_defaults();
+        let model = BlameModel::new(params, 1.0);
+        let stats = model.estimate_blame_stats(FreeridingDegree::HONEST, 20_000, 42);
+        let expected = params.expected_wrongful_blame();
+        let rel_err = (stats.mean - expected).abs() / expected;
+        assert!(
+            rel_err < 0.02,
+            "Monte-Carlo mean {} vs closed form {expected}",
+            stats.mean
+        );
+        // The paper reports an experimental σ(b) of 25.6 in this setting.
+        assert!(
+            (stats.std_dev - 25.6).abs() < 3.0,
+            "σ(b) = {}",
+            stats.std_dev
+        );
+    }
+
+    #[test]
+    fn freerider_mean_blame_matches_closed_form() {
+        let params = ProtocolParams::simulation_defaults();
+        let model = BlameModel::new(params, 1.0);
+        let delta = FreeridingDegree::uniform(0.1);
+        let stats = model.estimate_blame_stats(delta, 20_000, 43);
+        let expected = params.expected_blame_freerider(delta);
+        let rel_err = (stats.mean - expected).abs() / expected;
+        assert!(
+            rel_err < 0.05,
+            "Monte-Carlo mean {} vs closed form {expected}",
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn compensated_honest_scores_average_zero() {
+        let params = ProtocolParams::simulation_defaults();
+        let model = BlameModel::new(params, 1.0);
+        let samples = model.population_scores(2_000, 0, FreeridingDegree::HONEST, 1, 7);
+        let summary = Summary::of(&samples.honest);
+        assert!(
+            summary.mean.abs() < 2.0,
+            "average honest score should be ≈ 0, got {}",
+            summary.mean
+        );
+    }
+
+    #[test]
+    fn freeriders_score_lower_than_honest_nodes() {
+        let params = ProtocolParams::simulation_defaults();
+        let model = BlameModel::new(params, 1.0);
+        let samples =
+            model.population_scores(500, 500, FreeridingDegree::uniform(0.1), 50, 11);
+        let honest = Summary::of(&samples.honest);
+        let freeriders = Summary::of(&samples.freeriders);
+        assert!(
+            freeriders.mean < honest.mean - 5.0,
+            "freeriders {} vs honest {}",
+            freeriders.mean,
+            honest.mean
+        );
+    }
+
+    #[test]
+    fn normalized_score_variance_shrinks_with_time() {
+        let params = ProtocolParams::simulation_defaults();
+        let model = BlameModel::new(params, 1.0);
+        let short = model.population_scores(500, 0, FreeridingDegree::HONEST, 2, 3);
+        let long = model.population_scores(500, 0, FreeridingDegree::HONEST, 50, 4);
+        assert!(Summary::of(&long.honest).std_dev < Summary::of(&short.honest).std_dev);
+    }
+
+    #[test]
+    fn lower_pdcc_produces_less_blame() {
+        let params = ProtocolParams::planetlab_defaults();
+        let full = BlameModel::new(params, 1.0);
+        let half = BlameModel::new(params, 0.5);
+        let b_full = full.estimate_blame_stats(FreeridingDegree::HONEST, 10_000, 5);
+        let b_half = half.estimate_blame_stats(FreeridingDegree::HONEST, 10_000, 6);
+        assert!(b_half.mean < b_full.mean);
+        assert!(half.compensation_per_period() < full.compensation_per_period());
+    }
+
+    #[test]
+    fn no_loss_and_honest_means_zero_blame() {
+        let params = ProtocolParams::new(7, 4, 1.0);
+        let model = BlameModel::new(params, 1.0);
+        let stats = model.estimate_blame_stats(FreeridingDegree::HONEST, 1_000, 9);
+        assert_eq!(stats.mean, 0.0);
+        assert_eq!(stats.std_dev, 0.0);
+    }
+
+    #[test]
+    fn population_scores_are_reproducible() {
+        let params = ProtocolParams::simulation_defaults();
+        let model = BlameModel::new(params, 1.0);
+        let a = model.population_scores(50, 50, FreeridingDegree::uniform(0.05), 10, 123);
+        let b = model.population_scores(50, 50, FreeridingDegree::uniform(0.05), 10, 123);
+        assert_eq!(a.honest, b.honest);
+        assert_eq!(a.freeriders, b.freeriders);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_periods_panics() {
+        let params = ProtocolParams::simulation_defaults();
+        let model = BlameModel::new(params, 1.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = model.sample_normalized_score(FreeridingDegree::HONEST, 0, &mut rng);
+    }
+}

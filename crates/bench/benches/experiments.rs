@@ -1,0 +1,47 @@
+//! Criterion benches of whole experiments at `Scale::Quick`: each bench runs a
+//! reduced version of a paper experiment end to end, so `cargo bench` both
+//! exercises every experiment path and reports how long it takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lifting_bench::experiments::{
+    fig10_wrongful_blames, fig12_detection_vs_delta, fig13_history_entropy, headline_run, Scale,
+};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig10_wrongful_blames_quick", |b| {
+        b.iter(|| fig10_wrongful_blames(Scale::Quick, 1))
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig12_detection_sweep_quick", |b| {
+        b.iter(|| fig12_detection_vs_delta(Scale::Quick, 2))
+    });
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig13_history_entropy_quick", |b| {
+        b.iter(|| fig13_history_entropy(Scale::Quick, 3))
+    });
+    g.finish();
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("packet_level_headline_run_quick", |b| {
+        b.iter(|| headline_run(Scale::Quick, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10, bench_fig12, bench_fig13, bench_full_system);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks of the building blocks: event queue, entropy
+//! computation, blame-model sampling, verifier handling and audit of a full
+//! history.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lifting_analysis::{shannon_entropy, BlameModel, FreeridingDegree, ProtocolParams};
+use lifting_core::{
+    AuditOracle, Auditor, CollusionConfig, ConfirmPayload, LiftingConfig, NodeHistory, Verifier,
+};
+use lifting_gossip::ChunkId;
+use lifting_sim::{derive_rng, EventQueue, NodeId, SimTime};
+use rand::Rng;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter_batched(
+            || derive_rng(1, 0),
+            |mut rng| {
+                let mut q = EventQueue::new();
+                for i in 0..10_000u64 {
+                    q.push(SimTime::from_micros(rng.gen_range(0..1_000_000)), i);
+                }
+                while q.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut rng = derive_rng(2, 0);
+    let history: Vec<u32> = (0..600).map(|_| rng.gen_range(0..10_000)).collect();
+    c.bench_function("shannon_entropy_600_entries", |b| {
+        b.iter(|| shannon_entropy(history.iter().copied()))
+    });
+}
+
+fn bench_blame_model(c: &mut Criterion) {
+    let params = ProtocolParams::simulation_defaults();
+    let model = BlameModel::new(params, 1.0);
+    c.bench_function("blame_model_one_period", |b| {
+        let mut rng = derive_rng(3, 0);
+        b.iter(|| model.sample_period_blame(FreeridingDegree::uniform(0.1), &mut rng))
+    });
+    c.bench_function("blame_model_normalized_score_50_periods", |b| {
+        let mut rng = derive_rng(4, 0);
+        b.iter(|| model.sample_normalized_score(FreeridingDegree::HONEST, 50, &mut rng))
+    });
+}
+
+fn bench_verifier_confirm(c: &mut Criterion) {
+    c.bench_function("verifier_witness_answers_confirm", |b| {
+        b.iter_batched(
+            || {
+                let mut v = Verifier::new(
+                    NodeId::new(1),
+                    7,
+                    LiftingConfig::planetlab(),
+                    CollusionConfig::none(),
+                );
+                for i in 0..200u64 {
+                    v.on_propose_received(
+                        NodeId::new((i % 50) as u32 + 2),
+                        &[ChunkId::new(i), ChunkId::new(i + 1)],
+                        SimTime::from_millis(i),
+                    );
+                }
+                v
+            },
+            |mut v| {
+                v.on_confirm(
+                    NodeId::new(99),
+                    ConfirmPayload {
+                        subject: NodeId::new(10),
+                        chunks: vec![ChunkId::new(8), ChunkId::new(9)],
+                        token: 1,
+                    },
+                    SimTime::from_secs(1),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+struct YesOracle;
+impl AuditOracle for YesOracle {
+    fn confirm_proposal(&mut self, _w: NodeId, _s: NodeId, _c: &[ChunkId]) -> bool {
+        true
+    }
+    fn confirm_askers(&mut self, w: NodeId, _s: NodeId) -> Vec<NodeId> {
+        vec![NodeId::new(u32::from(w) % 97)]
+    }
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut rng = derive_rng(5, 0);
+    let mut history = NodeHistory::new(NodeId::new(0), 50);
+    for p in 0..50u64 {
+        let partners: Vec<NodeId> = (0..7).map(|_| NodeId::new(rng.gen_range(1..10_000))).collect();
+        history.record_proposal_sent(p, partners, vec![ChunkId::new(p), ChunkId::new(p + 1)]);
+    }
+    let auditor = Auditor::with_threshold(LiftingConfig::planetlab(), 7, 7.5);
+    c.bench_function("audit_full_history_50_periods", |b| {
+        b.iter(|| auditor.audit(&history, &mut YesOracle))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_entropy,
+    bench_blame_model,
+    bench_verifier_confirm,
+    bench_audit
+);
+criterion_main!(benches);

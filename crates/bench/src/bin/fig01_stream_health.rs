@@ -1,0 +1,27 @@
+//! Figure 1: fraction of nodes viewing a clear stream vs. stream lag, with and
+//! without LiFTinG, in the presence of 25 % freeriders.
+
+use lifting_bench::experiments::fig01_stream_health;
+use lifting_bench::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("figure 1 — stream health ({scale:?} scale)");
+    let curves = fig01_stream_health(scale, 1);
+    print!("{:>8}", "lag(s)");
+    for c in &curves {
+        print!("  {:>28}", c.label);
+    }
+    println!();
+    for i in 0..curves[0].lag_secs.len() {
+        print!("{:>8.0}", curves[0].lag_secs[i]);
+        for c in &curves {
+            print!("  {:>28.3}", c.fraction_clear[i]);
+        }
+        println!();
+    }
+    println!();
+    for c in &curves {
+        println!("{:<28} expelled {}", c.label, c.expelled);
+    }
+}

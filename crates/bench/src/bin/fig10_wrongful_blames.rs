@@ -1,0 +1,21 @@
+//! Figure 10: distribution of compensated honest scores after one gossip
+//! period under 7 % message loss (f = 12, |R| = 4, pdcc = 1).
+
+use lifting_bench::experiments::fig10_wrongful_blames;
+use lifting_bench::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("figure 10 — wrongful blames and compensation ({scale:?} scale)");
+    let r = fig10_wrongful_blames(scale, 10);
+    println!("expected wrongful blame b~ (Eq. 5)  : {:.2}  (paper: 72.95)", r.expected_compensation);
+    println!("mean compensated score              : {:.3}  (paper: < 0.01)", r.mean_score);
+    println!("score standard deviation            : {:.2}  (paper: 25.6)", r.std_dev);
+    println!();
+    println!("{:>10}  {:>16}", "score", "fraction of nodes");
+    for (c, f) in r.bin_centers.iter().zip(&r.fractions) {
+        if *f > 0.0 {
+            println!("{c:>10.1}  {f:>16.4}");
+        }
+    }
+}

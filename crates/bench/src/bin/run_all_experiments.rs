@@ -1,0 +1,57 @@
+//! Runs every experiment of the paper and writes a JSON summary to
+//! `experiments_summary.json` (use `--quick` for a fast smoke run).
+
+use lifting_bench::experiments::*;
+use lifting_bench::scale_from_args;
+use serde_json::json;
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running all experiments at {scale:?} scale ...");
+
+    eprintln!("[1/8] figure 10");
+    let fig10 = fig10_wrongful_blames(scale, 10);
+    eprintln!("[2/8] figure 11");
+    let fig11 = fig11_score_distributions(scale, 11);
+    eprintln!("[3/8] figure 12");
+    let (eta, fig12) = fig12_detection_vs_delta(scale, 12);
+    eprintln!("[4/8] figure 13");
+    let fig13 = fig13_history_entropy(scale, 13);
+    eprintln!("[5/8] figure 1");
+    let fig01 = fig01_stream_health(scale, 1);
+    eprintln!("[6/8] figure 14");
+    let fig14_full = fig14_planetlab_scores(scale, 1.0, 14);
+    let fig14_half = fig14_planetlab_scores(scale, 0.5, 14);
+    eprintln!("[7/8] table 3");
+    let table3 = table03_verification_overhead(scale, 3);
+    eprintln!("[8/8] table 5");
+    let table5 = table05_practical_overhead(scale, 5);
+
+    let summary = json!({
+        "scale": format!("{scale:?}"),
+        "fig01": fig01,
+        "fig10": fig10,
+        "fig11": fig11,
+        "fig12": {"eta": eta, "points": fig12},
+        "fig13": fig13,
+        "fig14": {"pdcc_1": fig14_full, "pdcc_05": fig14_half},
+        "table3": table3,
+        "table5": table5,
+    });
+    let path = "experiments_summary.json";
+    std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap())
+        .expect("write summary");
+    println!("wrote {path}");
+    println!(
+        "headlines: fig10 σ = {:.1} (paper 25.6); fig11 detection = {:.2}; \
+         fig13 p*m = {:.2} (paper 0.21); fig14 detection@30s = {:.2} (paper 0.86)",
+        fig10.std_dev,
+        fig11.detection,
+        fig13.max_bias_25_colluders,
+        fig14_full
+            .snapshots
+            .get(1)
+            .map(|s| s.detection)
+            .unwrap_or(0.0)
+    );
+}

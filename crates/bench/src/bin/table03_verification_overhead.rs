@@ -1,0 +1,21 @@
+//! Table 3: message overhead of the verification procedures — analytical
+//! bounds (Section 6.1) and per-node, per-period measured counts.
+
+use lifting_bench::experiments::table03_verification_overhead;
+use lifting_bench::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("table 3 — verification message overhead ({scale:?} scale)");
+    let rows = table03_verification_overhead(scale, 3);
+    println!(
+        "{:>8}  {:>20}  {:>20}  {:>26}",
+        "pdcc", "analytical bound", "gossip msgs f(2+|R|)", "measured msgs/node/period"
+    );
+    for r in &rows {
+        println!(
+            "{:>8.3}  {:>20.1}  {:>20.1}  {:>26.2}",
+            r.pdcc, r.analytical_bound, r.gossip_messages, r.measured_per_node_period
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Table 5: practical bandwidth overhead of cross-checking and blaming for
+//! three stream rates and pdcc ∈ {0, 0.5, 1}.
+
+use lifting_bench::experiments::table05_practical_overhead;
+use lifting_bench::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("table 5 — practical overhead ({scale:?} scale)");
+    let cells = table05_practical_overhead(scale, 5);
+    println!("{:>16}  {:>10}  {:>10}  {:>10}", "stream", "pdcc=0", "pdcc=0.5", "pdcc=1");
+    for kbps in [674u64, 1082, 2036] {
+        let at = |p: f64| {
+            cells
+                .iter()
+                .find(|c| c.stream_kbps == kbps && (c.pdcc - p).abs() < 1e-9)
+                .map(|c| format!("{:.2}%", 100.0 * c.overhead))
+                .unwrap_or_default()
+        };
+        println!(
+            "{:>13} kbps  {:>10}  {:>10}  {:>10}",
+            kbps,
+            at(0.0),
+            at(0.5),
+            at(1.0)
+        );
+    }
+    println!();
+    println!("paper (674 kbps): 1.07% / 4.53% / 8.01%; overhead decreases with the stream rate");
+}

@@ -1,0 +1,527 @@
+//! The experiments themselves: one function per table/figure of the paper.
+
+use lifting_analysis::{
+    calibrate_threshold, detection_rate, ecdf, false_positive_rate, max_undetectable_bias,
+    shannon_entropy, uniform_selection_entropy, BlameModel, FreeridingDegree, GaussianMixture,
+    Histogram, ProtocolParams, Summary,
+};
+use lifting_analysis::entropy::calibrate_gamma;
+use lifting_gossip::FreeriderConfig;
+use lifting_runtime::{
+    run_scenario, run_scenario_with_snapshots, RunOutcome, ScenarioConfig, ScoreSnapshot,
+};
+use lifting_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+pub use lifting_analysis::entropy::uniform_selection_entropy as entropy_samples;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// The paper's population sizes and durations.
+    Paper,
+    /// A reduced scale for smoke runs and Criterion benches.
+    Quick,
+}
+
+impl Scale {
+    fn pick(self, paper: usize, quick: usize) -> usize {
+        match self {
+            Scale::Paper => paper,
+            Scale::Quick => quick,
+        }
+    }
+
+    fn secs(self, paper: u64, quick: u64) -> SimDuration {
+        SimDuration::from_secs(match self {
+            Scale::Paper => paper,
+            Scale::Quick => quick,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 — system efficiency in the presence of freeriders.
+// ---------------------------------------------------------------------------
+
+/// One stream-health curve of Figure 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthCurve {
+    /// Curve label.
+    pub label: String,
+    /// Stream lags (seconds).
+    pub lag_secs: Vec<f64>,
+    /// Fraction of nodes viewing a clear stream at each lag.
+    pub fraction_clear: Vec<f64>,
+    /// Nodes expelled during the run.
+    pub expelled: usize,
+}
+
+/// Figure 1: fraction of nodes viewing a clear stream vs. stream lag, for a
+/// baseline run, 25 % freeriders without LiFTinG, and 25 % freeriders with
+/// LiFTinG expelling them.
+pub fn fig01_stream_health(scale: Scale, seed: u64) -> Vec<HealthCurve> {
+    let nodes = scale.pick(300, 80);
+    let duration = scale.secs(40, 20);
+    let make = |freeriders: bool, lifting: bool| {
+        let mut config = ScenarioConfig::planetlab_baseline(seed);
+        config.nodes = nodes;
+        config.duration = duration;
+        config.lifting_enabled = lifting;
+        if nodes < 300 {
+            config.lifting.managers = 10;
+            config.stream_rate_bps = 400_000;
+        }
+        if freeriders {
+            config = config.with_planetlab_freeriders(0.25);
+            if let Some(f) = &mut config.freeriders {
+                // "Wise" freeriders of the introduction: they shave ~45 % of
+                // their upload duty, enough to visibly hurt the stream.
+                f.degree = FreeriderConfig {
+                    delta1: 2.0 / 7.0,
+                    delta2: 0.15,
+                    delta3: 0.15,
+                    period_stretch: 1,
+                };
+            }
+        }
+        config
+    };
+    let cases = [
+        ("no freeriders".to_string(), make(false, true)),
+        ("25% freeriders".to_string(), make(true, false)),
+        ("25% freeriders (LiFTinG)".to_string(), make(true, true)),
+    ];
+    cases
+        .into_iter()
+        .map(|(label, config)| {
+            let outcome = run_scenario(config);
+            HealthCurve {
+                label,
+                lag_secs: outcome.stream_health.lag_secs.clone(),
+                fraction_clear: outcome.stream_health.fraction_clear.clone(),
+                expelled: outcome.expelled_count,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — impact of message losses after compensation.
+// ---------------------------------------------------------------------------
+
+/// Result of the Figure 10 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WrongfulBlameResult {
+    /// Expected wrongful blame per period from Equation 5 (the compensation).
+    pub expected_compensation: f64,
+    /// Mean of the compensated scores (paper: ≈ 0, < 0.01 in absolute value).
+    pub mean_score: f64,
+    /// Standard deviation of the compensated scores (paper: 25.6).
+    pub std_dev: f64,
+    /// Histogram bin centers.
+    pub bin_centers: Vec<f64>,
+    /// Fraction of nodes per bin (the pdf of Figure 10).
+    pub fractions: Vec<f64>,
+}
+
+/// Figure 10: distribution of compensated scores of 10,000 honest nodes after
+/// one gossip period with `pl = 7 %`, `f = 12`, `|R| = 4`, `pdcc = 1`.
+pub fn fig10_wrongful_blames(scale: Scale, seed: u64) -> WrongfulBlameResult {
+    let nodes = scale.pick(10_000, 2_000);
+    let params = ProtocolParams::simulation_defaults();
+    let model = BlameModel::new(params, 1.0);
+    let scores = model
+        .population_scores(nodes, 0, FreeridingDegree::HONEST, 1, seed)
+        .honest;
+    let summary = Summary::of(&scores);
+    let mut hist = Histogram::new(-250.0, 50.0, 60);
+    hist.extend(scores.iter().copied());
+    WrongfulBlameResult {
+        expected_compensation: params.expected_wrongful_blame(),
+        mean_score: summary.mean,
+        std_dev: summary.std_dev,
+        bin_centers: hist.centers(),
+        fractions: hist.fractions(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — score distributions with 10 % freeriders, Δ = (0.1, 0.1, 0.1).
+// ---------------------------------------------------------------------------
+
+/// Result of the Figure 11 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoreDistributionResult {
+    /// Grid of score values for the cdf (x-axis of Figure 11b).
+    pub grid: Vec<f64>,
+    /// CDF of honest scores over the grid.
+    pub honest_cdf: Vec<f64>,
+    /// CDF of freerider scores over the grid.
+    pub freerider_cdf: Vec<f64>,
+    /// Summary of honest scores.
+    pub honest: Summary,
+    /// Summary of freerider scores.
+    pub freeriders: Summary,
+    /// Detection probability at η = −9.75.
+    pub detection: f64,
+    /// False-positive probability at η = −9.75.
+    pub false_positives: f64,
+    /// Decision boundary suggested by a two-component Gaussian mixture fit
+    /// (the likelihood-maximization alternative the paper mentions).
+    pub mixture_boundary: Option<f64>,
+}
+
+/// Figure 11: normalized score distributions of 9,000 honest nodes and 1,000
+/// freeriders of degree `Δ = (0.1, 0.1, 0.1)` after `r = 50` gossip periods.
+pub fn fig11_score_distributions(scale: Scale, seed: u64) -> ScoreDistributionResult {
+    let honest_n = scale.pick(9_000, 1_800);
+    let freerider_n = scale.pick(1_000, 200);
+    let params = ProtocolParams::simulation_defaults();
+    let model = BlameModel::new(params, 1.0);
+    let samples = model.population_scores(
+        honest_n,
+        freerider_n,
+        FreeridingDegree::uniform(0.1),
+        50,
+        seed,
+    );
+    let grid: Vec<f64> = (-50..=10).map(|x| x as f64).collect();
+    let eta = -9.75;
+    let mixture = GaussianMixture::fit(&samples.all(), 200);
+    ScoreDistributionResult {
+        honest_cdf: ecdf(&samples.honest, &grid),
+        freerider_cdf: ecdf(&samples.freeriders, &grid),
+        honest: Summary::of(&samples.honest),
+        freeriders: Summary::of(&samples.freeriders),
+        detection: detection_rate(&samples.freeriders, eta),
+        false_positives: false_positive_rate(&samples.honest, eta),
+        mixture_boundary: mixture.map(|m| m.decision_boundary()),
+        grid,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 — detection probability and gain vs. degree of freeriding.
+// ---------------------------------------------------------------------------
+
+/// One row of the Figure 12 sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DetectionPoint {
+    /// Degree of freeriding δ (δ1 = δ2 = δ3 = δ).
+    pub delta: f64,
+    /// Upload-bandwidth gain of the freerider.
+    pub gain: f64,
+    /// Detection probability measured by Monte-Carlo simulation.
+    pub detection: f64,
+    /// False-positive probability at the same threshold.
+    pub false_positives: f64,
+}
+
+/// Figure 12: detection probability α and bandwidth gain as functions of the
+/// degree of freeriding δ, with the threshold η calibrated for β < 1 %.
+pub fn fig12_detection_vs_delta(scale: Scale, seed: u64) -> (f64, Vec<DetectionPoint>) {
+    let honest_n = scale.pick(5_000, 1_000);
+    let freerider_n = scale.pick(2_000, 400);
+    let periods = 50;
+    let params = ProtocolParams::simulation_defaults();
+    let model = BlameModel::new(params, 1.0);
+    let honest = model
+        .population_scores(honest_n, 0, FreeridingDegree::HONEST, periods, seed)
+        .honest;
+    let eta = calibrate_threshold(&honest, 0.01).unwrap_or(-9.75);
+    let points = (0..=20)
+        .map(|i| {
+            let delta = i as f64 * 0.01;
+            let degree = FreeridingDegree::uniform(delta);
+            let scores = model
+                .population_scores(0, freerider_n, degree, periods, seed ^ (i as u64 + 1))
+                .freeriders;
+            DetectionPoint {
+                delta,
+                gain: degree.gain(),
+                detection: detection_rate(&scores, eta),
+                false_positives: false_positive_rate(&honest, eta),
+            }
+        })
+        .collect();
+    (eta, points)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13 — entropy of honest histories, and Equation 7.
+// ---------------------------------------------------------------------------
+
+/// Result of the Figure 13 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EntropyResult {
+    /// Entropy samples of the fanout multiset (nh·f = 600 entries).
+    pub fanout: Summary,
+    /// Entropy samples of the fanin multiset.
+    pub fanin: Summary,
+    /// The maximum reachable entropy log2(nh·f).
+    pub max_entropy: f64,
+    /// The threshold calibrated from the samples (paper: γ = 8.95).
+    pub calibrated_gamma: f64,
+    /// Maximum undetectable collusion bias p*m for γ = 8.95 and m' = 25
+    /// (paper: ≈ 21 %).
+    pub max_bias_25_colluders: f64,
+    /// Entropy of a maximally biased colluder's history (for reference).
+    pub biased_entropy_example: f64,
+}
+
+/// Figure 13 and the Equation 7 analysis: entropy distribution of honest
+/// fanout/fanin histories in a 10,000-node system with `nh·f = 600`, the
+/// calibrated threshold γ, and the maximal undetectable collusion bias.
+pub fn fig13_history_entropy(scale: Scale, seed: u64) -> EntropyResult {
+    let samples = scale.pick(2_000, 300);
+    let population = 10_000;
+    let entries = 600;
+    let fanout = uniform_selection_entropy(entries, population, samples, seed);
+    // The fanin multiset has the same law but a Poisson-distributed size with
+    // mean nh·f; sampling with ±10 % jitter reproduces the wider spread of
+    // Figure 13b.
+    let fanin: Vec<f64> = (0..samples)
+        .flat_map(|i| {
+            let size = entries - 60 + (i * 120 / samples.max(1));
+            uniform_selection_entropy(size, population, 1, seed ^ (i as u64 + 77))
+        })
+        .collect();
+    let gamma = calibrate_gamma(entries, population, samples.min(500), 0.15, seed);
+    // A colluder biasing 60 % of its pushes towards a 25-node coalition.
+    let biased: Vec<u32> = (0..entries)
+        .map(|i| if i % 5 < 3 { (i % 25) as u32 } else { 1_000 + i as u32 })
+        .collect();
+    EntropyResult {
+        fanout: Summary::of(&fanout),
+        fanin: Summary::of(&fanin),
+        max_entropy: (entries as f64).log2(),
+        calibrated_gamma: gamma,
+        max_bias_25_colluders: max_undetectable_bias(8.95, 25, entries).unwrap_or(0.0),
+        biased_entropy_example: shannon_entropy(biased),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 — PlanetLab score CDFs at 25 / 30 / 35 s, pdcc = 1 and 0.5.
+// ---------------------------------------------------------------------------
+
+/// Result of the Figure 14 experiment for one value of pdcc.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanetlabScoresResult {
+    /// The cross-checking probability used.
+    pub pdcc: f64,
+    /// One entry per snapshot (25, 30, 35 s): detection and false positives
+    /// at η = −9.75 plus score summaries.
+    pub snapshots: Vec<PlanetlabSnapshot>,
+    /// Overall LiFTinG traffic overhead during the run.
+    pub overhead: f64,
+}
+
+/// Detection metrics at one snapshot instant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanetlabSnapshot {
+    /// Snapshot time in seconds.
+    pub at_secs: f64,
+    /// Detection probability (score < η or expelled).
+    pub detection: f64,
+    /// False-positive probability.
+    pub false_positives: f64,
+    /// Summary of honest scores.
+    pub honest: Summary,
+    /// Summary of freerider scores.
+    pub freeriders: Summary,
+}
+
+fn snapshot_metrics(snap: &ScoreSnapshot, eta: f64) -> PlanetlabSnapshot {
+    PlanetlabSnapshot {
+        at_secs: snap.at.as_secs_f64(),
+        detection: snap.detection_rate(eta),
+        false_positives: snap.false_positive_rate(eta),
+        honest: Summary::of(&snap.honest_scores()),
+        freeriders: Summary::of(&snap.freerider_scores()),
+    }
+}
+
+/// Figure 14: the PlanetLab deployment (300 nodes, 674 kbps, 10 % freeriders
+/// with Δ = (1/7, 0.1, 0.1)) observed at 25, 30 and 35 seconds, for the given
+/// cross-checking probability.
+pub fn fig14_planetlab_scores(scale: Scale, pdcc: f64, seed: u64) -> PlanetlabScoresResult {
+    let mut config = ScenarioConfig::planetlab_baseline(seed).with_planetlab_freeriders(0.1);
+    config.lifting.pdcc = pdcc;
+    config.nodes = scale.pick(300, 100);
+    if config.nodes < 300 {
+        config.lifting.managers = 10;
+        config.stream_rate_bps = 400_000;
+    }
+    config.duration = scale.secs(36, 36);
+    let snaps = [
+        SimDuration::from_secs(25),
+        SimDuration::from_secs(30),
+        SimDuration::from_secs(35),
+    ];
+    let outcome = run_scenario_with_snapshots(config, &snaps);
+    let eta = -9.75;
+    PlanetlabScoresResult {
+        pdcc,
+        snapshots: outcome
+            .snapshots
+            .iter()
+            .map(|s| snapshot_metrics(s, eta))
+            .collect(),
+        overhead: outcome.traffic.overhead_ratio,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — message overhead of the verifications.
+// ---------------------------------------------------------------------------
+
+/// One row of Table 3: message counts per gossip period for one pdcc.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerificationOverheadRow {
+    /// Cross-checking probability.
+    pub pdcc: f64,
+    /// Analytical bound on verification + blame messages per node per period.
+    pub analytical_bound: f64,
+    /// Messages sent per period by the gossip protocol itself, `f(2 + |R|)`.
+    pub gossip_messages: f64,
+    /// Measured verification + blame messages per node per period.
+    pub measured_per_node_period: f64,
+}
+
+/// Table 3: analytical bounds (Section 6.1) and measured per-node, per-period
+/// verification message counts for several values of pdcc.
+pub fn table03_verification_overhead(scale: Scale, seed: u64) -> Vec<VerificationOverheadRow> {
+    let params = ProtocolParams::planetlab_defaults();
+    let nodes = scale.pick(150, 60);
+    let duration = scale.secs(20, 10);
+    [0.0, 1.0 / 7.0, 0.5, 1.0]
+        .into_iter()
+        .map(|pdcc| {
+            let mut config = ScenarioConfig::planetlab_baseline(seed);
+            config.nodes = nodes;
+            config.lifting.managers = 10;
+            config.lifting.pdcc = pdcc;
+            config.duration = duration;
+            config.stream_rate_bps = 400_000;
+            let outcome = run_scenario(config);
+            let verification_msgs: u64 = outcome
+                .traffic
+                .per_category
+                .iter()
+                .filter(|(c, _)| c.is_lifting_overhead())
+                .map(|(_, v)| v.messages_sent)
+                .sum();
+            let periods = duration.as_secs_f64() / 0.5;
+            VerificationOverheadRow {
+                pdcc,
+                analytical_bound: params.verification_message_bound(pdcc, 25),
+                gossip_messages: params.gossip_message_count(),
+                measured_per_node_period: verification_msgs as f64
+                    / (nodes as f64 * periods),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 — practical bandwidth overhead.
+// ---------------------------------------------------------------------------
+
+/// One cell of Table 5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PracticalOverheadCell {
+    /// Stream rate (kbps).
+    pub stream_kbps: u64,
+    /// Cross-checking probability.
+    pub pdcc: f64,
+    /// Measured LiFTinG overhead (verification + blame + audit bytes divided
+    /// by gossip bytes).
+    pub overhead: f64,
+}
+
+/// Table 5: cross-checking and blaming overhead for stream rates of 674, 1082
+/// and 2036 kbps and pdcc ∈ {0, 0.5, 1}.
+pub fn table05_practical_overhead(scale: Scale, seed: u64) -> Vec<PracticalOverheadCell> {
+    let nodes = scale.pick(150, 60);
+    let duration = scale.secs(20, 10);
+    let mut cells = Vec::new();
+    for stream_kbps in [674u64, 1082, 2036] {
+        for pdcc in [0.0, 0.5, 1.0] {
+            let mut config = ScenarioConfig::planetlab_baseline(seed);
+            config.nodes = nodes;
+            config.lifting.managers = if nodes >= 300 { 25 } else { 10 };
+            config.lifting.pdcc = pdcc;
+            config.stream_rate_bps = stream_kbps * 1_000;
+            config.duration = duration;
+            config.default_upload_bps = Some(10_000_000);
+            let outcome = run_scenario(config);
+            cells.push(PracticalOverheadCell {
+                stream_kbps,
+                pdcc,
+                overhead: outcome.traffic.overhead_ratio,
+            });
+        }
+    }
+    cells
+}
+
+/// Convenience: the headline PlanetLab run used by `run_all_experiments`
+/// (detection / false positives / overhead after 30 s).
+pub fn headline_run(scale: Scale, seed: u64) -> RunOutcome {
+    let mut config = ScenarioConfig::planetlab_baseline(seed).with_planetlab_freeriders(0.1);
+    config.nodes = scale.pick(300, 100);
+    if config.nodes < 300 {
+        config.lifting.managers = 10;
+        config.stream_rate_bps = 400_000;
+    }
+    config.duration = scale.secs(30, 20);
+    run_scenario(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_experiments_run_end_to_end() {
+        let fig10 = fig10_wrongful_blames(Scale::Quick, 1);
+        assert!(fig10.mean_score.abs() < 3.0);
+        assert!((fig10.expected_compensation - 72.95).abs() < 0.05);
+
+        let fig11 = fig11_score_distributions(Scale::Quick, 2);
+        assert!(fig11.detection > fig11.false_positives);
+
+        let (eta, fig12) = fig12_detection_vs_delta(Scale::Quick, 3);
+        assert!(eta < 0.0);
+        assert!(fig12.last().unwrap().detection > 0.9);
+
+        let fig13 = fig13_history_entropy(Scale::Quick, 4);
+        assert!(fig13.fanout.mean > 9.0);
+        assert!((fig13.max_bias_25_colluders - 0.21).abs() < 0.03);
+        assert!(fig13.biased_entropy_example < fig13.calibrated_gamma);
+    }
+
+    #[test]
+    fn quick_scale_table05_shows_overhead_decreasing_with_stream_rate() {
+        let cells = table05_practical_overhead(Scale::Quick, 5);
+        assert_eq!(cells.len(), 9);
+        // At pdcc = 1, the relative overhead shrinks as the stream rate grows.
+        let at = |kbps: u64| {
+            cells
+                .iter()
+                .find(|c| c.stream_kbps == kbps && c.pdcc == 1.0)
+                .unwrap()
+                .overhead
+        };
+        assert!(at(674) > at(2036));
+        // And overhead grows with pdcc for a fixed stream.
+        let low = cells
+            .iter()
+            .find(|c| c.stream_kbps == 674 && c.pdcc == 0.0)
+            .unwrap()
+            .overhead;
+        assert!(low < at(674));
+    }
+}

@@ -1,0 +1,211 @@
+//! Playout buffer and stream-health metrics (Figure 1 of the paper).
+//!
+//! Each node records when it received each chunk. Given the list of chunks
+//! the source emitted, a node "views a clear stream" at lag `L` if at least a
+//! configurable fraction of the chunks emitted during the observation window
+//! reached it within `L` of their emission. Figure 1 plots, for each lag, the
+//! fraction of nodes for which this holds.
+
+use std::collections::HashMap;
+
+use lifting_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::chunk::{Chunk, ChunkId};
+
+/// Reception record of one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Receipt {
+    /// When the source emitted the chunk.
+    pub emitted_at: SimTime,
+    /// When this node first received it.
+    pub received_at: SimTime,
+}
+
+/// Per-node record of chunk receptions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PlayoutBuffer {
+    received: HashMap<ChunkId, Receipt>,
+}
+
+impl PlayoutBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        PlayoutBuffer::default()
+    }
+
+    /// Records the reception of `chunk` at `now`. Only the first reception is
+    /// kept. Returns true if the chunk was new.
+    pub fn record(&mut self, chunk: &Chunk, now: SimTime) -> bool {
+        match self.received.entry(chunk.id) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Receipt {
+                    emitted_at: chunk.emitted_at,
+                    received_at: now,
+                });
+                true
+            }
+        }
+    }
+
+    /// True if the chunk has been received.
+    pub fn contains(&self, id: ChunkId) -> bool {
+        self.received.contains_key(&id)
+    }
+
+    /// Number of distinct chunks received.
+    pub fn len(&self) -> usize {
+        self.received.len()
+    }
+
+    /// True if no chunk has been received yet.
+    pub fn is_empty(&self) -> bool {
+        self.received.is_empty()
+    }
+
+    /// Reception lag of a chunk (reception − emission), if received.
+    pub fn lag_of(&self, id: ChunkId) -> Option<SimDuration> {
+        self.received
+            .get(&id)
+            .map(|r| r.received_at.saturating_since(r.emitted_at))
+    }
+
+    /// Fraction of `emitted` chunks received within `lag` of their emission.
+    /// Returns 1.0 for an empty reference set.
+    pub fn delivery_ratio_within(&self, emitted: &[Chunk], lag: SimDuration) -> f64 {
+        if emitted.is_empty() {
+            return 1.0;
+        }
+        let delivered = emitted
+            .iter()
+            .filter(|c| match self.received.get(&c.id) {
+                Some(r) => r.received_at.saturating_since(c.emitted_at) <= lag,
+                None => false,
+            })
+            .count();
+        delivered as f64 / emitted.len() as f64
+    }
+
+    /// True if this node views a clear stream at the given lag: at least
+    /// `threshold` of the reference chunks arrived within `lag`.
+    pub fn views_clear_stream(
+        &self,
+        emitted: &[Chunk],
+        lag: SimDuration,
+        threshold: f64,
+    ) -> bool {
+        self.delivery_ratio_within(emitted, lag) >= threshold
+    }
+}
+
+/// System-wide stream-health series: Figure 1's y-axis over a grid of lags.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamHealth {
+    /// Lags (x-axis), in seconds.
+    pub lag_secs: Vec<f64>,
+    /// Fraction of nodes viewing a clear stream at each lag (y-axis).
+    pub fraction_clear: Vec<f64>,
+}
+
+impl StreamHealth {
+    /// Computes the stream-health curve over `lags` for a set of node buffers,
+    /// relative to the chunks in `emitted`.
+    pub fn compute(
+        buffers: &[&PlayoutBuffer],
+        emitted: &[Chunk],
+        lags: &[SimDuration],
+        threshold: f64,
+    ) -> StreamHealth {
+        let n = buffers.len().max(1) as f64;
+        let fraction_clear = lags
+            .iter()
+            .map(|lag| {
+                buffers
+                    .iter()
+                    .filter(|b| b.views_clear_stream(emitted, *lag, threshold))
+                    .count() as f64
+                    / n
+            })
+            .collect();
+        StreamHealth {
+            lag_secs: lags.iter().map(|l| l.as_secs_f64()).collect(),
+            fraction_clear,
+        }
+    }
+
+    /// The smallest lag at which at least `target` of the nodes view a clear
+    /// stream, if any.
+    pub fn lag_for_fraction(&self, target: f64) -> Option<f64> {
+        self.lag_secs
+            .iter()
+            .zip(&self.fraction_clear)
+            .find(|(_, frac)| **frac >= target)
+            .map(|(lag, _)| *lag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(id: u64, emitted_ms: u64) -> Chunk {
+        Chunk::new(ChunkId::new(id), 1_000, SimTime::from_millis(emitted_ms))
+    }
+
+    #[test]
+    fn records_only_first_reception() {
+        let mut buf = PlayoutBuffer::new();
+        let c = chunk(1, 100);
+        assert!(buf.record(&c, SimTime::from_millis(150)));
+        assert!(!buf.record(&c, SimTime::from_millis(900)));
+        assert_eq!(buf.lag_of(ChunkId::new(1)), Some(SimDuration::from_millis(50)));
+        assert_eq!(buf.len(), 1);
+        assert!(buf.contains(ChunkId::new(1)));
+    }
+
+    #[test]
+    fn delivery_ratio_counts_only_timely_chunks() {
+        let mut buf = PlayoutBuffer::new();
+        let chunks: Vec<Chunk> = (0..4).map(|i| chunk(i, i * 100)).collect();
+        // Receive chunk 0 promptly, chunk 1 late, chunk 2 never, chunk 3 promptly.
+        buf.record(&chunks[0], SimTime::from_millis(50));
+        buf.record(&chunks[1], SimTime::from_millis(5_000));
+        buf.record(&chunks[3], SimTime::from_millis(350));
+        let ratio = buf.delivery_ratio_within(&chunks, SimDuration::from_millis(200));
+        assert!((ratio - 0.5).abs() < 1e-12);
+        assert!(buf.views_clear_stream(&chunks, SimDuration::from_millis(200), 0.5));
+        assert!(!buf.views_clear_stream(&chunks, SimDuration::from_millis(200), 0.99));
+        // With a huge lag allowance the late chunk also counts, but not the missing one.
+        let ratio = buf.delivery_ratio_within(&chunks, SimDuration::from_secs(10));
+        assert!((ratio - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_reference_set_counts_as_clear() {
+        let buf = PlayoutBuffer::new();
+        assert_eq!(buf.delivery_ratio_within(&[], SimDuration::ZERO), 1.0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn stream_health_aggregates_across_nodes() {
+        let chunks: Vec<Chunk> = (0..10).map(|i| chunk(i, i * 100)).collect();
+        // Node A receives everything immediately; node B receives everything 2 s late.
+        let mut a = PlayoutBuffer::new();
+        let mut b = PlayoutBuffer::new();
+        for c in &chunks {
+            a.record(c, c.emitted_at + SimDuration::from_millis(100));
+            b.record(c, c.emitted_at + SimDuration::from_secs(2));
+        }
+        let lags = vec![
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3),
+        ];
+        let health = StreamHealth::compute(&[&a, &b], &chunks, &lags, 0.99);
+        assert_eq!(health.fraction_clear, vec![0.5, 0.5, 1.0]);
+        assert_eq!(health.lag_for_fraction(1.0), Some(3.0));
+        assert_eq!(health.lag_for_fraction(0.4), Some(0.5));
+    }
+}

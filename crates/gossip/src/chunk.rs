@@ -1,0 +1,77 @@
+//! Stream chunks.
+
+use std::fmt;
+
+use lifting_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a stream chunk. Chunk ids are assigned sequentially by the
+/// broadcast source, so they double as stream positions.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ChunkId(pub u64);
+
+impl ChunkId {
+    /// Creates a chunk identifier.
+    pub const fn new(id: u64) -> Self {
+        ChunkId(id)
+    }
+
+    /// The raw sequence number.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A stream chunk: its identity, its size on the wire and the instant the
+/// source emitted it (used to measure stream lag at the receivers).
+///
+/// The payload itself is modelled by its size only — every metric of the paper
+/// (stream health, overhead ratios, scores) is a function of chunk timing and
+/// byte counts, never of payload content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Chunk identity (sequence number in the stream).
+    pub id: ChunkId,
+    /// Payload size in bytes.
+    pub size_bytes: u32,
+    /// Instant at which the source emitted this chunk.
+    pub emitted_at: SimTime,
+}
+
+impl Chunk {
+    /// Creates a chunk.
+    pub fn new(id: ChunkId, size_bytes: u32, emitted_at: SimTime) -> Self {
+        Chunk {
+            id,
+            size_bytes,
+            emitted_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ids_order_by_stream_position() {
+        assert!(ChunkId::new(3) < ChunkId::new(10));
+        assert_eq!(ChunkId::new(5).value(), 5);
+        assert_eq!(ChunkId::new(5).to_string(), "c5");
+    }
+
+    #[test]
+    fn chunk_carries_emission_metadata() {
+        let c = Chunk::new(ChunkId::new(1), 4_096, SimTime::from_millis(250));
+        assert_eq!(c.size_bytes, 4_096);
+        assert_eq!(c.emitted_at, SimTime::from_millis(250));
+    }
+}

@@ -1,0 +1,112 @@
+//! Wire messages of the three-phase protocol and their size model.
+//!
+//! Sizes matter because Table 5 of the paper reports bandwidth overhead
+//! ratios. We model application-level payload sizes (the transport headers
+//! are added by `lifting-net`): 8 bytes per chunk identifier, 6 bytes per node
+//! identifier (IPv4 + port, as on PlanetLab) and a small fixed header per
+//! message.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chunk::{Chunk, ChunkId};
+
+/// Fixed application-level header of every gossip message (message type,
+/// sender identity, period number).
+pub const MESSAGE_HEADER_BYTES: u64 = 16;
+/// Wire size of one chunk identifier.
+pub const CHUNK_ID_BYTES: u64 = 8;
+/// Wire size of one node identifier (IPv4 address + port).
+pub const NODE_ID_BYTES: u64 = 6;
+
+/// A propose message: the chunk ids received since the last propose phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProposePayload {
+    /// The proposer's gossip-period counter (used by receivers to order
+    /// proposals; not trusted by any verification).
+    pub period: u64,
+    /// Chunk ids on offer.
+    pub chunks: Vec<ChunkId>,
+}
+
+/// A request message: the subset of proposed chunks the receiver needs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestPayload {
+    /// Chunk ids requested.
+    pub chunks: Vec<ChunkId>,
+}
+
+/// A serve message carrying one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServePayload {
+    /// The chunk being served (payload modelled by its size).
+    pub chunk: Chunk,
+}
+
+/// Any message of the three-phase gossip protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GossipMessage {
+    /// Phase 1: propose chunk ids to a partner.
+    Propose(ProposePayload),
+    /// Phase 2: request needed chunks from the proposer.
+    Request(RequestPayload),
+    /// Phase 3: serve one requested chunk.
+    Serve(ServePayload),
+}
+
+impl GossipMessage {
+    /// Application-level payload size of the message in bytes.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            GossipMessage::Propose(p) => {
+                MESSAGE_HEADER_BYTES + CHUNK_ID_BYTES * p.chunks.len() as u64
+            }
+            GossipMessage::Request(r) => {
+                MESSAGE_HEADER_BYTES + CHUNK_ID_BYTES * r.chunks.len() as u64
+            }
+            GossipMessage::Serve(s) => {
+                MESSAGE_HEADER_BYTES + CHUNK_ID_BYTES + s.chunk.size_bytes as u64
+            }
+        }
+    }
+
+    /// True for serve messages (the only ones carrying stream data).
+    pub fn carries_data(&self) -> bool {
+        matches!(self, GossipMessage::Serve(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifting_sim::SimTime;
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let propose = GossipMessage::Propose(ProposePayload {
+            period: 3,
+            chunks: vec![ChunkId::new(1), ChunkId::new(2), ChunkId::new(3)],
+        });
+        assert_eq!(propose.wire_size(), 16 + 3 * 8);
+        assert!(!propose.carries_data());
+
+        let request = GossipMessage::Request(RequestPayload {
+            chunks: vec![ChunkId::new(1)],
+        });
+        assert_eq!(request.wire_size(), 16 + 8);
+
+        let serve = GossipMessage::Serve(ServePayload {
+            chunk: Chunk::new(ChunkId::new(9), 4_096, SimTime::ZERO),
+        });
+        assert_eq!(serve.wire_size(), 16 + 8 + 4_096);
+        assert!(serve.carries_data());
+    }
+
+    #[test]
+    fn empty_proposal_is_just_a_header() {
+        let propose = GossipMessage::Propose(ProposePayload {
+            period: 0,
+            chunks: vec![],
+        });
+        assert_eq!(propose.wire_size(), MESSAGE_HEADER_BYTES);
+    }
+}

@@ -1,0 +1,508 @@
+//! The three-phase gossip state machine (sans-IO).
+//!
+//! [`GossipNode`] holds everything a node knows about the stream: the chunks
+//! it stores, which chunks are "fresh" (received since its last propose phase,
+//! grouped by the node that served them), what it offered to whom, and its
+//! playout buffer. Its methods implement the propose/request/serve phases and
+//! return the data the runtime must put on the wire; they never perform I/O
+//! themselves, which keeps the protocol unit-testable without a network.
+
+use std::collections::{HashMap, HashSet};
+
+use lifting_sim::{NodeId, SimDuration, SimTime};
+use rand::Rng;
+
+use crate::behavior::Behavior;
+use crate::buffer::PlayoutBuffer;
+use crate::chunk::{Chunk, ChunkId};
+use crate::config::GossipConfig;
+
+/// Everything produced by one propose phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProposeRound {
+    /// The node's gossip-period counter when this round ran.
+    pub period: u64,
+    /// Chunk ids included in the proposal (identical for every partner).
+    pub chunks: Vec<ChunkId>,
+    /// The partners the proposal is sent to.
+    pub partners: Vec<NodeId>,
+    /// For each node that served us chunks included in this proposal, the
+    /// chunk ids that came from it. This is what the LiFTinG layer
+    /// acknowledges back to the servers (cross-checking, Section 5.2).
+    pub by_source: Vec<(NodeId, Vec<ChunkId>)>,
+    /// Sources whose chunks were deliberately dropped by the partial-propose
+    /// attack (empty for honest nodes); exposed for tests and metrics.
+    pub dropped_sources: Vec<NodeId>,
+}
+
+/// Internal record of a proposal sent to one partner, kept to validate the
+/// subsequent request ("nodes only serve chunks that were effectively
+/// proposed").
+#[derive(Debug, Clone)]
+struct OutstandingOffer {
+    /// Period of the proposal; kept for debugging and future pruning policies.
+    #[allow(dead_code)]
+    period: u64,
+    chunks: Vec<ChunkId>,
+}
+
+/// The three-phase gossip protocol state of one node.
+#[derive(Debug)]
+pub struct GossipNode {
+    id: NodeId,
+    config: GossipConfig,
+    behavior: Behavior,
+    /// All chunks this node holds, by id.
+    store: HashMap<ChunkId, Chunk>,
+    /// Chunks received since the last propose phase, grouped by serving node.
+    fresh_by_source: HashMap<NodeId, Vec<ChunkId>>,
+    /// Chunks already proposed (or deliberately skipped): infect-and-die.
+    proposed: HashSet<ChunkId>,
+    /// Latest proposal sent to each partner.
+    offers_out: HashMap<NodeId, OutstandingOffer>,
+    /// Chunks requested from some proposer and not yet received, with the
+    /// request expiry time (avoids requesting the same chunk from two
+    /// proposers in the same period).
+    requested_pending: HashMap<ChunkId, SimTime>,
+    /// Gossip-period counter (increments every propose phase).
+    period: u64,
+    /// Playout record for stream-health metrics.
+    playout: PlayoutBuffer,
+    /// Count of serve messages sent (contribution metric).
+    chunks_served: u64,
+}
+
+impl GossipNode {
+    /// Creates a node.
+    pub fn new(id: NodeId, config: GossipConfig, behavior: Behavior) -> Self {
+        config.validate();
+        if let Behavior::Freerider(f) = &behavior {
+            f.validate();
+        }
+        GossipNode {
+            id,
+            config,
+            behavior,
+            store: HashMap::new(),
+            fresh_by_source: HashMap::new(),
+            proposed: HashSet::new(),
+            offers_out: HashMap::new(),
+            requested_pending: HashMap::new(),
+            period: 0,
+            playout: PlayoutBuffer::new(),
+            chunks_served: 0,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's behaviour.
+    pub fn behavior(&self) -> &Behavior {
+        &self.behavior
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &GossipConfig {
+        &self.config
+    }
+
+    /// The node's playout buffer (stream-health metrics).
+    pub fn playout(&self) -> &PlayoutBuffer {
+        &self.playout
+    }
+
+    /// Number of chunks this node holds.
+    pub fn stored_chunks(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Number of chunks this node has served so far (its contribution).
+    pub fn chunks_served(&self) -> u64 {
+        self.chunks_served
+    }
+
+    /// Current gossip-period counter.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Number of partners this node will contact in its next propose phase
+    /// (honest: `f`; freerider: `(1-δ1)·f` with randomized rounding).
+    pub fn desired_fanout<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.behavior.effective_fanout(self.config.fanout, rng)
+    }
+
+    /// Injects a chunk produced locally (the broadcast source calls this).
+    /// The chunk is recorded as served by the node itself.
+    pub fn inject_source_chunk(&mut self, chunk: Chunk, now: SimTime) {
+        if self.store.contains_key(&chunk.id) {
+            return;
+        }
+        self.store.insert(chunk.id, chunk);
+        self.playout.record(&chunk, now);
+        self.fresh_by_source.entry(self.id).or_default().push(chunk.id);
+    }
+
+    /// Runs one propose phase at `now` towards the given `partners` (already
+    /// selected by the membership layer; their number should come from
+    /// [`desired_fanout`]).
+    ///
+    /// Returns `None` when the node has nothing new to propose or when it is
+    /// stretching its gossip period (Section 4.1(iv)); fresh chunks are then
+    /// kept for the next phase.
+    ///
+    /// [`desired_fanout`]: GossipNode::desired_fanout
+    pub fn begin_propose_round<R: Rng + ?Sized>(
+        &mut self,
+        _now: SimTime,
+        partners: Vec<NodeId>,
+        rng: &mut R,
+    ) -> Option<ProposeRound> {
+        let this_period = self.period;
+        self.period += 1;
+
+        if self.behavior.skips_period(this_period) {
+            return None; // gossip-period stretching: fresh chunks accumulate
+        }
+        if self.fresh_by_source.is_empty() || partners.is_empty() {
+            return None;
+        }
+
+        let fresh = std::mem::take(&mut self.fresh_by_source);
+        let mut chunks: Vec<ChunkId> = Vec::new();
+        let mut by_source: Vec<(NodeId, Vec<ChunkId>)> = Vec::new();
+        let mut dropped_sources: Vec<NodeId> = Vec::new();
+
+        for (source, ids) in fresh {
+            // Partial-propose attack: drop every chunk that came from a δ2
+            // fraction of the serving nodes (dropping whole sources minimizes
+            // the number of nodes that can blame the freerider — the paper's
+            // footnote 1).
+            if source != self.id && self.behavior.drops_source(rng) {
+                dropped_sources.push(source);
+                // Infect-and-die still applies: the chunks are never proposed.
+                for id in ids {
+                    self.proposed.insert(id);
+                }
+                continue;
+            }
+            let mut kept: Vec<ChunkId> = Vec::with_capacity(ids.len());
+            for id in ids {
+                if self.proposed.insert(id) {
+                    kept.push(id);
+                    chunks.push(id);
+                }
+            }
+            if !kept.is_empty() {
+                by_source.push((source, kept));
+            }
+        }
+
+        if chunks.is_empty() {
+            return None;
+        }
+        chunks.sort_unstable();
+        chunks.dedup();
+
+        for partner in &partners {
+            self.offers_out.insert(
+                *partner,
+                OutstandingOffer {
+                    period: this_period,
+                    chunks: chunks.clone(),
+                },
+            );
+        }
+
+        Some(ProposeRound {
+            period: this_period,
+            chunks,
+            partners,
+            by_source,
+            dropped_sources,
+        })
+    }
+
+    /// Handles an incoming proposal from `from` and returns the chunk ids to
+    /// request (phase 2). Chunks already held or already requested recently
+    /// from another proposer are not requested again.
+    pub fn on_propose(
+        &mut self,
+        _from: NodeId,
+        chunks: &[ChunkId],
+        now: SimTime,
+    ) -> Vec<ChunkId> {
+        // Drop expired reservations first.
+        self.requested_pending.retain(|_, expiry| *expiry > now);
+        let expiry = now + self.config.gossip_period;
+        let mut wanted = Vec::new();
+        for id in chunks {
+            if self.store.contains_key(id) || self.requested_pending.contains_key(id) {
+                continue;
+            }
+            self.requested_pending.insert(*id, expiry);
+            wanted.push(*id);
+        }
+        wanted
+    }
+
+    /// Handles an incoming request from `from` and returns the chunks to serve
+    /// (phase 3). Only chunks that were effectively proposed to `from` are
+    /// served; freeriders additionally serve only a `(1-δ3)` fraction.
+    pub fn on_request<R: Rng + ?Sized>(
+        &mut self,
+        from: NodeId,
+        requested: &[ChunkId],
+        rng: &mut R,
+    ) -> Vec<Chunk> {
+        let Some(offer) = self.offers_out.get(&from) else {
+            return Vec::new(); // request without a proposal: ignored
+        };
+        let mut valid: Vec<ChunkId> = requested
+            .iter()
+            .copied()
+            .filter(|id| offer.chunks.contains(id))
+            .collect();
+        valid.dedup();
+        let to_serve = self.behavior.effective_serve(valid.len(), rng);
+        // Freeriders drop a random subset of the valid requests.
+        while valid.len() > to_serve {
+            let idx = rng.gen_range(0..valid.len());
+            valid.swap_remove(idx);
+        }
+        let served: Vec<Chunk> = valid
+            .iter()
+            .filter_map(|id| self.store.get(id).copied())
+            .collect();
+        self.chunks_served += served.len() as u64;
+        served
+    }
+
+    /// Handles an incoming serve of `chunk` from `from`. Returns true if the
+    /// chunk was new to this node.
+    pub fn on_serve(&mut self, from: NodeId, chunk: Chunk, now: SimTime) -> bool {
+        self.requested_pending.remove(&chunk.id);
+        if self.store.contains_key(&chunk.id) {
+            return false;
+        }
+        self.store.insert(chunk.id, chunk);
+        self.playout.record(&chunk, now);
+        self.fresh_by_source.entry(from).or_default().push(chunk.id);
+        true
+    }
+
+    /// The gossip period duration configured for this node (used by the
+    /// runtime to schedule the next phase; period-stretching freeriders still
+    /// get scheduled every `Tg` but skip phases).
+    pub fn gossip_period(&self) -> SimDuration {
+        self.config.gossip_period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::FreeriderConfig;
+    use lifting_sim::derive_rng;
+
+    fn chunk(id: u64) -> Chunk {
+        Chunk::new(ChunkId::new(id), 1_000, SimTime::ZERO)
+    }
+
+    fn honest(id: u32) -> GossipNode {
+        GossipNode::new(NodeId::new(id), GossipConfig::planetlab(), Behavior::Honest)
+    }
+
+    #[test]
+    fn three_phase_exchange_moves_a_chunk() {
+        let mut rng = derive_rng(1, 0);
+        let mut a = honest(0);
+        let mut b = honest(1);
+        let c = chunk(7);
+        a.inject_source_chunk(c, SimTime::ZERO);
+
+        let round = a
+            .begin_propose_round(SimTime::ZERO, vec![NodeId::new(1)], &mut rng)
+            .expect("a has a fresh chunk");
+        assert_eq!(round.chunks, vec![ChunkId::new(7)]);
+
+        let wanted = b.on_propose(NodeId::new(0), &round.chunks, SimTime::from_millis(50));
+        assert_eq!(wanted, vec![ChunkId::new(7)]);
+
+        let served = a.on_request(NodeId::new(1), &wanted, &mut rng);
+        assert_eq!(served.len(), 1);
+        assert_eq!(a.chunks_served(), 1);
+
+        assert!(b.on_serve(NodeId::new(0), served[0], SimTime::from_millis(100)));
+        assert!(b.playout().contains(ChunkId::new(7)));
+        assert_eq!(b.stored_chunks(), 1);
+    }
+
+    #[test]
+    fn infect_and_die_never_proposes_twice() {
+        let mut rng = derive_rng(2, 0);
+        let mut a = honest(0);
+        a.inject_source_chunk(chunk(1), SimTime::ZERO);
+        let first = a
+            .begin_propose_round(SimTime::ZERO, vec![NodeId::new(1)], &mut rng)
+            .unwrap();
+        assert_eq!(first.chunks, vec![ChunkId::new(1)]);
+        // No new chunk arrived: the next round proposes nothing.
+        assert!(a
+            .begin_propose_round(SimTime::from_millis(500), vec![NodeId::new(2)], &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn requests_are_ignored_without_a_matching_proposal() {
+        let mut rng = derive_rng(3, 0);
+        let mut a = honest(0);
+        a.inject_source_chunk(chunk(1), SimTime::ZERO);
+        // Node 5 was never proposed anything: it gets nothing.
+        let served = a.on_request(NodeId::new(5), &[ChunkId::new(1)], &mut rng);
+        assert!(served.is_empty());
+    }
+
+    #[test]
+    fn only_proposed_chunks_are_served() {
+        let mut rng = derive_rng(4, 0);
+        let mut a = honest(0);
+        a.inject_source_chunk(chunk(1), SimTime::ZERO);
+        a.inject_source_chunk(chunk(2), SimTime::ZERO);
+        let round = a
+            .begin_propose_round(SimTime::ZERO, vec![NodeId::new(1)], &mut rng)
+            .unwrap();
+        assert_eq!(round.chunks.len(), 2);
+        // Partner asks for a chunk that was never proposed (id 99): ignored.
+        let served = a.on_request(NodeId::new(1), &[ChunkId::new(1), ChunkId::new(99)], &mut rng);
+        assert_eq!(served.len(), 1);
+        assert_eq!(served[0].id, ChunkId::new(1));
+    }
+
+    #[test]
+    fn duplicate_serves_are_not_double_counted() {
+        let mut b = honest(1);
+        let c = chunk(3);
+        assert!(b.on_serve(NodeId::new(0), c, SimTime::from_millis(10)));
+        assert!(!b.on_serve(NodeId::new(2), c, SimTime::from_millis(20)));
+        assert_eq!(b.stored_chunks(), 1);
+    }
+
+    #[test]
+    fn chunks_are_not_requested_twice_within_a_period() {
+        let mut b = honest(1);
+        let wanted1 = b.on_propose(NodeId::new(0), &[ChunkId::new(5)], SimTime::ZERO);
+        let wanted2 = b.on_propose(NodeId::new(2), &[ChunkId::new(5)], SimTime::from_millis(100));
+        assert_eq!(wanted1, vec![ChunkId::new(5)]);
+        assert!(wanted2.is_empty(), "already requested from node 0");
+        // After the reservation expires the chunk can be requested again.
+        let wanted3 = b.on_propose(NodeId::new(3), &[ChunkId::new(5)], SimTime::from_secs(2));
+        assert_eq!(wanted3, vec![ChunkId::new(5)]);
+    }
+
+    #[test]
+    fn freerider_reduces_fanout_and_serves_partially() {
+        let mut rng = derive_rng(5, 0);
+        let cfg = FreeriderConfig::planetlab();
+        let mut f = GossipNode::new(
+            NodeId::new(0),
+            GossipConfig::planetlab(),
+            Behavior::Freerider(cfg),
+        );
+        assert_eq!(f.desired_fanout(&mut rng), 6);
+        for i in 0..10 {
+            f.inject_source_chunk(chunk(i), SimTime::ZERO);
+        }
+        let round = f
+            .begin_propose_round(SimTime::ZERO, vec![NodeId::new(1)], &mut rng)
+            .unwrap();
+        // δ3 = 0.1: over many requests of 10 chunks, roughly 9 are served.
+        let mut total = 0usize;
+        for _ in 0..200 {
+            total += f.on_request(NodeId::new(1), &round.chunks, &mut rng).len();
+        }
+        let mean = total as f64 / 200.0;
+        assert!((mean - 9.0).abs() < 0.4, "mean served {mean}");
+    }
+
+    #[test]
+    fn partial_propose_drops_whole_sources() {
+        let mut rng = derive_rng(6, 0);
+        let cfg = FreeriderConfig {
+            delta1: 0.0,
+            delta2: 1.0, // always drop
+            delta3: 0.0,
+            period_stretch: 1,
+        };
+        let mut f = GossipNode::new(
+            NodeId::new(0),
+            GossipConfig::planetlab(),
+            Behavior::Freerider(cfg),
+        );
+        // Chunks served by node 9 are dropped from the proposal entirely.
+        assert!(f.on_serve(NodeId::new(9), chunk(1), SimTime::ZERO));
+        assert!(f.on_serve(NodeId::new(9), chunk(2), SimTime::ZERO));
+        let round = f.begin_propose_round(SimTime::ZERO, vec![NodeId::new(1)], &mut rng);
+        assert!(round.is_none(), "everything was dropped");
+        // And infect-and-die means they are gone for good.
+        assert!(f
+            .begin_propose_round(SimTime::from_millis(500), vec![NodeId::new(1)], &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn period_stretching_skips_phases_but_accumulates_chunks() {
+        let mut rng = derive_rng(7, 0);
+        let cfg = FreeriderConfig {
+            delta1: 0.0,
+            delta2: 0.0,
+            delta3: 0.0,
+            period_stretch: 2,
+        };
+        let mut f = GossipNode::new(
+            NodeId::new(0),
+            GossipConfig::planetlab(),
+            Behavior::Freerider(cfg),
+        );
+        f.inject_source_chunk(chunk(1), SimTime::ZERO);
+        // Period 0 proposes (0 % 2 == 0), period 1 skips, period 2 proposes again.
+        assert!(f
+            .begin_propose_round(SimTime::ZERO, vec![NodeId::new(1)], &mut rng)
+            .is_some());
+        f.inject_source_chunk(chunk(2), SimTime::from_millis(600));
+        assert!(f
+            .begin_propose_round(SimTime::from_millis(500), vec![NodeId::new(1)], &mut rng)
+            .is_none());
+        f.inject_source_chunk(chunk(3), SimTime::from_millis(900));
+        let round = f
+            .begin_propose_round(SimTime::from_millis(1000), vec![NodeId::new(1)], &mut rng)
+            .unwrap();
+        assert_eq!(round.chunks.len(), 2, "accumulated chunks are proposed together");
+    }
+
+    #[test]
+    fn propose_round_tracks_sources_for_acknowledgements() {
+        let mut rng = derive_rng(8, 0);
+        let mut b = honest(1);
+        assert!(b.on_serve(NodeId::new(10), chunk(1), SimTime::ZERO));
+        assert!(b.on_serve(NodeId::new(10), chunk(2), SimTime::ZERO));
+        assert!(b.on_serve(NodeId::new(20), chunk(3), SimTime::ZERO));
+        let round = b
+            .begin_propose_round(SimTime::from_millis(500), vec![NodeId::new(2)], &mut rng)
+            .unwrap();
+        assert_eq!(round.chunks.len(), 3);
+        let mut sources: Vec<NodeId> = round.by_source.iter().map(|(s, _)| *s).collect();
+        sources.sort();
+        assert_eq!(sources, vec![NodeId::new(10), NodeId::new(20)]);
+        let from_10 = round
+            .by_source
+            .iter()
+            .find(|(s, _)| *s == NodeId::new(10))
+            .map(|(_, ids)| ids.clone())
+            .unwrap();
+        assert_eq!(from_10.len(), 2);
+    }
+}

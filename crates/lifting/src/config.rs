@@ -1,0 +1,135 @@
+//! LiFTinG configuration.
+
+use lifting_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of the LiFTinG verification layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LiftingConfig {
+    /// Probability `pdcc` of triggering a direct cross-check after each serve
+    /// (Section 5). 0 when the system is considered healthy, 1 when it must be
+    /// purged from freeriders.
+    pub pdcc: f64,
+    /// Number of reputation managers `M` per node (25 in the deployment).
+    pub managers: usize,
+    /// Score-based detection threshold `η` (the paper uses −9.75, calibrated
+    /// for a false-positive probability below 1 %).
+    pub eta: f64,
+    /// Entropy-based detection threshold `γ` (the paper uses 8.95 for
+    /// `nh·f = 600` history entries).
+    pub gamma: f64,
+    /// History length `nh` in gossip periods kept for a-posteriori audits
+    /// (50 in the paper's entropy experiments).
+    pub history_periods: usize,
+    /// How long a requester waits for requested chunks before running direct
+    /// verification (the paper checks at the next gossip period).
+    pub serve_timeout: SimDuration,
+    /// How long a server waits for the receiver's acknowledgment before
+    /// blaming it by `f` (the acknowledgment follows the receiver's next
+    /// propose phase, so a bit more than two gossip periods).
+    pub ack_timeout: SimDuration,
+    /// How long a verifier waits for confirm responses from the witnesses.
+    pub confirm_timeout: SimDuration,
+    /// Minimum number of observed gossip periods before a node can be expelled
+    /// on its score (a joining node's score is not yet comparable,
+    /// Section 6.2).
+    pub min_periods_before_expulsion: u64,
+    /// Fraction of a node's managers that must vote for expulsion before the
+    /// node is actually cut off.
+    pub expulsion_quorum: f64,
+    /// Whether wrongful blames are compensated each period using the expected
+    /// value from the loss rate (Equation 5). Disabling this is an ablation.
+    pub compensate_wrongful_blames: bool,
+}
+
+impl LiftingConfig {
+    /// The PlanetLab deployment parameters of Section 7.1.
+    pub fn planetlab() -> Self {
+        let tg = SimDuration::from_millis(500);
+        LiftingConfig {
+            pdcc: 1.0,
+            managers: 25,
+            eta: -9.75,
+            gamma: 8.95,
+            history_periods: 50,
+            serve_timeout: tg,
+            ack_timeout: tg.saturating_mul(3),
+            confirm_timeout: tg.saturating_mul(2),
+            min_periods_before_expulsion: 10,
+            expulsion_quorum: 0.5,
+            compensate_wrongful_blames: true,
+        }
+    }
+
+    /// Same as [`planetlab`](LiftingConfig::planetlab) but with a different
+    /// cross-checking probability.
+    pub fn with_pdcc(mut self, pdcc: f64) -> Self {
+        self.pdcc = pdcc;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is out of range, the thresholds have the wrong
+    /// sign, or a timeout is zero.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.pdcc), "pdcc out of range");
+        assert!(
+            (0.0..=1.0).contains(&self.expulsion_quorum),
+            "expulsion quorum out of range"
+        );
+        assert!(self.managers > 0, "at least one manager is required");
+        assert!(self.eta < 0.0, "η must be negative");
+        assert!(self.gamma > 0.0, "γ must be positive");
+        assert!(self.history_periods > 0, "history must cover ≥ 1 period");
+        assert!(!self.serve_timeout.is_zero(), "serve timeout must be positive");
+        assert!(!self.ack_timeout.is_zero(), "ack timeout must be positive");
+        assert!(
+            !self.confirm_timeout.is_zero(),
+            "confirm timeout must be positive"
+        );
+    }
+}
+
+impl Default for LiftingConfig {
+    fn default() -> Self {
+        LiftingConfig::planetlab()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planetlab_preset_matches_the_paper() {
+        let c = LiftingConfig::planetlab();
+        assert_eq!(c.pdcc, 1.0);
+        assert_eq!(c.managers, 25);
+        assert_eq!(c.eta, -9.75);
+        assert_eq!(c.gamma, 8.95);
+        assert_eq!(c.history_periods, 50);
+        c.validate();
+        let half = c.with_pdcc(0.5);
+        assert_eq!(half.pdcc, 0.5);
+        half.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn positive_eta_is_rejected() {
+        let mut c = LiftingConfig::planetlab();
+        c.eta = 3.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_pdcc_is_rejected() {
+        let mut c = LiftingConfig::planetlab();
+        c.pdcc = 1.5;
+        c.validate();
+    }
+}

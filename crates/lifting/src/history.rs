@@ -1,0 +1,308 @@
+//! Accountability: the bounded local history every node maintains
+//! (Section 5, "each node maintains a digest of its past interactions").
+//!
+//! The history covers the last `nh` gossip periods and records, per period,
+//! the proposals sent (partners and chunk ids), the serves received (source
+//! and chunk), the proposals received (needed to answer confirm requests and
+//! audit polls truthfully) and the confirm requests received (needed to build
+//! the fanin multiset `F'h` during audits of *other* nodes).
+
+use std::collections::VecDeque;
+
+use lifting_gossip::ChunkId;
+use lifting_sim::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::messages::{CHUNK_ID_BYTES, NODE_ID_BYTES};
+
+/// One proposal sent during a period.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProposalRecord {
+    /// The partners the proposal was sent to.
+    pub partners: Vec<NodeId>,
+    /// The chunk ids proposed.
+    pub chunks: Vec<ChunkId>,
+}
+
+/// Everything recorded during one gossip period.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PeriodRecord {
+    /// The node's period counter.
+    pub period: u64,
+    /// Proposals sent during this period (at most one per the protocol, but
+    /// the record does not enforce it).
+    pub proposals_sent: Vec<ProposalRecord>,
+    /// Chunks received, with the node that served each.
+    pub serves_received: Vec<(NodeId, ChunkId)>,
+    /// Proposals received: `(proposer, chunk ids)`.
+    pub proposals_received: Vec<(NodeId, Vec<ChunkId>)>,
+    /// Confirm requests received: `(asker, subject)`.
+    pub confirms_received: Vec<(NodeId, NodeId)>,
+}
+
+/// The bounded history of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeHistory {
+    owner: NodeId,
+    capacity_periods: usize,
+    periods: VecDeque<PeriodRecord>,
+}
+
+impl NodeHistory {
+    /// Creates an empty history covering at most `capacity_periods` gossip
+    /// periods (`nh` in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_periods` is zero.
+    pub fn new(owner: NodeId, capacity_periods: usize) -> Self {
+        assert!(capacity_periods > 0, "history must cover at least one period");
+        NodeHistory {
+            owner,
+            capacity_periods,
+            periods: VecDeque::new(),
+        }
+    }
+
+    /// The node this history belongs to.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Number of periods currently recorded.
+    pub fn len(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.periods.is_empty()
+    }
+
+    /// The maximum number of periods kept (`nh`).
+    pub fn capacity(&self) -> usize {
+        self.capacity_periods
+    }
+
+    fn current_mut(&mut self, period: u64) -> &mut PeriodRecord {
+        let needs_new = match self.periods.back() {
+            Some(last) => last.period != period,
+            None => true,
+        };
+        if needs_new {
+            self.periods.push_back(PeriodRecord {
+                period,
+                ..PeriodRecord::default()
+            });
+            while self.periods.len() > self.capacity_periods {
+                self.periods.pop_front();
+            }
+        }
+        self.periods.back_mut().expect("just pushed")
+    }
+
+    /// Records a proposal sent during `period`.
+    pub fn record_proposal_sent(
+        &mut self,
+        period: u64,
+        partners: Vec<NodeId>,
+        chunks: Vec<ChunkId>,
+    ) {
+        self.current_mut(period)
+            .proposals_sent
+            .push(ProposalRecord { partners, chunks });
+    }
+
+    /// Records a chunk served to this node by `source` during `period`.
+    pub fn record_serve_received(&mut self, period: u64, source: NodeId, chunk: ChunkId) {
+        self.current_mut(period).serves_received.push((source, chunk));
+    }
+
+    /// Records a proposal received from `proposer` during `period`.
+    pub fn record_proposal_received(
+        &mut self,
+        period: u64,
+        proposer: NodeId,
+        chunks: Vec<ChunkId>,
+    ) {
+        self.current_mut(period)
+            .proposals_received
+            .push((proposer, chunks));
+    }
+
+    /// Records a confirm request received from `asker` about `subject` during
+    /// `period`.
+    pub fn record_confirm_received(&mut self, period: u64, asker: NodeId, subject: NodeId) {
+        self.current_mut(period).confirms_received.push((asker, subject));
+    }
+
+    /// Iterates over the recorded periods, oldest first.
+    pub fn periods(&self) -> impl Iterator<Item = &PeriodRecord> + '_ {
+        self.periods.iter()
+    }
+
+    /// The fanout multiset `Fh`: every partner of every proposal sent in the
+    /// history (with multiplicity).
+    pub fn fanout_multiset(&self) -> Vec<NodeId> {
+        self.periods
+            .iter()
+            .flat_map(|p| p.proposals_sent.iter())
+            .flat_map(|pr| pr.partners.iter().copied())
+            .collect()
+    }
+
+    /// The fanin multiset recorded locally: the node that served each received
+    /// chunk (with multiplicity).
+    pub fn fanin_multiset(&self) -> Vec<NodeId> {
+        self.periods
+            .iter()
+            .flat_map(|p| p.serves_received.iter().map(|(s, _)| *s))
+            .collect()
+    }
+
+    /// The nodes that asked this node to confirm proposals of `subject`
+    /// (used by an auditor of `subject` to build `F'h`).
+    pub fn confirm_askers_about(&self, subject: NodeId) -> Vec<NodeId> {
+        self.periods
+            .iter()
+            .flat_map(|p| p.confirms_received.iter())
+            .filter(|(_, s)| *s == subject)
+            .map(|(asker, _)| *asker)
+            .collect()
+    }
+
+    /// Number of propose phases recorded (gossip-period check of Section 5.3).
+    pub fn propose_phase_count(&self) -> usize {
+        self.periods
+            .iter()
+            .filter(|p| !p.proposals_sent.is_empty())
+            .count()
+    }
+
+    /// True if this node received a proposal from `proposer` containing every
+    /// chunk in `chunks` (possibly across several proposals). Used to answer
+    /// confirm requests and a-posteriori audit polls.
+    pub fn received_proposal_with(&self, proposer: NodeId, chunks: &[ChunkId]) -> bool {
+        chunks.iter().all(|needle| {
+            self.periods.iter().any(|p| {
+                p.proposals_received
+                    .iter()
+                    .any(|(from, ids)| *from == proposer && ids.contains(needle))
+            })
+        })
+    }
+
+    /// Approximate wire size of the history when uploaded for an audit.
+    pub fn wire_size(&self) -> u64 {
+        let mut bytes = 8; // period count
+        for p in &self.periods {
+            bytes += 16; // period header
+            for pr in &p.proposals_sent {
+                bytes += 4
+                    + NODE_ID_BYTES * pr.partners.len() as u64
+                    + CHUNK_ID_BYTES * pr.chunks.len() as u64;
+            }
+            bytes += (NODE_ID_BYTES + CHUNK_ID_BYTES) * p.serves_received.len() as u64;
+            for (_, ids) in &p.proposals_received {
+                bytes += NODE_ID_BYTES + 4 + CHUNK_ID_BYTES * ids.len() as u64;
+            }
+            bytes += 2 * NODE_ID_BYTES * p.confirms_received.len() as u64;
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u64]) -> Vec<ChunkId> {
+        xs.iter().map(|x| ChunkId::new(*x)).collect()
+    }
+
+    fn nodes(xs: &[u32]) -> Vec<NodeId> {
+        xs.iter().map(|x| NodeId::new(*x)).collect()
+    }
+
+    #[test]
+    fn history_is_bounded_to_nh_periods() {
+        let mut h = NodeHistory::new(NodeId::new(0), 3);
+        for period in 0..10u64 {
+            h.record_proposal_sent(period, nodes(&[1, 2]), ids(&[period]));
+        }
+        assert_eq!(h.len(), 3);
+        let kept: Vec<u64> = h.periods().map(|p| p.period).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        assert_eq!(h.capacity(), 3);
+        assert_eq!(h.owner(), NodeId::new(0));
+    }
+
+    #[test]
+    fn fanout_and_fanin_multisets_have_multiplicity() {
+        let mut h = NodeHistory::new(NodeId::new(0), 10);
+        h.record_proposal_sent(0, nodes(&[1, 2, 3]), ids(&[10]));
+        h.record_proposal_sent(1, nodes(&[2, 4]), ids(&[11]));
+        h.record_serve_received(0, NodeId::new(9), ChunkId::new(10));
+        h.record_serve_received(1, NodeId::new(9), ChunkId::new(11));
+        h.record_serve_received(1, NodeId::new(5), ChunkId::new(12));
+        let fanout = h.fanout_multiset();
+        assert_eq!(fanout.len(), 5);
+        assert_eq!(fanout.iter().filter(|n| **n == NodeId::new(2)).count(), 2);
+        let fanin = h.fanin_multiset();
+        assert_eq!(fanin.len(), 3);
+        assert_eq!(fanin.iter().filter(|n| **n == NodeId::new(9)).count(), 2);
+    }
+
+    #[test]
+    fn confirm_askers_are_tracked_per_subject() {
+        let mut h = NodeHistory::new(NodeId::new(2), 10);
+        h.record_confirm_received(0, NodeId::new(10), NodeId::new(1));
+        h.record_confirm_received(0, NodeId::new(11), NodeId::new(1));
+        h.record_confirm_received(1, NodeId::new(12), NodeId::new(5));
+        assert_eq!(
+            h.confirm_askers_about(NodeId::new(1)),
+            nodes(&[10, 11])
+        );
+        assert_eq!(h.confirm_askers_about(NodeId::new(5)), nodes(&[12]));
+        assert!(h.confirm_askers_about(NodeId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn received_proposal_lookup_matches_subsets() {
+        let mut h = NodeHistory::new(NodeId::new(3), 10);
+        h.record_proposal_received(4, NodeId::new(7), ids(&[1, 2, 3]));
+        h.record_proposal_received(5, NodeId::new(7), ids(&[4]));
+        assert!(h.received_proposal_with(NodeId::new(7), &ids(&[1, 3])));
+        assert!(h.received_proposal_with(NodeId::new(7), &ids(&[1, 4])));
+        assert!(!h.received_proposal_with(NodeId::new(7), &ids(&[9])));
+        assert!(!h.received_proposal_with(NodeId::new(8), &ids(&[1])));
+        assert!(h.received_proposal_with(NodeId::new(8), &[]));
+    }
+
+    #[test]
+    fn propose_phase_count_ignores_empty_periods() {
+        let mut h = NodeHistory::new(NodeId::new(0), 10);
+        h.record_proposal_sent(0, nodes(&[1]), ids(&[1]));
+        h.record_serve_received(1, NodeId::new(2), ChunkId::new(5)); // period without proposal
+        h.record_proposal_sent(2, nodes(&[1]), ids(&[2]));
+        assert_eq!(h.propose_phase_count(), 2);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn wire_size_grows_with_content() {
+        let mut h = NodeHistory::new(NodeId::new(0), 50);
+        let empty = h.wire_size();
+        h.record_proposal_sent(0, nodes(&[1, 2, 3, 4, 5, 6, 7]), ids(&[1, 2, 3]));
+        let one = h.wire_size();
+        assert!(one > empty);
+        h.record_serve_received(0, NodeId::new(9), ChunkId::new(1));
+        assert!(h.wire_size() > one);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_is_rejected() {
+        let _ = NodeHistory::new(NodeId::new(0), 0);
+    }
+}

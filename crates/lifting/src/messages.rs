@@ -1,0 +1,142 @@
+//! LiFTinG verification messages and their wire-size model.
+//!
+//! Direct cross-checking exchanges (ack / confirm / confirm response) are
+//! small and travel over UDP (Section 5.2); blame messages go to the
+//! reputation managers over UDP as well; history transfers for a-posteriori
+//! audits use TCP (Section 5.3). Sizes feed the overhead accounting of
+//! Table 5.
+
+use lifting_gossip::ChunkId;
+use lifting_sim::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::blame::Blame;
+use crate::history::NodeHistory;
+
+/// Fixed application-level header of every verification message.
+pub const MESSAGE_HEADER_BYTES: u64 = 16;
+/// Wire size of one chunk identifier.
+pub const CHUNK_ID_BYTES: u64 = 8;
+/// Wire size of one node identifier (IPv4 + port).
+pub const NODE_ID_BYTES: u64 = 6;
+/// Wire size of one blame value.
+pub const BLAME_VALUE_BYTES: u64 = 8;
+
+/// Acknowledgment sent by a receiver to the node that served it chunks,
+/// naming the partners to which the chunks were further proposed
+/// (`ack[i](p2, p3)` in Figure 7).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AckPayload {
+    /// The chunks (served by the destination of this ack) that were proposed.
+    pub chunks: Vec<ChunkId>,
+    /// The partners the proposal was sent to.
+    pub partners: Vec<NodeId>,
+    /// The gossip period of the propose phase that forwarded the chunks.
+    pub period: u64,
+}
+
+/// Confirm request sent by a verifier to a witness: "did `subject` propose
+/// these chunks to you?".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfirmPayload {
+    /// The node whose forwarding is being verified.
+    pub subject: NodeId,
+    /// The chunks the subject acknowledged having proposed.
+    pub chunks: Vec<ChunkId>,
+    /// Token correlating the responses with the verifier's pending check.
+    pub token: u64,
+}
+
+/// A witness's answer to a confirm request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfirmResponsePayload {
+    /// The node whose forwarding was being verified.
+    pub subject: NodeId,
+    /// Token copied from the confirm request.
+    pub token: u64,
+    /// True if the witness indeed received a proposal from the subject
+    /// containing the chunks.
+    pub confirmed: bool,
+}
+
+/// Any LiFTinG verification message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VerificationMessage {
+    /// Acknowledgment from a receiver to its server (UDP).
+    Ack(AckPayload),
+    /// Confirm request from a verifier to a witness (UDP).
+    Confirm(ConfirmPayload),
+    /// Confirm response from a witness to the verifier (UDP).
+    ConfirmResponse(ConfirmResponsePayload),
+    /// Blame sent to one of the target's reputation managers (UDP).
+    Blame(Blame),
+    /// Request for a node's history (a-posteriori audit, TCP).
+    HistoryRequest,
+    /// A node's history uploaded to the auditor (TCP).
+    HistoryResponse(Box<NodeHistory>),
+}
+
+impl VerificationMessage {
+    /// Application-level payload size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            VerificationMessage::Ack(a) => {
+                MESSAGE_HEADER_BYTES
+                    + CHUNK_ID_BYTES * a.chunks.len() as u64
+                    + NODE_ID_BYTES * a.partners.len() as u64
+            }
+            VerificationMessage::Confirm(c) => {
+                MESSAGE_HEADER_BYTES + NODE_ID_BYTES + CHUNK_ID_BYTES * c.chunks.len() as u64
+            }
+            VerificationMessage::ConfirmResponse(_) => MESSAGE_HEADER_BYTES + NODE_ID_BYTES + 1,
+            VerificationMessage::Blame(_) => {
+                MESSAGE_HEADER_BYTES + NODE_ID_BYTES + BLAME_VALUE_BYTES
+            }
+            VerificationMessage::HistoryRequest => MESSAGE_HEADER_BYTES,
+            VerificationMessage::HistoryResponse(h) => MESSAGE_HEADER_BYTES + h.wire_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blame::BlameReason;
+
+    #[test]
+    fn ack_size_scales_with_chunks_and_partners() {
+        let ack = VerificationMessage::Ack(AckPayload {
+            chunks: vec![ChunkId::new(1), ChunkId::new(2)],
+            partners: vec![NodeId::new(3); 7],
+            period: 1,
+        });
+        assert_eq!(ack.wire_size(), 16 + 2 * 8 + 7 * 6);
+    }
+
+    #[test]
+    fn confirm_and_response_are_small() {
+        let confirm = VerificationMessage::Confirm(ConfirmPayload {
+            subject: NodeId::new(1),
+            chunks: vec![ChunkId::new(1)],
+            token: 9,
+        });
+        assert_eq!(confirm.wire_size(), 16 + 6 + 8);
+        let resp = VerificationMessage::ConfirmResponse(ConfirmResponsePayload {
+            subject: NodeId::new(1),
+            token: 9,
+            confirmed: true,
+        });
+        assert_eq!(resp.wire_size(), 16 + 6 + 1);
+    }
+
+    #[test]
+    fn blame_message_has_fixed_size() {
+        let blame = VerificationMessage::Blame(Blame::new(
+            NodeId::new(8),
+            3.5,
+            BlameReason::PartialServe,
+        ));
+        assert_eq!(blame.wire_size(), 16 + 6 + 8);
+        assert_eq!(VerificationMessage::HistoryRequest.wire_size(), 16);
+    }
+}

@@ -1,0 +1,841 @@
+//! Direct verification and direct cross-checking (Section 5.2).
+//!
+//! [`Verifier`] is the per-node verification engine. Like the gossip node it
+//! is written sans-IO: every handler returns [`VerifierAction`]s (messages to
+//! send, blames to emit, timers to start) that the runtime materializes. A
+//! node plays three roles at once:
+//!
+//! * **requester** — after requesting chunks it checks that they are served
+//!   (direct verification, blame `f·(|R|-|S|)/|R|`);
+//! * **server / verifier** — after serving chunks it expects an
+//!   acknowledgment naming the receiver's `f` partners and, with probability
+//!   `pdcc`, polls those witnesses with confirm requests (direct
+//!   cross-checking, Figure 7);
+//! * **witness** — it answers confirm requests about other nodes from its own
+//!   record of received proposals.
+//!
+//! Colluders deviate exactly as Section 5.2 describes: they vouch for
+//! coalition members when acting as witnesses or verifiers, and the
+//! man-in-the-middle variant names accomplices instead of its real partners
+//! in its acknowledgments (Figure 8b).
+
+use std::collections::{HashMap, HashSet};
+
+use lifting_gossip::{ChunkId, ProposeRound};
+use lifting_sim::{NodeId, SimTime};
+use rand::Rng;
+
+use crate::blame::{schedule, Blame, BlameReason};
+use crate::collusion::CollusionConfig;
+use crate::config::LiftingConfig;
+use crate::history::NodeHistory;
+use crate::messages::{AckPayload, ConfirmPayload, ConfirmResponsePayload};
+
+/// A timer the runtime must schedule on behalf of the verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifierTimer {
+    /// Direct verification: check that the requested chunks were served.
+    ServeCheck {
+        /// Token identifying the pending request.
+        token: u64,
+    },
+    /// Cross-checking: check that the receiver acknowledged the serve.
+    AckCheck {
+        /// Token identifying the pending acknowledgment.
+        token: u64,
+    },
+    /// Cross-checking: check that the witnesses confirmed the forwarding.
+    ConfirmCheck {
+        /// Token identifying the pending confirmation round.
+        token: u64,
+    },
+}
+
+/// An action the runtime must carry out for the verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifierAction {
+    /// Send an acknowledgment to the node that served us chunks (UDP).
+    SendAck {
+        /// Destination (the server being acknowledged).
+        to: NodeId,
+        /// Acknowledgment content.
+        ack: AckPayload,
+    },
+    /// Send a confirm request to a witness (UDP).
+    SendConfirm {
+        /// Destination witness.
+        to: NodeId,
+        /// Confirm content.
+        confirm: ConfirmPayload,
+    },
+    /// Send a confirm response back to a verifier (UDP).
+    SendConfirmResponse {
+        /// Destination verifier.
+        to: NodeId,
+        /// Response content.
+        response: ConfirmResponsePayload,
+    },
+    /// Emit a blame against a node (to be routed to its managers).
+    Blame(Blame),
+    /// Start a timer expiring at `deadline`.
+    StartTimer {
+        /// The timer to schedule.
+        timer: VerifierTimer,
+        /// When it fires.
+        deadline: SimTime,
+    },
+}
+
+#[derive(Debug)]
+struct PendingServe {
+    proposer: NodeId,
+    requested: Vec<ChunkId>,
+    received: HashSet<ChunkId>,
+}
+
+#[derive(Debug)]
+struct PendingAck {
+    receiver: NodeId,
+    chunks: Vec<ChunkId>,
+}
+
+#[derive(Debug)]
+struct PendingConfirm {
+    subject: NodeId,
+    witnesses: Vec<NodeId>,
+    confirmed: HashSet<NodeId>,
+}
+
+/// The per-node LiFTinG verification engine.
+#[derive(Debug)]
+pub struct Verifier {
+    id: NodeId,
+    config: LiftingConfig,
+    fanout: usize,
+    collusion: CollusionConfig,
+    history: NodeHistory,
+    current_period: u64,
+    pending_serves: HashMap<u64, PendingServe>,
+    pending_acks: HashMap<u64, PendingAck>,
+    pending_confirms: HashMap<u64, PendingConfirm>,
+    next_token: u64,
+    blames_emitted: u64,
+}
+
+impl Verifier {
+    /// Creates a verifier for node `id` with protocol fanout `fanout`.
+    pub fn new(
+        id: NodeId,
+        fanout: usize,
+        config: LiftingConfig,
+        collusion: CollusionConfig,
+    ) -> Self {
+        config.validate();
+        let history = NodeHistory::new(id, config.history_periods);
+        Verifier {
+            id,
+            config,
+            fanout,
+            collusion,
+            history,
+            current_period: 0,
+            pending_serves: HashMap::new(),
+            pending_acks: HashMap::new(),
+            pending_confirms: HashMap::new(),
+            next_token: 0,
+            blames_emitted: 0,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's accountability history.
+    pub fn history(&self) -> &NodeHistory {
+        &self.history
+    }
+
+    /// The verification configuration.
+    pub fn config(&self) -> &LiftingConfig {
+        &self.config
+    }
+
+    /// Number of blames this verifier has emitted so far.
+    pub fn blames_emitted(&self) -> u64 {
+        self.blames_emitted
+    }
+
+    /// Answers an a-posteriori audit poll: did this node receive a proposal
+    /// from `subject` containing `chunks`? Colluders vouch for coalition
+    /// members here too.
+    pub fn answer_audit_poll(&self, subject: NodeId, chunks: &[ChunkId]) -> bool {
+        if self.collusion.covers_up() && self.collusion.is_colluder(subject) {
+            return true;
+        }
+        self.history.received_proposal_with(subject, chunks)
+    }
+
+    /// Reports the verifiers that asked this node to confirm proposals of
+    /// `subject` (used by auditors to build the fanin multiset `F'h`).
+    pub fn confirm_askers_about(&self, subject: NodeId) -> Vec<NodeId> {
+        self.history.confirm_askers_about(subject)
+    }
+
+    /// Number of outstanding verification checks (pending serves, acks and
+    /// confirmations) — useful for tests and leak detection.
+    pub fn pending_checks(&self) -> usize {
+        self.pending_serves.len() + self.pending_acks.len() + self.pending_confirms.len()
+    }
+
+    fn token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn blame(&mut self, target: NodeId, value: f64, reason: BlameReason) -> Option<VerifierAction> {
+        if value <= 0.0 {
+            return None;
+        }
+        // A colluding verifier never blames a coalition member.
+        if self.collusion.covers_up() && self.collusion.is_colluder(target) {
+            return None;
+        }
+        self.blames_emitted += 1;
+        Some(VerifierAction::Blame(Blame::new(target, value, reason)))
+    }
+
+    /// Advances the verifier's notion of the current gossip period (used to
+    /// index history records for events received between propose phases).
+    pub fn begin_period(&mut self, period: u64) {
+        self.current_period = period;
+    }
+
+    // ------------------------------------------------------------------
+    // Requester role: direct verification.
+    // ------------------------------------------------------------------
+
+    /// Called after sending a request for `requested` chunks to `proposer`.
+    /// Registers the pending check and returns the timer to schedule.
+    pub fn on_request_sent(
+        &mut self,
+        proposer: NodeId,
+        requested: &[ChunkId],
+        now: SimTime,
+    ) -> Vec<VerifierAction> {
+        if requested.is_empty() {
+            return Vec::new();
+        }
+        let token = self.token();
+        self.pending_serves.insert(
+            token,
+            PendingServe {
+                proposer,
+                requested: requested.to_vec(),
+                received: HashSet::new(),
+            },
+        );
+        vec![VerifierAction::StartTimer {
+            timer: VerifierTimer::ServeCheck { token },
+            deadline: now + self.config.serve_timeout,
+        }]
+    }
+
+    /// Called when a serve of `chunk` from `from` is received. Records the
+    /// reception in the history (fanin) and satisfies pending checks.
+    pub fn on_serve_received(&mut self, from: NodeId, chunk: ChunkId, _now: SimTime) {
+        self.history
+            .record_serve_received(self.current_period, from, chunk);
+        for pending in self.pending_serves.values_mut() {
+            if pending.proposer == from && pending.requested.contains(&chunk) {
+                pending.received.insert(chunk);
+            }
+        }
+    }
+
+    /// Called when a proposal from `from` is received (needed to answer
+    /// confirm requests and audit polls truthfully).
+    pub fn on_propose_received(&mut self, from: NodeId, chunks: &[ChunkId], _now: SimTime) {
+        self.history
+            .record_proposal_received(self.current_period, from, chunks.to_vec());
+    }
+
+    // ------------------------------------------------------------------
+    // Receiver role: acknowledgments after forwarding.
+    // ------------------------------------------------------------------
+
+    /// Called right after this node's propose phase. Records the proposal in
+    /// the history and produces the acknowledgments owed to the nodes that
+    /// served the forwarded chunks (cross-checking, Figure 7).
+    pub fn on_propose_round(&mut self, round: &ProposeRound, _now: SimTime) -> Vec<VerifierAction> {
+        self.current_period = round.period;
+        self.history.record_proposal_sent(
+            round.period,
+            round.partners.clone(),
+            round.chunks.clone(),
+        );
+        let mut actions = Vec::new();
+        for (source, chunks) in &round.by_source {
+            if *source == self.id {
+                continue; // chunks we produced ourselves need no acknowledgment
+            }
+            // Man-in-the-middle attack (Figure 8b): name accomplices instead
+            // of the real partners so the server's confirm requests go to
+            // colluders who will vouch for us.
+            let partners = if self.collusion.man_in_the_middle()
+                && !self.collusion.is_colluder(*source)
+            {
+                let mut accomplices = self.collusion.accomplices(self.id);
+                accomplices.truncate(self.fanout.max(round.partners.len()));
+                if accomplices.is_empty() {
+                    round.partners.clone()
+                } else {
+                    accomplices
+                }
+            } else {
+                round.partners.clone()
+            };
+            actions.push(VerifierAction::SendAck {
+                to: *source,
+                ack: AckPayload {
+                    chunks: chunks.clone(),
+                    partners,
+                    period: round.period,
+                },
+            });
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Server / verifier role: cross-checking.
+    // ------------------------------------------------------------------
+
+    /// Called after serving `chunks` to `to`. Registers the expectation of an
+    /// acknowledgment and returns the timer to schedule.
+    pub fn on_chunks_served(
+        &mut self,
+        to: NodeId,
+        chunks: &[ChunkId],
+        now: SimTime,
+    ) -> Vec<VerifierAction> {
+        if chunks.is_empty() {
+            return Vec::new();
+        }
+        let token = self.token();
+        self.pending_acks.insert(
+            token,
+            PendingAck {
+                receiver: to,
+                chunks: chunks.to_vec(),
+            },
+        );
+        vec![VerifierAction::StartTimer {
+            timer: VerifierTimer::AckCheck { token },
+            deadline: now + self.config.ack_timeout,
+        }]
+    }
+
+    /// Called when an acknowledgment arrives from `from`. Clears the matching
+    /// pending expectation, checks the acknowledged fanout, and (with
+    /// probability `pdcc`) launches confirm requests towards the witnesses.
+    pub fn on_ack<R: Rng + ?Sized>(
+        &mut self,
+        from: NodeId,
+        ack: AckPayload,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Vec<VerifierAction> {
+        // Clear every pending expectation this acknowledgment satisfies.
+        let satisfied: Vec<u64> = self
+            .pending_acks
+            .iter()
+            .filter(|(_, p)| {
+                p.receiver == from && p.chunks.iter().all(|c| ack.chunks.contains(c))
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for t in &satisfied {
+            self.pending_acks.remove(t);
+        }
+
+        let mut actions = Vec::new();
+        // A colluding verifier does not check coalition members.
+        if self.collusion.covers_up() && self.collusion.is_colluder(from) {
+            return actions;
+        }
+
+        // Quantitative correctness: the receiver must have forwarded to f nodes.
+        let decrease = schedule::fanout_decrease(self.fanout, ack.partners.len());
+        if let Some(b) = self.blame(from, decrease, BlameReason::FanoutDecrease) {
+            actions.push(b);
+        }
+
+        // Causality: cross-check with the witnesses, with probability pdcc.
+        if !ack.partners.is_empty() && rng.gen_bool(self.config.pdcc) {
+            let token = self.token();
+            self.pending_confirms.insert(
+                token,
+                PendingConfirm {
+                    subject: from,
+                    witnesses: ack.partners.clone(),
+                    confirmed: HashSet::new(),
+                },
+            );
+            for witness in &ack.partners {
+                actions.push(VerifierAction::SendConfirm {
+                    to: *witness,
+                    confirm: ConfirmPayload {
+                        subject: from,
+                        chunks: ack.chunks.clone(),
+                        token,
+                    },
+                });
+            }
+            actions.push(VerifierAction::StartTimer {
+                timer: VerifierTimer::ConfirmCheck { token },
+                deadline: now + self.config.confirm_timeout,
+            });
+        }
+        actions
+    }
+
+    /// Called when a confirm response arrives from a witness.
+    pub fn on_confirm_response(&mut self, from: NodeId, response: ConfirmResponsePayload) {
+        if let Some(pending) = self.pending_confirms.get_mut(&response.token) {
+            if response.confirmed && pending.witnesses.contains(&from) {
+                pending.confirmed.insert(from);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Witness role.
+    // ------------------------------------------------------------------
+
+    /// Called when a confirm request arrives from a verifier. Answers from the
+    /// node's own record of received proposals; colluders vouch for coalition
+    /// members unconditionally.
+    pub fn on_confirm(
+        &mut self,
+        from: NodeId,
+        confirm: ConfirmPayload,
+        _now: SimTime,
+    ) -> Vec<VerifierAction> {
+        self.history
+            .record_confirm_received(self.current_period, from, confirm.subject);
+        let truthful = self
+            .history
+            .received_proposal_with(confirm.subject, &confirm.chunks);
+        let confirmed = if self.collusion.covers_up() && self.collusion.is_colluder(confirm.subject)
+        {
+            true
+        } else {
+            truthful
+        };
+        vec![VerifierAction::SendConfirmResponse {
+            to: from,
+            response: ConfirmResponsePayload {
+                subject: confirm.subject,
+                token: confirm.token,
+                confirmed,
+            },
+        }]
+    }
+
+    // ------------------------------------------------------------------
+    // Timers.
+    // ------------------------------------------------------------------
+
+    /// Handles an expired timer and returns any blame it produces.
+    pub fn on_timer(&mut self, timer: VerifierTimer, _now: SimTime) -> Vec<VerifierAction> {
+        let mut actions = Vec::new();
+        match timer {
+            VerifierTimer::ServeCheck { token } => {
+                if let Some(pending) = self.pending_serves.remove(&token) {
+                    let value = schedule::partial_serve(
+                        self.fanout,
+                        pending.requested.len(),
+                        pending.received.len(),
+                    );
+                    if let Some(b) = self.blame(pending.proposer, value, BlameReason::PartialServe)
+                    {
+                        actions.push(b);
+                    }
+                }
+            }
+            VerifierTimer::AckCheck { token } => {
+                if let Some(pending) = self.pending_acks.remove(&token) {
+                    let value = schedule::missing_ack(self.fanout);
+                    if let Some(b) = self.blame(pending.receiver, value, BlameReason::MissingAck) {
+                        actions.push(b);
+                    }
+                }
+            }
+            VerifierTimer::ConfirmCheck { token } => {
+                if let Some(pending) = self.pending_confirms.remove(&token) {
+                    let contradictions = pending
+                        .witnesses
+                        .iter()
+                        .filter(|w| !pending.confirmed.contains(w))
+                        .count();
+                    let value = schedule::contradicted_proposal(contradictions);
+                    if let Some(b) =
+                        self.blame(pending.subject, value, BlameReason::ContradictedProposal)
+                    {
+                        actions.push(b);
+                    }
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifting_sim::derive_rng;
+    use std::sync::Arc;
+
+    fn ids(xs: &[u64]) -> Vec<ChunkId> {
+        xs.iter().map(|x| ChunkId::new(*x)).collect()
+    }
+
+    fn verifier(id: u32) -> Verifier {
+        Verifier::new(
+            NodeId::new(id),
+            7,
+            LiftingConfig::planetlab(),
+            CollusionConfig::none(),
+        )
+    }
+
+    fn blames(actions: &[VerifierAction]) -> Vec<Blame> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                VerifierAction::Blame(b) => Some(*b),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn timers(actions: &[VerifierAction]) -> Vec<VerifierTimer> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                VerifierAction::StartTimer { timer, .. } => Some(*timer),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn direct_verification_blames_partial_serves() {
+        let mut v = verifier(1);
+        let proposer = NodeId::new(2);
+        let actions = v.on_request_sent(proposer, &ids(&[1, 2, 3, 4]), SimTime::ZERO);
+        let timer = timers(&actions)[0];
+        // Only two of the four requested chunks arrive.
+        v.on_serve_received(proposer, ChunkId::new(1), SimTime::from_millis(100));
+        v.on_serve_received(proposer, ChunkId::new(3), SimTime::from_millis(120));
+        let out = v.on_timer(timer, SimTime::from_millis(500));
+        let bs = blames(&out);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].target, proposer);
+        assert!((bs[0].value - 7.0 * 2.0 / 4.0).abs() < 1e-12);
+        assert_eq!(bs[0].reason, BlameReason::PartialServe);
+        assert_eq!(v.pending_checks(), 0);
+    }
+
+    #[test]
+    fn full_serves_produce_no_blame() {
+        let mut v = verifier(1);
+        let proposer = NodeId::new(2);
+        let actions = v.on_request_sent(proposer, &ids(&[1, 2]), SimTime::ZERO);
+        v.on_serve_received(proposer, ChunkId::new(1), SimTime::from_millis(10));
+        v.on_serve_received(proposer, ChunkId::new(2), SimTime::from_millis(20));
+        let out = v.on_timer(timers(&actions)[0], SimTime::from_millis(500));
+        assert!(blames(&out).is_empty());
+        assert_eq!(v.blames_emitted(), 0);
+    }
+
+    #[test]
+    fn missing_ack_is_blamed_by_f() {
+        let mut v = verifier(1);
+        let receiver = NodeId::new(5);
+        let actions = v.on_chunks_served(receiver, &ids(&[1, 2]), SimTime::ZERO);
+        let out = v.on_timer(timers(&actions)[0], SimTime::from_secs(2));
+        let bs = blames(&out);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].value, 7.0);
+        assert_eq!(bs[0].reason, BlameReason::MissingAck);
+    }
+
+    #[test]
+    fn ack_clears_the_pending_expectation_and_triggers_confirms() {
+        let mut rng = derive_rng(1, 0);
+        let mut v = verifier(1);
+        let receiver = NodeId::new(5);
+        let served = ids(&[1, 2]);
+        let actions = v.on_chunks_served(receiver, &served, SimTime::ZERO);
+        let ack_timer = timers(&actions)[0];
+        let witnesses: Vec<NodeId> = (10..17).map(NodeId::new).collect();
+        let ack = AckPayload {
+            chunks: served.clone(),
+            partners: witnesses.clone(),
+            period: 1,
+        };
+        let out = v.on_ack(receiver, ack, SimTime::from_millis(900), &mut rng);
+        // pdcc = 1: confirms to all 7 witnesses plus a confirm timer, no blame.
+        let confirms: Vec<&VerifierAction> = out
+            .iter()
+            .filter(|a| matches!(a, VerifierAction::SendConfirm { .. }))
+            .collect();
+        assert_eq!(confirms.len(), 7);
+        assert!(blames(&out).is_empty());
+        // The ack timer no longer produces a blame.
+        assert!(blames(&v.on_timer(ack_timer, SimTime::from_secs(2))).is_empty());
+    }
+
+    #[test]
+    fn undersized_ack_is_blamed_for_fanout_decrease() {
+        let mut rng = derive_rng(2, 0);
+        let mut v = verifier(1);
+        let receiver = NodeId::new(5);
+        v.on_chunks_served(receiver, &ids(&[1]), SimTime::ZERO);
+        let ack = AckPayload {
+            chunks: ids(&[1]),
+            partners: (10..16).map(NodeId::new).collect(), // only 6 of 7
+            period: 1,
+        };
+        let out = v.on_ack(receiver, ack, SimTime::from_millis(900), &mut rng);
+        let bs = blames(&out);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].value, 1.0);
+        assert_eq!(bs[0].reason, BlameReason::FanoutDecrease);
+    }
+
+    #[test]
+    fn unconfirmed_witnesses_are_blamed_one_each() {
+        let mut rng = derive_rng(3, 0);
+        let mut v = verifier(1);
+        let receiver = NodeId::new(5);
+        v.on_chunks_served(receiver, &ids(&[1]), SimTime::ZERO);
+        let witnesses: Vec<NodeId> = (10..17).map(NodeId::new).collect();
+        let out = v.on_ack(
+            receiver,
+            AckPayload {
+                chunks: ids(&[1]),
+                partners: witnesses.clone(),
+                period: 1,
+            },
+            SimTime::from_millis(900),
+            &mut rng,
+        );
+        let confirm_timer = *timers(&out)
+            .iter()
+            .find(|t| matches!(t, VerifierTimer::ConfirmCheck { .. }))
+            .unwrap();
+        let token = match confirm_timer {
+            VerifierTimer::ConfirmCheck { token } => token,
+            _ => unreachable!(),
+        };
+        // Four witnesses confirm, three stay silent / contradict.
+        for w in &witnesses[..4] {
+            v.on_confirm_response(
+                *w,
+                ConfirmResponsePayload {
+                    subject: receiver,
+                    token,
+                    confirmed: true,
+                },
+            );
+        }
+        let out = v.on_timer(confirm_timer, SimTime::from_secs(2));
+        let bs = blames(&out);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].value, 3.0);
+        assert_eq!(bs[0].reason, BlameReason::ContradictedProposal);
+    }
+
+    #[test]
+    fn witness_answers_from_its_own_record() {
+        let mut v = verifier(2);
+        let subject = NodeId::new(1);
+        // The witness received a proposal for chunks 1 and 2 from the subject.
+        v.on_propose_received(subject, &ids(&[1, 2]), SimTime::ZERO);
+        let yes = v.on_confirm(
+            NodeId::new(0),
+            ConfirmPayload {
+                subject,
+                chunks: ids(&[1, 2]),
+                token: 7,
+            },
+            SimTime::from_millis(10),
+        );
+        match &yes[0] {
+            VerifierAction::SendConfirmResponse { to, response } => {
+                assert_eq!(*to, NodeId::new(0));
+                assert!(response.confirmed);
+                assert_eq!(response.token, 7);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        let no = v.on_confirm(
+            NodeId::new(0),
+            ConfirmPayload {
+                subject,
+                chunks: ids(&[9]),
+                token: 8,
+            },
+            SimTime::from_millis(20),
+        );
+        match &no[0] {
+            VerifierAction::SendConfirmResponse { response, .. } => assert!(!response.confirmed),
+            other => panic!("unexpected action {other:?}"),
+        }
+        // The confirm requests were recorded (for later audits of the subject).
+        assert_eq!(
+            v.history().confirm_askers_about(subject),
+            vec![NodeId::new(0), NodeId::new(0)]
+        );
+    }
+
+    #[test]
+    fn colluding_witness_covers_up_coalition_members() {
+        let coalition = Arc::new(vec![NodeId::new(1), NodeId::new(2)]);
+        let mut v = Verifier::new(
+            NodeId::new(2),
+            7,
+            LiftingConfig::planetlab(),
+            CollusionConfig::coalition(coalition, true, false),
+        );
+        // Never received anything from node 1, yet vouches for it.
+        let out = v.on_confirm(
+            NodeId::new(0),
+            ConfirmPayload {
+                subject: NodeId::new(1),
+                chunks: ids(&[5]),
+                token: 1,
+            },
+            SimTime::ZERO,
+        );
+        match &out[0] {
+            VerifierAction::SendConfirmResponse { response, .. } => assert!(response.confirmed),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn colluding_verifier_never_blames_accomplices() {
+        let coalition = Arc::new(vec![NodeId::new(1), NodeId::new(5)]);
+        let mut v = Verifier::new(
+            NodeId::new(1),
+            7,
+            LiftingConfig::planetlab(),
+            CollusionConfig::coalition(coalition, true, false),
+        );
+        let actions = v.on_chunks_served(NodeId::new(5), &ids(&[1]), SimTime::ZERO);
+        // The accomplice never acknowledges, but no blame is emitted.
+        let out = v.on_timer(timers(&actions)[0], SimTime::from_secs(2));
+        assert!(blames(&out).is_empty());
+        assert_eq!(v.blames_emitted(), 0);
+    }
+
+    #[test]
+    fn man_in_the_middle_names_accomplices_in_acks() {
+        let coalition = Arc::new(vec![NodeId::new(1), NodeId::new(7), NodeId::new(8)]);
+        let mut v = Verifier::new(
+            NodeId::new(1),
+            7,
+            LiftingConfig::planetlab(),
+            CollusionConfig::coalition(coalition, true, true),
+        );
+        let round = ProposeRound {
+            period: 3,
+            chunks: ids(&[1, 2]),
+            partners: vec![NodeId::new(20), NodeId::new(21)],
+            by_source: vec![(NodeId::new(10), ids(&[1, 2]))],
+            dropped_sources: vec![],
+        };
+        let actions = v.on_propose_round(&round, SimTime::ZERO);
+        let ack = actions
+            .iter()
+            .find_map(|a| match a {
+                VerifierAction::SendAck { to, ack } => Some((*to, ack.clone())),
+                _ => None,
+            })
+            .expect("an ack is owed to the server");
+        assert_eq!(ack.0, NodeId::new(10));
+        // The acknowledged partners are the accomplices, not the real targets.
+        assert_eq!(ack.1.partners, vec![NodeId::new(7), NodeId::new(8)]);
+    }
+
+    #[test]
+    fn honest_ack_names_the_real_partners_and_skips_own_chunks() {
+        let mut v = verifier(1);
+        let round = ProposeRound {
+            period: 2,
+            chunks: ids(&[1, 2, 3]),
+            partners: vec![NodeId::new(20), NodeId::new(21)],
+            by_source: vec![
+                (NodeId::new(10), ids(&[1])),
+                (NodeId::new(1), ids(&[2])), // our own chunk (we are the source)
+                (NodeId::new(11), ids(&[3])),
+            ],
+            dropped_sources: vec![],
+        };
+        let actions = v.on_propose_round(&round, SimTime::ZERO);
+        let acks: Vec<(NodeId, AckPayload)> = actions
+            .iter()
+            .filter_map(|a| match a {
+                VerifierAction::SendAck { to, ack } => Some((*to, ack.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks.len(), 2);
+        assert!(acks.iter().all(|(_, a)| a.partners == round.partners));
+        // The proposal went into the history.
+        assert_eq!(v.history().fanout_multiset().len(), 2);
+    }
+
+    #[test]
+    fn low_pdcc_rarely_triggers_confirms() {
+        let mut rng = derive_rng(9, 0);
+        let mut v = Verifier::new(
+            NodeId::new(1),
+            7,
+            LiftingConfig::planetlab().with_pdcc(0.1),
+            CollusionConfig::none(),
+        );
+        let mut confirm_rounds = 0;
+        for i in 0..200 {
+            let receiver = NodeId::new(100 + i);
+            v.on_chunks_served(receiver, &ids(&[i as u64]), SimTime::ZERO);
+            let out = v.on_ack(
+                receiver,
+                AckPayload {
+                    chunks: ids(&[i as u64]),
+                    partners: (10..17).map(NodeId::new).collect(),
+                    period: 1,
+                },
+                SimTime::from_millis(500),
+                &mut rng,
+            );
+            if out
+                .iter()
+                .any(|a| matches!(a, VerifierAction::SendConfirm { .. }))
+            {
+                confirm_rounds += 1;
+            }
+        }
+        assert!(
+            (10..=40).contains(&confirm_rounds),
+            "≈10% of 200 acks should be cross-checked, got {confirm_rounds}"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! The membership directory: which nodes exist and which are still active.
+
+use lifting_sim::NodeId;
+use rand::Rng;
+
+/// Full-membership directory.
+///
+/// The directory knows every node that ever joined and whether it is still
+/// active (not expelled, not departed). Uniform sampling is performed over the
+/// active nodes only, which is how an expulsion propagates: once the managers
+/// expel a node, honest nodes stop selecting it as a partner.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    active: Vec<bool>,
+    active_count: usize,
+}
+
+impl Directory {
+    /// Creates a directory with `n` active nodes, identified `0..n`.
+    pub fn new(n: usize) -> Self {
+        Directory {
+            active: vec![true; n],
+            active_count: n,
+        }
+    }
+
+    /// Total number of nodes ever known (active or not).
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// True if the directory knows no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Number of active nodes.
+    pub fn active_count(&self) -> usize {
+        self.active_count
+    }
+
+    /// True if the node is currently active.
+    pub fn is_active(&self, node: NodeId) -> bool {
+        self.active.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Adds a new node to the directory, returning its identifier.
+    pub fn join(&mut self) -> NodeId {
+        let id = NodeId::new(self.active.len() as u32);
+        self.active.push(true);
+        self.active_count += 1;
+        id
+    }
+
+    /// Marks a node inactive (expelled or departed). Idempotent.
+    pub fn deactivate(&mut self, node: NodeId) {
+        if let Some(a) = self.active.get_mut(node.index()) {
+            if *a {
+                *a = false;
+                self.active_count -= 1;
+            }
+        }
+    }
+
+    /// Re-activates a node (e.g. rejoin after churn). Idempotent.
+    pub fn activate(&mut self, node: NodeId) {
+        if let Some(a) = self.active.get_mut(node.index()) {
+            if !*a {
+                *a = true;
+                self.active_count += 1;
+            }
+        }
+    }
+
+    /// Iterates over the active node identifiers.
+    pub fn active_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a)
+            .map(|(i, _)| NodeId::new(i as u32))
+    }
+
+    /// Samples `count` distinct active nodes uniformly at random, excluding
+    /// `exclude`. Returns fewer than `count` nodes if not enough are active.
+    pub fn sample_uniform<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        count: usize,
+        exclude: NodeId,
+    ) -> Vec<NodeId> {
+        let available: usize =
+            self.active_count - usize::from(self.is_active(exclude));
+        let target = count.min(available);
+        let mut picked = Vec::with_capacity(target);
+        if target == 0 {
+            return picked;
+        }
+        // Rejection sampling: cheap because fanout << n in all experiments.
+        // Falls back to a full scan if the active fraction is tiny.
+        let n = self.active.len();
+        let mut attempts = 0usize;
+        let max_attempts = 50 * count.max(1) + 100;
+        while picked.len() < target && attempts < max_attempts {
+            attempts += 1;
+            let candidate = NodeId::new(rng.gen_range(0..n as u32));
+            if candidate == exclude
+                || !self.is_active(candidate)
+                || picked.contains(&candidate)
+            {
+                continue;
+            }
+            picked.push(candidate);
+        }
+        if picked.len() < target {
+            // Dense fallback: enumerate remaining active nodes and fill up.
+            let mut rest: Vec<NodeId> = self
+                .active_nodes()
+                .filter(|c| *c != exclude && !picked.contains(c))
+                .collect();
+            // Fisher–Yates partial shuffle.
+            let need = target - picked.len();
+            for i in 0..need.min(rest.len()) {
+                let j = rng.gen_range(i..rest.len());
+                rest.swap(i, j);
+                picked.push(rest[i]);
+            }
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifting_sim::derive_rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn join_and_deactivate_update_counts() {
+        let mut dir = Directory::new(3);
+        assert_eq!(dir.len(), 3);
+        assert_eq!(dir.active_count(), 3);
+        let new = dir.join();
+        assert_eq!(new, NodeId::new(3));
+        assert_eq!(dir.active_count(), 4);
+        dir.deactivate(NodeId::new(1));
+        dir.deactivate(NodeId::new(1));
+        assert_eq!(dir.active_count(), 3);
+        assert!(!dir.is_active(NodeId::new(1)));
+        dir.activate(NodeId::new(1));
+        assert_eq!(dir.active_count(), 4);
+    }
+
+    #[test]
+    fn sample_excludes_self_and_inactive() {
+        let mut dir = Directory::new(50);
+        dir.deactivate(NodeId::new(10));
+        let mut rng = derive_rng(5, 0);
+        for _ in 0..200 {
+            let s = dir.sample_uniform(&mut rng, 7, NodeId::new(0));
+            assert_eq!(s.len(), 7);
+            assert!(!s.contains(&NodeId::new(0)));
+            assert!(!s.contains(&NodeId::new(10)));
+            let unique: HashSet<_> = s.iter().collect();
+            assert_eq!(unique.len(), 7, "samples must be distinct");
+        }
+    }
+
+    #[test]
+    fn sample_handles_small_populations() {
+        let dir = Directory::new(3);
+        let mut rng = derive_rng(6, 0);
+        let s = dir.sample_uniform(&mut rng, 10, NodeId::new(2));
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(&NodeId::new(2)));
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        let dir = Directory::new(100);
+        let mut rng = derive_rng(7, 0);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            for id in dir.sample_uniform(&mut rng, 5, NodeId::new(0)) {
+                counts[id.index()] += 1;
+            }
+        }
+        // Every selectable node (1..100) should be picked roughly 20000*5/99 ≈ 1010 times.
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            assert!(
+                (700..1400).contains(&c),
+                "node {i} selected {c} times, expected ~1010"
+            );
+        }
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn sample_with_mostly_inactive_population_uses_fallback() {
+        let mut dir = Directory::new(1000);
+        for i in 0..995u32 {
+            dir.deactivate(NodeId::new(i));
+        }
+        let mut rng = derive_rng(8, 0);
+        let s = dir.sample_uniform(&mut rng, 4, NodeId::new(999));
+        assert_eq!(s.len(), 4);
+        for node in &s {
+            assert!(dir.is_active(*node));
+            assert_ne!(*node, NodeId::new(999));
+        }
+    }
+}

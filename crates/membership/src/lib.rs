@@ -1,0 +1,24 @@
+//! Peer-sampling services for the LiFTinG reproduction.
+//!
+//! The paper's system model (Section 2) assumes that "nodes can pick uniformly
+//! at random a set of nodes in the system", achieved with full membership or a
+//! random peer-sampling protocol. This crate provides:
+//!
+//! * a [`Directory`] of the nodes currently in the system (supporting joins
+//!   and the expulsions decided by the reputation managers),
+//! * uniform partner selection over that directory (what honest nodes do), and
+//! * the **biased** selection policies used by freeriders in Section 4.1(iii):
+//!   colluders that favour each other with probability `pm`, and the
+//!   round-robin colluder selection that the entropy check of Section 6.3.2 is
+//!   designed to defeat.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod selector;
+
+pub use directory::Directory;
+pub use selector::{PartnerSelector, SelectionPolicy};
+
+pub use lifting_sim::NodeId;

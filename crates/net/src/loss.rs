@@ -1,0 +1,98 @@
+//! Message-loss models.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Probability model for losing a UDP message.
+///
+/// The paper's analysis (Section 6.2) assumes losses "independently drawn from
+/// a Bernoulli distribution of parameter `pl`"; PlanetLab exhibited an average
+/// loss of 4 % and the Monte-Carlo simulations use 7 %.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossModel {
+    /// No losses at all.
+    None,
+    /// Each message is independently lost with probability `pl`.
+    Bernoulli {
+        /// Probability of losing a message, in `[0, 1]`.
+        pl: f64,
+    },
+}
+
+impl LossModel {
+    /// Creates a Bernoulli loss model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pl` is not within `[0, 1]`.
+    pub fn bernoulli(pl: f64) -> Self {
+        assert!((0.0..=1.0).contains(&pl), "loss probability {pl} not in [0,1]");
+        if pl == 0.0 {
+            LossModel::None
+        } else {
+            LossModel::Bernoulli { pl }
+        }
+    }
+
+    /// The loss probability of this model.
+    pub fn loss_probability(&self) -> f64 {
+        match self {
+            LossModel::None => 0.0,
+            LossModel::Bernoulli { pl } => *pl,
+        }
+    }
+
+    /// The reception probability `pr = 1 - pl`.
+    pub fn reception_probability(&self) -> f64 {
+        1.0 - self.loss_probability()
+    }
+
+    /// Samples whether a message is lost.
+    pub fn is_lost<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Bernoulli { pl } => rng.gen_bool(*pl),
+        }
+    }
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifting_sim::derive_rng;
+
+    #[test]
+    fn none_never_loses() {
+        let mut rng = derive_rng(1, 0);
+        assert!((0..1000).all(|_| !LossModel::None.is_lost(&mut rng)));
+    }
+
+    #[test]
+    fn bernoulli_rate_is_close_to_parameter() {
+        let model = LossModel::bernoulli(0.07);
+        let mut rng = derive_rng(2, 0);
+        let losses = (0..100_000).filter(|_| model.is_lost(&mut rng)).count();
+        let rate = losses as f64 / 100_000.0;
+        assert!((rate - 0.07).abs() < 0.005, "observed rate {rate}");
+    }
+
+    #[test]
+    fn probabilities_are_consistent() {
+        let m = LossModel::bernoulli(0.04);
+        assert!((m.loss_probability() - 0.04).abs() < 1e-12);
+        assert!((m.reception_probability() - 0.96).abs() < 1e-12);
+        assert_eq!(LossModel::bernoulli(0.0), LossModel::None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_panics() {
+        let _ = LossModel::bernoulli(1.5);
+    }
+}

@@ -1,0 +1,384 @@
+//! The simulated network: decides, for each send, whether and when the
+//! message is delivered, and accounts the traffic.
+
+use lifting_sim::{NodeId, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::bandwidth::{NodeCapability, UplinkState};
+use crate::latency::LatencyModel;
+use crate::loss::LossModel;
+use crate::traffic::{TrafficCategory, TrafficStats};
+use crate::transport::Transport;
+
+/// Static configuration of the simulated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Loss model applied to UDP messages.
+    pub loss: LossModel,
+    /// One-way latency model.
+    pub latency: LatencyModel,
+    /// Per-message header bytes added to UDP payloads (IP + UDP headers).
+    pub udp_header_bytes: u64,
+    /// Per-message header bytes added to TCP payloads (IP + TCP headers;
+    /// connection setup cost is amortized and ignored, as in the paper).
+    pub tcp_header_bytes: u64,
+    /// Default capability assigned to nodes that are not given one explicitly.
+    pub default_capability: NodeCapability,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            loss: LossModel::None,
+            latency: LatencyModel::default(),
+            udp_header_bytes: 28,
+            tcp_header_bytes: 40,
+            default_capability: NodeCapability::unconstrained(),
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A PlanetLab-like configuration: 4 % loss, wide-area latency spread.
+    pub fn planetlab(loss: f64) -> Self {
+        NetworkConfig {
+            loss: LossModel::bernoulli(loss),
+            latency: LatencyModel::planetlab_default(),
+            ..NetworkConfig::default()
+        }
+    }
+
+    /// An ideal network for pure Monte-Carlo experiments: no loss, constant
+    /// small latency, unconstrained uplinks.
+    pub fn ideal() -> Self {
+        NetworkConfig {
+            loss: LossModel::None,
+            latency: LatencyModel::Constant(lifting_sim::SimDuration::from_millis(10)),
+            ..NetworkConfig::default()
+        }
+    }
+}
+
+/// Outcome of a send decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// The message will arrive at the destination at the given instant.
+    Deliver {
+        /// Arrival time at the destination.
+        at: SimTime,
+    },
+    /// The message is lost in transit and will never arrive.
+    Lost,
+}
+
+impl DeliveryOutcome {
+    /// True if the message is delivered.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, DeliveryOutcome::Deliver { .. })
+    }
+}
+
+/// The simulated network.
+///
+/// The network does not own the event queue: callers ask it to adjudicate a
+/// send (`send`) and then schedule the resulting delivery event themselves.
+/// This keeps the network reusable from unit tests without an engine.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    capabilities: Vec<NodeCapability>,
+    uplinks: Vec<UplinkState>,
+    expelled: Vec<bool>,
+    stats: TrafficStats,
+    rng: SmallRng,
+}
+
+impl Network {
+    /// Creates a network for `n` nodes with the given configuration and seed.
+    pub fn new(n: usize, config: NetworkConfig, rng: SmallRng) -> Self {
+        Network {
+            capabilities: vec![config.default_capability; n],
+            uplinks: vec![UplinkState::new(); n],
+            expelled: vec![false; n],
+            config,
+            stats: TrafficStats::new(),
+            rng,
+        }
+    }
+
+    /// Number of nodes attached to the network.
+    pub fn len(&self) -> usize {
+        self.capabilities.len()
+    }
+
+    /// True if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.capabilities.is_empty()
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Overrides the capability of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_capability(&mut self, node: NodeId, capability: NodeCapability) {
+        self.capabilities[node.index()] = capability;
+    }
+
+    /// The capability of one node.
+    pub fn capability(&self, node: NodeId) -> NodeCapability {
+        self.capabilities[node.index()]
+    }
+
+    /// Marks a node as expelled: all traffic from and to it is dropped. This
+    /// is how the blaming architecture's expulsion decision takes effect.
+    pub fn set_expelled(&mut self, node: NodeId, expelled: bool) {
+        self.expelled[node.index()] = expelled;
+    }
+
+    /// True if the node has been expelled from the system.
+    pub fn is_expelled(&self, node: NodeId) -> bool {
+        self.expelled[node.index()]
+    }
+
+    /// Number of nodes currently expelled.
+    pub fn expelled_count(&self) -> usize {
+        self.expelled.iter().filter(|e| **e).count()
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Resets the traffic statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = TrafficStats::new();
+    }
+
+    /// Adjudicates the transmission of a message of `payload_bytes` from
+    /// `from` to `to`, returning when (and whether) it arrives.
+    ///
+    /// The message is accounted to `category` whatever the outcome. Expelled
+    /// endpoints, UDP loss and the sender's uplink serialization are all
+    /// applied here.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        payload_bytes: u64,
+        transport: Transport,
+        category: TrafficCategory,
+    ) -> DeliveryOutcome {
+        let header = match transport {
+            Transport::Udp => self.config.udp_header_bytes,
+            Transport::Tcp => self.config.tcp_header_bytes,
+        };
+        let wire_bytes = payload_bytes + header;
+        self.stats.record_sent(category, wire_bytes);
+
+        if self.expelled[from.index()] || self.expelled[to.index()] {
+            return DeliveryOutcome::Lost;
+        }
+
+        // Uplink serialization at the sender.
+        let capability = self.capabilities[from.index()];
+        let leaves_at = self.uplinks[from.index()].enqueue(now, wire_bytes, &capability);
+
+        // Loss: network-wide plus sender/receiver access-link loss, UDP only.
+        if transport.is_lossy() {
+            let sender_extra = capability.extra_loss;
+            let receiver_extra = self.capabilities[to.index()].extra_loss;
+            if self.config.loss.is_lost(&mut self.rng)
+                || (sender_extra > 0.0 && self.rng.gen_bool(sender_extra.clamp(0.0, 1.0)))
+                || (receiver_extra > 0.0 && self.rng.gen_bool(receiver_extra.clamp(0.0, 1.0)))
+            {
+                return DeliveryOutcome::Lost;
+            }
+        }
+
+        let latency = self.config.latency.sample(from, to, &mut self.rng);
+        let at = leaves_at + latency;
+        self.stats.record_delivered(category, wire_bytes);
+        DeliveryOutcome::Deliver { at }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifting_sim::{derive_rng, SimDuration};
+
+    fn net(n: usize, config: NetworkConfig) -> Network {
+        Network::new(n, config, derive_rng(1234, 0))
+    }
+
+    #[test]
+    fn ideal_network_delivers_everything() {
+        let mut net = net(4, NetworkConfig::ideal());
+        let mut delivered = 0;
+        for i in 0..100 {
+            let out = net.send(
+                SimTime::ZERO,
+                NodeId::new(i % 4),
+                NodeId::new((i + 1) % 4),
+                100,
+                Transport::Udp,
+                TrafficCategory::GossipControl,
+            );
+            if out.is_delivered() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 100);
+    }
+
+    #[test]
+    fn loss_applies_to_udp_but_not_tcp() {
+        let config = NetworkConfig {
+            loss: LossModel::bernoulli(0.5),
+            latency: LatencyModel::Constant(SimDuration::from_millis(10)),
+            ..NetworkConfig::default()
+        };
+        let mut net = net(2, config);
+        let udp_delivered = (0..2000)
+            .filter(|_| {
+                net.send(
+                    SimTime::ZERO,
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    100,
+                    Transport::Udp,
+                    TrafficCategory::Verification,
+                )
+                .is_delivered()
+            })
+            .count();
+        let tcp_delivered = (0..2000)
+            .filter(|_| {
+                net.send(
+                    SimTime::ZERO,
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    100,
+                    Transport::Tcp,
+                    TrafficCategory::Audit,
+                )
+                .is_delivered()
+            })
+            .count();
+        assert!(udp_delivered > 800 && udp_delivered < 1200, "{udp_delivered}");
+        assert_eq!(tcp_delivered, 2000);
+    }
+
+    #[test]
+    fn expelled_nodes_are_cut_off() {
+        let mut net = net(3, NetworkConfig::ideal());
+        net.set_expelled(NodeId::new(1), true);
+        assert!(net.is_expelled(NodeId::new(1)));
+        assert_eq!(net.expelled_count(), 1);
+        let to_expelled = net.send(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            10,
+            Transport::Udp,
+            TrafficCategory::GossipControl,
+        );
+        let from_expelled = net.send(
+            SimTime::ZERO,
+            NodeId::new(1),
+            NodeId::new(2),
+            10,
+            Transport::Udp,
+            TrafficCategory::GossipControl,
+        );
+        assert_eq!(to_expelled, DeliveryOutcome::Lost);
+        assert_eq!(from_expelled, DeliveryOutcome::Lost);
+    }
+
+    #[test]
+    fn uplink_capacity_delays_delivery() {
+        let config = NetworkConfig {
+            latency: LatencyModel::Constant(SimDuration::from_millis(5)),
+            ..NetworkConfig::ideal()
+        };
+        let mut net = net(2, config);
+        // 1 Mbit/s uplink; 1222-byte payload + 28-byte header = 1250 bytes = 10 ms.
+        net.set_capability(NodeId::new(0), NodeCapability::broadband(1_000_000));
+        let first = net.send(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            1_222,
+            Transport::Udp,
+            TrafficCategory::StreamData,
+        );
+        let second = net.send(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            1_222,
+            Transport::Udp,
+            TrafficCategory::StreamData,
+        );
+        assert_eq!(
+            first,
+            DeliveryOutcome::Deliver {
+                at: SimTime::from_millis(15)
+            }
+        );
+        assert_eq!(
+            second,
+            DeliveryOutcome::Deliver {
+                at: SimTime::from_millis(25)
+            }
+        );
+    }
+
+    #[test]
+    fn traffic_is_accounted_with_headers() {
+        let mut net = net(2, NetworkConfig::ideal());
+        net.send(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            100,
+            Transport::Udp,
+            TrafficCategory::StreamData,
+        );
+        let c = net.stats().category(TrafficCategory::StreamData);
+        assert_eq!(c.bytes_sent, 128);
+        assert_eq!(c.messages_sent, 1);
+        assert_eq!(c.bytes_delivered, 128);
+    }
+
+    #[test]
+    fn lost_messages_count_as_sent_but_not_delivered() {
+        let config = NetworkConfig {
+            loss: LossModel::bernoulli(1.0),
+            ..NetworkConfig::ideal()
+        };
+        let mut net = net(2, config);
+        let out = net.send(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            100,
+            Transport::Udp,
+            TrafficCategory::Verification,
+        );
+        assert_eq!(out, DeliveryOutcome::Lost);
+        let c = net.stats().category(TrafficCategory::Verification);
+        assert_eq!(c.messages_sent, 1);
+        assert_eq!(c.messages_delivered, 0);
+    }
+}

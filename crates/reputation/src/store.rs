@@ -1,0 +1,200 @@
+//! The per-manager score book.
+
+use std::collections::HashMap;
+
+use lifting_sim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Score record a manager keeps for one managed node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScoreRecord {
+    /// Total blame value received for the node.
+    pub blame: f64,
+    /// Total compensation credited (expected wrongful blame, Section 6.2).
+    pub compensation: f64,
+    /// Number of gossip periods the node has been observed for (`r` in Eq. 6).
+    pub periods: u64,
+    /// True once the manager has voted to expel the node.
+    pub expelled: bool,
+}
+
+impl ScoreRecord {
+    /// Normalized score (Equation 6): `s = -(Σ blames - Σ compensation) / r`.
+    /// Zero until at least one period has elapsed.
+    pub fn normalized_score(&self) -> f64 {
+        if self.periods == 0 {
+            0.0
+        } else {
+            -(self.blame - self.compensation) / self.periods as f64
+        }
+    }
+}
+
+/// The state a manager node keeps about the nodes it manages.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ManagerState {
+    records: HashMap<NodeId, ScoreRecord>,
+}
+
+impl ManagerState {
+    /// Creates an empty manager state.
+    pub fn new() -> Self {
+        ManagerState::default()
+    }
+
+    /// Registers a node under this manager (idempotent).
+    pub fn register(&mut self, node: NodeId) {
+        self.records.entry(node).or_default();
+    }
+
+    /// Number of nodes managed.
+    pub fn managed_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Applies a blame of `value` to `node` (registering it if needed).
+    pub fn apply_blame(&mut self, node: NodeId, value: f64) {
+        let r = self.records.entry(node).or_default();
+        r.blame += value.max(0.0);
+    }
+
+    /// Ends one gossip period for every managed node: increments `r` and
+    /// credits the per-period compensation `b̃` (the expected wrongful blame
+    /// computed from the loss rate, Equation 5).
+    pub fn end_period(&mut self, compensation_per_period: f64) {
+        for r in self.records.values_mut() {
+            r.periods += 1;
+            r.compensation += compensation_per_period.max(0.0);
+        }
+    }
+
+    /// The record for `node`, if managed.
+    pub fn record(&self, node: NodeId) -> Option<ScoreRecord> {
+        self.records.get(&node).copied()
+    }
+
+    /// The normalized score of `node`, if managed.
+    pub fn normalized_score(&self, node: NodeId) -> Option<f64> {
+        self.records.get(&node).map(|r| r.normalized_score())
+    }
+
+    /// Marks `node` as expelled in this manager's book. Returns true if the
+    /// vote changed (i.e. the node was not already marked).
+    pub fn mark_expelled(&mut self, node: NodeId) -> bool {
+        let r = self.records.entry(node).or_default();
+        let changed = !r.expelled;
+        r.expelled = true;
+        changed
+    }
+
+    /// True if this manager has voted to expel `node`.
+    pub fn has_expelled(&self, node: NodeId) -> bool {
+        self.records.get(&node).map(|r| r.expelled).unwrap_or(false)
+    }
+
+    /// Checks every managed node against the detection threshold `eta` and
+    /// marks those whose normalized score dropped below it; returns the list
+    /// of nodes newly voted for expulsion. Nodes with fewer than `min_periods`
+    /// observed periods are exempt (their score is not yet meaningful —
+    /// Section 6.2 notes that the score of a joining node is not comparable).
+    pub fn expulsion_votes(&mut self, eta: f64, min_periods: u64) -> Vec<NodeId> {
+        let mut newly = Vec::new();
+        for (node, r) in self.records.iter_mut() {
+            if !r.expelled && r.periods >= min_periods && r.normalized_score() < eta {
+                r.expelled = true;
+                newly.push(*node);
+            }
+        }
+        newly.sort_unstable();
+        newly
+    }
+
+    /// Iterates over `(node, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &ScoreRecord)> + '_ {
+        self.records.iter().map(|(n, r)| (*n, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_score_follows_equation_6() {
+        let mut m = ManagerState::new();
+        let node = NodeId::new(3);
+        m.register(node);
+        // Two periods, 80 and 70 blame, compensation 73 per period.
+        m.apply_blame(node, 80.0);
+        m.end_period(73.0);
+        m.apply_blame(node, 70.0);
+        m.end_period(73.0);
+        let s = m.normalized_score(node).unwrap();
+        // s = -((80+70) - 2*73)/2 = -2.
+        assert!((s - (-2.0)).abs() < 1e-12);
+        assert_eq!(m.record(node).unwrap().periods, 2);
+    }
+
+    #[test]
+    fn compensation_centres_honest_scores_at_zero() {
+        let mut m = ManagerState::new();
+        let node = NodeId::new(1);
+        m.register(node);
+        for _ in 0..100 {
+            m.apply_blame(node, 72.95);
+            m.end_period(72.95);
+        }
+        assert!(m.normalized_score(node).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn unobserved_nodes_have_zero_score() {
+        let mut m = ManagerState::new();
+        m.register(NodeId::new(9));
+        assert_eq!(m.normalized_score(NodeId::new(9)), Some(0.0));
+        assert_eq!(m.normalized_score(NodeId::new(10)), None);
+        assert_eq!(m.managed_count(), 1);
+    }
+
+    #[test]
+    fn negative_blames_are_ignored() {
+        let mut m = ManagerState::new();
+        let node = NodeId::new(0);
+        m.apply_blame(node, -50.0);
+        m.end_period(0.0);
+        assert_eq!(m.normalized_score(node), Some(0.0));
+    }
+
+    #[test]
+    fn expulsion_votes_respect_threshold_and_grace_period() {
+        let mut m = ManagerState::new();
+        let bad = NodeId::new(1);
+        let good = NodeId::new(2);
+        let young = NodeId::new(3);
+        m.register(bad);
+        m.register(good);
+        for _ in 0..20 {
+            m.apply_blame(bad, 90.0);
+            m.apply_blame(good, 73.0);
+            m.end_period(73.0);
+        }
+        m.register(young);
+        m.apply_blame(young, 500.0);
+        // bad has score -17, good ≈ 0, young has 0 periods.
+        let votes = m.expulsion_votes(-9.75, 5);
+        assert_eq!(votes, vec![bad]);
+        assert!(m.has_expelled(bad));
+        assert!(!m.has_expelled(good));
+        assert!(!m.has_expelled(young));
+        // Votes are not emitted twice.
+        assert!(m.expulsion_votes(-9.75, 5).is_empty());
+    }
+
+    #[test]
+    fn mark_expelled_is_idempotent() {
+        let mut m = ManagerState::new();
+        assert!(m.mark_expelled(NodeId::new(4)));
+        assert!(!m.mark_expelled(NodeId::new(4)));
+        assert!(m.has_expelled(NodeId::new(4)));
+    }
+}

@@ -1,0 +1,167 @@
+//! Run outcomes and the metrics the experiments report.
+
+use lifting_analysis::{detection_rate, false_positive_rate};
+use lifting_gossip::{Chunk, StreamHealth};
+use lifting_net::TrafficReport;
+use lifting_sim::{NodeId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-node outcome at the end of a run (or at a snapshot instant).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeOutcome {
+    /// The node.
+    pub node: NodeId,
+    /// Ground truth: whether the node freerides.
+    pub is_freerider: bool,
+    /// The node's normalized score as read from its managers with a min vote
+    /// (Equation 6), if any manager has observed it.
+    pub score: Option<f64>,
+    /// Whether the node has been expelled from the system.
+    pub expelled: bool,
+}
+
+/// Scores of the whole population at one instant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoreSnapshot {
+    /// When the snapshot was taken.
+    pub at: SimTime,
+    /// Per-node outcomes (excluding the source, which is not scored).
+    pub outcomes: Vec<NodeOutcome>,
+}
+
+impl ScoreSnapshot {
+    /// Scores of the honest nodes (those with a score).
+    pub fn honest_scores(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.is_freerider)
+            .filter_map(|o| o.score)
+            .collect()
+    }
+
+    /// Scores of the freeriders (those with a score).
+    pub fn freerider_scores(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.is_freerider)
+            .filter_map(|o| o.score)
+            .collect()
+    }
+
+    /// Fraction of freeriders whose score is below `eta` **or** that have been
+    /// expelled (the probability of detection `α`).
+    pub fn detection_rate(&self, eta: f64) -> f64 {
+        let freeriders: Vec<&NodeOutcome> =
+            self.outcomes.iter().filter(|o| o.is_freerider).collect();
+        if freeriders.is_empty() {
+            return 0.0;
+        }
+        let detected = freeriders
+            .iter()
+            .filter(|o| o.expelled || o.score.map(|s| s < eta).unwrap_or(false))
+            .count();
+        detected as f64 / freeriders.len() as f64
+    }
+
+    /// Fraction of honest nodes whose score is below `eta` or that have been
+    /// expelled (the probability of false positives `β`).
+    pub fn false_positive_rate(&self, eta: f64) -> f64 {
+        let honest: Vec<&NodeOutcome> =
+            self.outcomes.iter().filter(|o| !o.is_freerider).collect();
+        if honest.is_empty() {
+            return 0.0;
+        }
+        let flagged = honest
+            .iter()
+            .filter(|o| o.expelled || o.score.map(|s| s < eta).unwrap_or(false))
+            .count();
+        flagged as f64 / honest.len() as f64
+    }
+}
+
+/// Everything measured during one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Final per-node outcomes.
+    pub finals: ScoreSnapshot,
+    /// Intermediate snapshots, if requested.
+    pub snapshots: Vec<ScoreSnapshot>,
+    /// Traffic accounting (Table 5's overhead ratio comes from here).
+    pub traffic: TrafficReport,
+    /// Every chunk the source emitted (reference set for stream health).
+    pub emitted_chunks: Vec<Chunk>,
+    /// Stream health over a grid of lags (Figure 1), computed at the end of
+    /// the run over the chunks emitted during the measurement window.
+    pub stream_health: StreamHealth,
+    /// Number of nodes expelled during the run.
+    pub expelled_count: usize,
+    /// Simulated duration of the run.
+    pub duration: SimDuration,
+}
+
+impl RunOutcome {
+    /// Detection probability at the configured threshold, using the paper's
+    /// definition (score below `η` or already expelled).
+    pub fn detection_rate(&self, eta: f64) -> f64 {
+        self.finals.detection_rate(eta)
+    }
+
+    /// False-positive probability at the configured threshold.
+    pub fn false_positive_rate(&self, eta: f64) -> f64 {
+        self.finals.false_positive_rate(eta)
+    }
+
+    /// Detection rate computed from raw scores only (ignoring expulsions),
+    /// matching [`lifting_analysis::detection_rate`].
+    pub fn score_only_detection_rate(&self, eta: f64) -> f64 {
+        detection_rate(&self.finals.freerider_scores(), eta)
+    }
+
+    /// False-positive rate computed from raw scores only.
+    pub fn score_only_false_positive_rate(&self, eta: f64) -> f64 {
+        false_positive_rate(&self.finals.honest_scores(), eta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u32, freerider: bool, score: Option<f64>, expelled: bool) -> NodeOutcome {
+        NodeOutcome {
+            node: NodeId::new(id),
+            is_freerider: freerider,
+            score,
+            expelled,
+        }
+    }
+
+    #[test]
+    fn detection_and_false_positives_follow_the_definitions() {
+        let snap = ScoreSnapshot {
+            at: SimTime::from_secs(30),
+            outcomes: vec![
+                outcome(1, false, Some(-1.0), false),
+                outcome(2, false, Some(-20.0), false), // honest but flagged
+                outcome(3, false, None, false),
+                outcome(4, true, Some(-30.0), false), // detected by score
+                outcome(5, true, Some(-2.0), true),   // detected by expulsion
+                outcome(6, true, Some(-3.0), false),  // missed
+            ],
+        };
+        assert!((snap.detection_rate(-9.75) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((snap.false_positive_rate(-9.75) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(snap.honest_scores().len(), 2);
+        assert_eq!(snap.freerider_scores().len(), 3);
+    }
+
+    #[test]
+    fn empty_population_rates_are_zero() {
+        let snap = ScoreSnapshot {
+            at: SimTime::ZERO,
+            outcomes: vec![],
+        };
+        assert_eq!(snap.detection_rate(-9.75), 0.0);
+        assert_eq!(snap.false_positive_rate(-9.75), 0.0);
+    }
+}

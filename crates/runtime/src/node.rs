@@ -1,0 +1,77 @@
+//! A complete system participant: gossip node + LiFTinG verifier + partner
+//! selector + its own deterministic RNG.
+
+use lifting_core::{CollusionConfig, LiftingConfig, Verifier};
+use lifting_gossip::{Behavior, GossipConfig, GossipNode};
+use lifting_membership::PartnerSelector;
+use lifting_sim::NodeId;
+use rand::rngs::SmallRng;
+
+/// One node of the simulated system.
+#[derive(Debug)]
+pub struct SystemNode {
+    /// The three-phase gossip protocol state.
+    pub gossip: GossipNode,
+    /// The LiFTinG verification engine.
+    pub verifier: Verifier,
+    /// The partner-selection policy (uniform for honest nodes, biased for
+    /// colluders).
+    pub selector: PartnerSelector,
+    /// The node's private RNG stream.
+    pub rng: SmallRng,
+    /// Ground truth: whether this node freerides (used only by the metrics,
+    /// never by the protocol).
+    pub is_freerider: bool,
+}
+
+impl SystemNode {
+    /// Creates a node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: NodeId,
+        gossip_config: GossipConfig,
+        behavior: Behavior,
+        lifting_config: LiftingConfig,
+        collusion: CollusionConfig,
+        selector: PartnerSelector,
+        rng: SmallRng,
+        is_freerider: bool,
+    ) -> Self {
+        let fanout = gossip_config.fanout;
+        SystemNode {
+            gossip: GossipNode::new(id, gossip_config, behavior),
+            verifier: Verifier::new(id, fanout, lifting_config, collusion),
+            selector,
+            rng,
+            is_freerider,
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.gossip.id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifting_sim::derive_rng;
+
+    #[test]
+    fn node_wires_gossip_and_verifier_with_the_same_identity() {
+        let node = SystemNode::new(
+            NodeId::new(4),
+            GossipConfig::planetlab(),
+            Behavior::Honest,
+            LiftingConfig::planetlab(),
+            CollusionConfig::none(),
+            PartnerSelector::uniform(),
+            derive_rng(1, 4),
+            false,
+        );
+        assert_eq!(node.id(), NodeId::new(4));
+        assert_eq!(node.gossip.id(), node.verifier.id());
+        assert!(!node.is_freerider);
+    }
+}

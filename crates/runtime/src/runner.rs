@@ -1,0 +1,124 @@
+//! Convenience entry points for running scenarios.
+
+use lifting_sim::{Engine, SimDuration, SimTime};
+
+use crate::metrics::{RunOutcome, ScoreSnapshot};
+use crate::scenario::ScenarioConfig;
+use crate::world::SystemWorld;
+
+/// Builds an engine ready to run the given scenario (all initial events are
+/// scheduled). Use this directly when you need fine-grained control over the
+/// run (e.g. injecting faults between segments).
+pub fn build_engine(config: ScenarioConfig) -> Engine<SystemWorld> {
+    let world = SystemWorld::new(config);
+    let events = world.initial_events();
+    let mut engine = Engine::new(world);
+    for (time, event) in events {
+        engine.schedule(time, event);
+    }
+    engine
+}
+
+/// The default lag grid used for the stream-health curve of Figure 1:
+/// 0 to 30 seconds in 1-second steps.
+pub fn default_lag_grid() -> Vec<SimDuration> {
+    (0..=30).map(SimDuration::from_secs).collect()
+}
+
+/// Runs a scenario to completion and returns its outcome.
+pub fn run_scenario(config: ScenarioConfig) -> RunOutcome {
+    run_scenario_with_snapshots(config, &[])
+}
+
+/// Runs a scenario, additionally recording score snapshots at the requested
+/// instants (e.g. 25 s, 30 s and 35 s for Figure 14).
+pub fn run_scenario_with_snapshots(
+    config: ScenarioConfig,
+    snapshot_times: &[SimDuration],
+) -> RunOutcome {
+    let duration = config.duration;
+    let mut engine = build_engine(config);
+    let mut snapshot_times: Vec<SimDuration> = snapshot_times
+        .iter()
+        .copied()
+        .filter(|t| *t <= duration)
+        .collect();
+    snapshot_times.sort_unstable();
+
+    let mut snapshots: Vec<ScoreSnapshot> = Vec::with_capacity(snapshot_times.len());
+    for t in snapshot_times {
+        let at = SimTime::ZERO + t;
+        engine.run_until(at);
+        snapshots.push(engine.world().score_snapshot(at));
+    }
+    let end = SimTime::ZERO + duration;
+    engine.run_until(end);
+    let lags = default_lag_grid();
+    engine.world().run_outcome(end, snapshots, &lags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_honest_system_disseminates_the_stream() {
+        let config = ScenarioConfig::small_test(30, 42);
+        let outcome = run_scenario(config);
+        // Every chunk emitted early enough should have reached almost every node.
+        let health = &outcome.stream_health;
+        let last = *health.fraction_clear.last().unwrap();
+        assert!(
+            last > 0.9,
+            "most nodes should view a clear stream at a large lag, got {last}"
+        );
+        assert_eq!(outcome.expelled_count, 0, "honest nodes must not be expelled");
+        // Honest nodes' compensated scores should not be wildly negative.
+        let fp = outcome.false_positive_rate(-9.75);
+        assert!(fp < 0.2, "false positives {fp}");
+    }
+
+    #[test]
+    fn snapshots_are_recorded_in_order() {
+        let mut config = ScenarioConfig::small_test(20, 7);
+        config.duration = SimDuration::from_secs(10);
+        let outcome = run_scenario_with_snapshots(
+            config,
+            &[SimDuration::from_secs(4), SimDuration::from_secs(8)],
+        );
+        assert_eq!(outcome.snapshots.len(), 2);
+        assert!(outcome.snapshots[0].at < outcome.snapshots[1].at);
+        assert_eq!(outcome.finals.outcomes.len(), 19); // source is not scored
+    }
+
+    #[test]
+    fn freeriders_score_worse_than_honest_nodes() {
+        let mut config = ScenarioConfig::small_test(40, 11).with_planetlab_freeriders(0.25);
+        config.duration = SimDuration::from_secs(20);
+        let outcome = run_scenario(config);
+        let honest = outcome.finals.honest_scores();
+        let freeriders = outcome.finals.freerider_scores();
+        assert!(!honest.is_empty() && !freeriders.is_empty());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&freeriders) < mean(&honest),
+            "freeriders {:.2} should score below honest {:.2}",
+            mean(&freeriders),
+            mean(&honest)
+        );
+    }
+
+    #[test]
+    fn disabling_lifting_removes_verification_traffic() {
+        let mut config = ScenarioConfig::small_test(20, 3);
+        config.lifting_enabled = false;
+        config.duration = SimDuration::from_secs(8);
+        let outcome = run_scenario(config);
+        assert_eq!(outcome.traffic.overhead_ratio, 0.0);
+        assert!(outcome
+            .finals
+            .outcomes
+            .iter()
+            .all(|o| o.score.unwrap_or(0.0) == 0.0));
+    }
+}

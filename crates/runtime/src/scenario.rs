@@ -1,0 +1,267 @@
+//! Experiment scenarios.
+
+use lifting_core::LiftingConfig;
+use lifting_gossip::{FreeriderConfig, GossipConfig};
+use lifting_net::NetworkConfig;
+use lifting_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Freerider population and behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreeriderScenario {
+    /// Number of freeriders (the last `count` node identifiers, never the
+    /// source).
+    pub count: usize,
+    /// Dissemination-level degree of freeriding.
+    pub degree: FreeriderConfig,
+}
+
+/// Collusion behaviour of the freeriders.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollusionScenario {
+    /// Probability with which a colluding freerider picks a coalition member
+    /// as gossip partner (`pm` in Section 6.3.2); 0 disables biased selection.
+    pub partner_bias: f64,
+    /// Colluders vouch for each other during confirmations and never blame
+    /// each other.
+    pub cover_up: bool,
+    /// Colluders mount the man-in-the-middle attack of Figure 8b.
+    pub man_in_the_middle: bool,
+}
+
+impl CollusionScenario {
+    /// No collusion at all: freeriders act independently.
+    pub fn none() -> Self {
+        CollusionScenario {
+            partner_bias: 0.0,
+            cover_up: false,
+            man_in_the_middle: false,
+        }
+    }
+
+    /// True if any collusion mechanism is enabled.
+    pub fn is_active(&self) -> bool {
+        self.partner_bias > 0.0 || self.cover_up || self.man_in_the_middle
+    }
+}
+
+/// Complete description of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of nodes (node 0 is the broadcast source and is always honest).
+    pub nodes: usize,
+    /// Gossip protocol parameters.
+    pub gossip: GossipConfig,
+    /// LiFTinG parameters.
+    pub lifting: LiftingConfig,
+    /// Whether the LiFTinG verification layer runs at all (Figure 1 compares
+    /// the system with and without it).
+    pub lifting_enabled: bool,
+    /// Whether a-posteriori audits run periodically.
+    pub audits_enabled: bool,
+    /// Interval between audits initiated by each node (when enabled).
+    pub audit_interval: SimDuration,
+    /// Network conditions.
+    pub network: NetworkConfig,
+    /// Stream rate in bits per second (674 kbps in the headline experiment).
+    pub stream_rate_bps: u64,
+    /// Chunk payload size in bytes.
+    pub chunk_size: u32,
+    /// Freerider population, if any.
+    pub freeriders: Option<FreeriderScenario>,
+    /// Collusion behaviour of the freeriders.
+    pub collusion: CollusionScenario,
+    /// Fraction of honest nodes with poor connectivity (low uplink and extra
+    /// loss) — the paper attributes most false positives to such nodes.
+    pub poor_node_fraction: f64,
+    /// Uplink of a well-provisioned node, bits per second (`None` =
+    /// unconstrained).
+    pub default_upload_bps: Option<u64>,
+    /// Uplink of a poor node, bits per second.
+    pub poor_upload_bps: u64,
+    /// Extra access-link loss of a poor node.
+    pub poor_extra_loss: f64,
+    /// Total simulated duration.
+    pub duration: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// The paper's PlanetLab deployment (Section 7.1): 300 nodes, 674 kbps,
+    /// `f = 7`, `Tg = 500 ms`, `M = 25`, 4 % loss, 10 % freeriders with
+    /// `Δ = (1/7, 0.1, 0.1)`.
+    pub fn planetlab_baseline(seed: u64) -> Self {
+        ScenarioConfig {
+            nodes: 300,
+            gossip: GossipConfig::planetlab(),
+            lifting: LiftingConfig::planetlab(),
+            lifting_enabled: true,
+            audits_enabled: false,
+            audit_interval: SimDuration::from_secs(10),
+            network: NetworkConfig::planetlab(0.04),
+            stream_rate_bps: 674_000,
+            chunk_size: 4_096,
+            freeriders: None,
+            collusion: CollusionScenario::none(),
+            poor_node_fraction: 0.1,
+            default_upload_bps: Some(5_000_000),
+            poor_upload_bps: 800_000,
+            poor_extra_loss: 0.03,
+            duration: SimDuration::from_secs(40),
+            seed,
+        }
+    }
+
+    /// Adds the paper's freerider population: 10 % of the nodes freeriding
+    /// with `Δ = (1/7, 0.1, 0.1)`.
+    pub fn with_planetlab_freeriders(mut self, fraction: f64) -> Self {
+        let count = ((self.nodes as f64) * fraction).round() as usize;
+        self.freeriders = Some(FreeriderScenario {
+            count,
+            degree: FreeriderConfig::planetlab(),
+        });
+        self
+    }
+
+    /// A small configuration for fast tests: `n` nodes, ideal network,
+    /// unconstrained uplinks, few managers, short duration.
+    pub fn small_test(n: usize, seed: u64) -> Self {
+        let mut lifting = LiftingConfig::planetlab();
+        lifting.managers = 5.min(n.saturating_sub(1)).max(1);
+        ScenarioConfig {
+            nodes: n,
+            gossip: GossipConfig {
+                fanout: 5,
+                gossip_period: SimDuration::from_millis(500),
+                clear_stream_threshold: 0.9,
+            },
+            lifting,
+            lifting_enabled: true,
+            audits_enabled: false,
+            audit_interval: SimDuration::from_secs(5),
+            network: NetworkConfig::ideal(),
+            stream_rate_bps: 200_000,
+            chunk_size: 2_500,
+            freeriders: None,
+            collusion: CollusionScenario::none(),
+            poor_node_fraction: 0.0,
+            default_upload_bps: None,
+            poor_upload_bps: 500_000,
+            poor_extra_loss: 0.0,
+            duration: SimDuration::from_secs(15),
+            seed,
+        }
+    }
+
+    /// Number of freeriders in the scenario.
+    pub fn freerider_count(&self) -> usize {
+        self.freeriders.map(|f| f.count).unwrap_or(0)
+    }
+
+    /// True if the node with this identifier is a freerider (the last
+    /// `count` identifiers, never node 0).
+    pub fn is_freerider(&self, node_index: usize) -> bool {
+        let count = self.freerider_count();
+        count > 0 && node_index != 0 && node_index >= self.nodes.saturating_sub(count)
+    }
+
+    /// Validates the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is too small, the freerider count exceeds the
+    /// population, or a fraction is out of range.
+    pub fn validate(&self) {
+        assert!(self.nodes >= 3, "at least three nodes are required");
+        self.gossip.validate();
+        self.lifting.validate();
+        assert!(
+            self.lifting.managers < self.nodes,
+            "cannot assign {} managers among {} nodes",
+            self.lifting.managers,
+            self.nodes
+        );
+        assert!(
+            self.freerider_count() < self.nodes,
+            "freeriders must be a strict subset of the population"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.poor_node_fraction),
+            "poor-node fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.collusion.partner_bias),
+            "partner bias out of range"
+        );
+        assert!(self.stream_rate_bps > 0 && self.chunk_size > 0, "empty stream");
+        assert!(!self.duration.is_zero(), "duration must be positive");
+        if let Some(f) = &self.freeriders {
+            f.degree.validate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planetlab_baseline_matches_the_paper() {
+        let s = ScenarioConfig::planetlab_baseline(1);
+        s.validate();
+        assert_eq!(s.nodes, 300);
+        assert_eq!(s.gossip.fanout, 7);
+        assert_eq!(s.lifting.managers, 25);
+        assert_eq!(s.stream_rate_bps, 674_000);
+        assert_eq!(s.freerider_count(), 0);
+        let with = s.with_planetlab_freeriders(0.1);
+        with.validate();
+        assert_eq!(with.freerider_count(), 30);
+    }
+
+    #[test]
+    fn freerider_assignment_is_a_suffix_excluding_the_source() {
+        let s = ScenarioConfig::small_test(10, 0).with_planetlab_freeriders(0.3);
+        assert_eq!(s.freerider_count(), 3);
+        let flags: Vec<bool> = (0..10).map(|i| s.is_freerider(i)).collect();
+        assert_eq!(
+            flags,
+            vec![false, false, false, false, false, false, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn source_is_never_a_freerider() {
+        let mut s = ScenarioConfig::small_test(4, 0);
+        s.freeriders = Some(FreeriderScenario {
+            count: 3,
+            degree: FreeriderConfig::uniform(0.5),
+        });
+        s.validate();
+        assert!(!s.is_freerider(0));
+        assert!(s.is_freerider(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_freeriders_is_rejected() {
+        let mut s = ScenarioConfig::small_test(4, 0);
+        s.freeriders = Some(FreeriderScenario {
+            count: 4,
+            degree: FreeriderConfig::uniform(0.1),
+        });
+        s.validate();
+    }
+
+    #[test]
+    fn collusion_scenario_activity_flag() {
+        assert!(!CollusionScenario::none().is_active());
+        assert!(CollusionScenario {
+            partner_bias: 0.2,
+            cover_up: false,
+            man_in_the_middle: false
+        }
+        .is_active());
+    }
+}

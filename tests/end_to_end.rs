@@ -1,0 +1,195 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! dissemination, scoring, detection, compensation and overhead accounting.
+
+use lifting::prelude::*;
+
+const ETA: f64 = -9.75;
+
+fn base(n: usize, seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::small_test(n, seed);
+    config.duration = SimDuration::from_secs(12);
+    config
+}
+
+#[test]
+fn honest_system_delivers_the_stream_to_everyone() {
+    let outcome = run_scenario(base(30, 1));
+    let last = *outcome.stream_health.fraction_clear.last().unwrap();
+    assert!(
+        last > 0.9,
+        "with no freeriders nearly every node should view a clear stream, got {last}"
+    );
+    assert_eq!(outcome.expelled_count, 0);
+}
+
+#[test]
+fn runs_are_deterministic_for_a_fixed_seed() {
+    let a = run_scenario(base(25, 99));
+    let b = run_scenario(base(25, 99));
+    assert_eq!(a.finals.honest_scores(), b.finals.honest_scores());
+    assert_eq!(a.traffic.total_messages_sent, b.traffic.total_messages_sent);
+    assert_eq!(a.expelled_count, b.expelled_count);
+}
+
+#[test]
+fn different_seeds_produce_different_traffic_patterns() {
+    let a = run_scenario(base(25, 1));
+    let b = run_scenario(base(25, 2));
+    assert_ne!(a.traffic.total_messages_sent, b.traffic.total_messages_sent);
+}
+
+#[test]
+fn freeriders_end_up_with_lower_scores_and_higher_detection() {
+    let mut config = base(40, 5).with_planetlab_freeriders(0.25);
+    config.duration = SimDuration::from_secs(20);
+    let outcome = run_scenario(config);
+
+    let honest = outcome.finals.honest_scores();
+    let freeriders = outcome.finals.freerider_scores();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(mean(&freeriders) < mean(&honest));
+    assert!(
+        outcome.detection_rate(ETA) >= outcome.false_positive_rate(ETA),
+        "detection {} must dominate false positives {}",
+        outcome.detection_rate(ETA),
+        outcome.false_positive_rate(ETA)
+    );
+}
+
+#[test]
+fn message_loss_does_not_wreck_honest_scores_when_compensated() {
+    let mut config = base(30, 8);
+    config.network = NetworkConfig {
+        loss: LossModel::bernoulli(0.05),
+        ..NetworkConfig::ideal()
+    };
+    config.duration = SimDuration::from_secs(20);
+    let outcome = run_scenario(config);
+    // With compensation enabled, well under half of the honest population may
+    // drift below the detection threshold even under 5 % loss.
+    let fp = outcome.false_positive_rate(ETA);
+    assert!(fp < 0.3, "false positives under loss: {fp}");
+}
+
+#[test]
+fn disabling_compensation_is_strictly_worse_for_honest_nodes() {
+    let mut with = base(30, 13);
+    with.network = NetworkConfig {
+        loss: LossModel::bernoulli(0.07),
+        ..NetworkConfig::ideal()
+    };
+    with.duration = SimDuration::from_secs(15);
+    let mut without = with.clone();
+    without.lifting.compensate_wrongful_blames = false;
+
+    let outcome_with = run_scenario(with);
+    let outcome_without = run_scenario(without);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let m_with = mean(&outcome_with.finals.honest_scores());
+    let m_without = mean(&outcome_without.finals.honest_scores());
+    assert!(
+        m_without < m_with,
+        "uncompensated scores {m_without} should sit below compensated ones {m_with}"
+    );
+}
+
+#[test]
+fn verification_overhead_grows_with_pdcc_and_stays_small() {
+    let mut low = base(30, 21);
+    low.lifting.pdcc = 0.0;
+    let mut mid = base(30, 21);
+    mid.lifting.pdcc = 0.5;
+    let mut high = base(30, 21);
+    high.lifting.pdcc = 1.0;
+
+    let o_low = run_scenario(low);
+    let o_mid = run_scenario(mid);
+    let o_high = run_scenario(high);
+
+    assert!(o_low.traffic.overhead_ratio > 0.0, "acks are always sent");
+    assert!(o_low.traffic.overhead_ratio < o_mid.traffic.overhead_ratio);
+    assert!(o_mid.traffic.overhead_ratio < o_high.traffic.overhead_ratio);
+    assert!(
+        o_high.traffic.overhead_ratio < 0.30,
+        "overhead should stay modest, got {}",
+        o_high.traffic.overhead_ratio
+    );
+}
+
+#[test]
+fn traffic_accounting_is_consistent() {
+    let outcome = run_scenario(base(20, 33));
+    let mut sum = 0;
+    for (_, counters) in &outcome.traffic.per_category {
+        assert!(counters.bytes_delivered <= counters.bytes_sent);
+        assert!(counters.messages_delivered <= counters.messages_sent);
+        sum += counters.bytes_sent;
+    }
+    assert_eq!(sum, outcome.traffic.total_bytes_sent);
+}
+
+#[test]
+fn expelled_freeriders_stop_hurting_the_stream() {
+    // Aggressive freeriders; compare health with LiFTinG on and off. The
+    // sparse test stream (a handful of chunks per period) produces much
+    // smaller absolute blame values than the paper's 674 kbps deployment, so
+    // the expulsion threshold is tuned to this scenario — η is a deployment
+    // parameter, not a universal constant.
+    let mut on = base(50, 17).with_planetlab_freeriders(0.3);
+    if let Some(f) = &mut on.freeriders {
+        f.degree = FreeriderConfig {
+            delta1: 0.6,
+            delta2: 0.5,
+            delta3: 0.5,
+            period_stretch: 1,
+        };
+    }
+    on.lifting.eta = -3.0;
+    on.duration = SimDuration::from_secs(25);
+    let mut off = on.clone();
+    off.lifting_enabled = false;
+
+    let outcome_on = run_scenario(on);
+    let outcome_off = run_scenario(off);
+    // With LiFTinG at least some freeriders get expelled.
+    assert!(outcome_on.expelled_count > 0, "LiFTinG should expel someone");
+    assert_eq!(outcome_off.expelled_count, 0);
+    // Expelled nodes must be mostly freeriders, not honest nodes.
+    let expelled_freeriders = outcome_on
+        .finals
+        .outcomes
+        .iter()
+        .filter(|o| o.expelled && o.is_freerider)
+        .count();
+    let expelled_honest = outcome_on
+        .finals
+        .outcomes
+        .iter()
+        .filter(|o| o.expelled && !o.is_freerider)
+        .count();
+    assert!(
+        expelled_freeriders >= expelled_honest,
+        "expelled {expelled_freeriders} freeriders vs {expelled_honest} honest nodes"
+    );
+}
+
+#[test]
+fn snapshots_show_scores_diverging_over_time() {
+    let mut config = base(40, 55).with_planetlab_freeriders(0.25);
+    config.duration = SimDuration::from_secs(20);
+    let outcome = run_scenario_with_snapshots(
+        config,
+        &[SimDuration::from_secs(8), SimDuration::from_secs(18)],
+    );
+    assert_eq!(outcome.snapshots.len(), 2);
+    let gap = |s: &lifting::runtime::ScoreSnapshot| {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        mean(&s.honest_scores()) - mean(&s.freerider_scores())
+    };
+    let early = gap(&outcome.snapshots[0]);
+    let late = gap(&outcome.snapshots[1]);
+    assert!(
+        late >= early * 0.5,
+        "the honest/freerider gap should not collapse over time (early {early}, late {late})"
+    );
+}
