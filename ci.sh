@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 CI: build, test, then smoke-run the experiment suite twice (parallel
+# and forced-sequential) and require bit-identical figure/table numbers.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> run_all_experiments --quick (parallel)"
+./target/release/run_all_experiments --quick
+mv experiments_summary.json /tmp/summary_parallel.json
+
+echo "==> run_all_experiments --quick --sequential"
+./target/release/run_all_experiments --quick --sequential
+mv experiments_summary.json /tmp/summary_sequential.json
+
+echo "==> determinism check (parallel vs sequential)"
+python3 - <<'EOF'
+import json, sys
+a = json.load(open('/tmp/summary_parallel.json'))
+b = json.load(open('/tmp/summary_sequential.json'))
+skip = {'timings_secs', 'total_wall_secs', 'workers'}
+a = {k: v for k, v in a.items() if k not in skip}
+b = {k: v for k, v in b.items() if k not in skip}
+if a != b:
+    sys.exit('parallel and sequential experiment outputs differ')
+print('parallel and sequential outputs are identical')
+EOF
+
+cp /tmp/summary_parallel.json experiments_summary.json
+echo "==> OK"

@@ -15,7 +15,11 @@ use std::hash::Hash;
 ///
 /// Items with zero count contribute nothing. Returns 0 for an empty multiset.
 pub fn shannon_entropy_of_counts<I: IntoIterator<Item = u64>>(counts: I) -> f64 {
-    let counts: Vec<u64> = counts.into_iter().filter(|c| *c > 0).collect();
+    let mut counts: Vec<u64> = counts.into_iter().filter(|c| *c > 0).collect();
+    // Callers often hand over hash-map values, whose order varies from run to
+    // run; floating-point addition is not associative, so fix the summation
+    // order to keep every entropy bit-identical across runs.
+    counts.sort_unstable();
     let total: u64 = counts.iter().sum();
     if total == 0 {
         return 0.0;

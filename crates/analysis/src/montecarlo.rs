@@ -8,6 +8,7 @@
 //! mirrors the structure of the closed forms in [`crate::formulas`] so the two
 //! can be cross-validated (and are, in the tests below).
 
+use lifting_sim::{pool, split_seed};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -150,6 +151,12 @@ impl BlameModel {
     /// Samples normalized scores for a whole population: `honest` honest nodes
     /// and `freeriders` freeriders of degree `delta`, each observed for
     /// `periods` gossip periods.
+    ///
+    /// Trials run on a worker pool. Each node's RNG stream is derived from
+    /// `(seed, node index)` with the splitmix64 mixer, so the result is
+    /// bit-identical however many workers execute the loop (including one) —
+    /// the same deterministic-seed discipline as the scenario fleet in
+    /// `lifting-runtime`.
     pub fn population_scores(
         &self,
         honest: usize,
@@ -158,15 +165,19 @@ impl BlameModel {
         periods: usize,
         seed: u64,
     ) -> ScoreSamples {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let honest_scores = (0..honest)
-            .map(|_| self.sample_normalized_score(FreeridingDegree::HONEST, periods, &mut rng))
-            .collect();
-        let freerider_scores = (0..freeriders)
-            .map(|_| self.sample_normalized_score(delta, periods, &mut rng))
-            .collect();
+        let total = honest + freeriders;
+        let mut scores = pool::run_indexed(total, |i| {
+            let mut rng = SmallRng::seed_from_u64(split_seed(seed, i as u64));
+            let degree = if i < honest {
+                FreeridingDegree::HONEST
+            } else {
+                delta
+            };
+            self.sample_normalized_score(degree, periods, &mut rng)
+        });
+        let freerider_scores = scores.split_off(honest);
         ScoreSamples {
-            honest: honest_scores,
+            honest: scores,
             freeriders: freerider_scores,
         }
     }
@@ -183,17 +194,14 @@ impl BlameModel {
         samples: usize,
         seed: u64,
     ) -> Summary {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let draws: Vec<f64> = (0..samples)
-            .map(|_| self.sample_period_blame(delta, rng_mut(&mut rng)))
-            .collect();
+        // Same per-trial seed derivation as `population_scores`: parallel and
+        // sequential execution agree bit for bit.
+        let draws = pool::run_indexed(samples, |i| {
+            let mut rng = SmallRng::seed_from_u64(split_seed(seed, i as u64));
+            self.sample_period_blame(delta, &mut rng)
+        });
         Summary::of(&draws)
     }
-}
-
-// Helper to satisfy the `?Sized` bound cleanly when passing a concrete RNG.
-fn rng_mut<R: Rng>(rng: &mut R) -> &mut R {
-    rng
 }
 
 /// Randomized rounding of a non-negative real count: returns `floor(x)` or
@@ -344,6 +352,32 @@ mod tests {
         let b = model.population_scores(50, 50, FreeridingDegree::uniform(0.05), 10, 123);
         assert_eq!(a.honest, b.honest);
         assert_eq!(a.freeriders, b.freeriders);
+    }
+
+    /// The regression contract of the parallel trial loop: whatever the pool
+    /// does, every score equals the one produced by a plain sequential loop
+    /// deriving the same per-node stream from `(seed, index)`.
+    #[test]
+    fn parallel_population_scores_match_the_sequential_derivation() {
+        let params = ProtocolParams::simulation_defaults();
+        let model = BlameModel::new(params, 1.0);
+        let (honest_n, freerider_n, periods, seed) = (120, 80, 5, 987u64);
+        let delta = FreeridingDegree::uniform(0.1);
+        let samples = model.population_scores(honest_n, freerider_n, delta, periods, seed);
+
+        let sequential: Vec<f64> = (0..honest_n + freerider_n)
+            .map(|i| {
+                let mut rng = SmallRng::seed_from_u64(split_seed(seed, i as u64));
+                let degree = if i < honest_n {
+                    FreeridingDegree::HONEST
+                } else {
+                    delta
+                };
+                model.sample_normalized_score(degree, periods, &mut rng)
+            })
+            .collect();
+        assert_eq!(samples.honest, sequential[..honest_n]);
+        assert_eq!(samples.freeriders, sequential[honest_n..]);
     }
 
     #[test]

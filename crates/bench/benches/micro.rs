@@ -25,6 +25,47 @@ fn bench_event_queue(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // The batched path the engine's zero-allocation loop drains its recycled
+    // scratch buffer through.
+    c.bench_function("event_queue_push_batch_pop_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = derive_rng(1, 1);
+                (0..10_000u64)
+                    .map(|i| (SimTime::from_micros(rng.gen_range(0..1_000_000)), i))
+                    .collect::<Vec<_>>()
+            },
+            |batch| {
+                let mut q = EventQueue::new();
+                q.push_batch(batch);
+                while q.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_quick_scenario(c: &mut Criterion) {
+    use lifting_runtime::{run_scenario, run_scenarios_parallel, ScenarioConfig};
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    // One Quick-scale packet-level run: the engine's zero-allocation inner
+    // loop end to end.
+    g.bench_function("quick_scenario_30_nodes", |b| {
+        b.iter(|| run_scenario(ScenarioConfig::small_test(30, 42)))
+    });
+    // The same work as a fleet of four, measuring the parallel runner's
+    // scaling (equals ~4x the single run on one core, less on multi-core).
+    g.bench_function("quick_scenario_fleet_of_4", |b| {
+        b.iter(|| {
+            run_scenarios_parallel(
+                (0..4)
+                    .map(|i| ScenarioConfig::small_test(30, 42 + i))
+                    .collect(),
+            )
+        })
+    });
+    g.finish();
 }
 
 fn bench_entropy(c: &mut Criterion) {
@@ -109,6 +150,7 @@ fn bench_audit(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_quick_scenario,
     bench_entropy,
     bench_blame_model,
     bench_verifier_confirm,

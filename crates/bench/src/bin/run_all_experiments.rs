@@ -1,57 +1,126 @@
-//! Runs every experiment of the paper and writes a JSON summary to
-//! `experiments_summary.json` (use `--quick` for a fast smoke run).
+//! Runs every experiment of the paper as a parallel job queue and writes a
+//! JSON summary (with per-experiment wall-clock timings) to
+//! `experiments_summary.json`, plus a timing-only snapshot to
+//! `BENCH_experiments.json` for the performance trajectory.
+//!
+//! Flags: `--quick` shrinks every experiment for a smoke run; `--sequential`
+//! forces a single worker (`LIFTING_WORKERS=1`), which produces **identical**
+//! figure/table numbers — only the wall-clock changes.
+
+use std::time::Instant;
 
 use lifting_bench::experiments::*;
 use lifting_bench::scale_from_args;
-use serde_json::json;
+use lifting_runtime::run_jobs_parallel;
+use serde_json::{json, to_value, Value};
+
+type Job = (&'static str, Box<dyn Fn() -> Value + Send + Sync>);
 
 fn main() {
     let scale = scale_from_args();
-    eprintln!("running all experiments at {scale:?} scale ...");
+    if std::env::args().any(|a| a == "--sequential") {
+        std::env::set_var(lifting_sim::pool::WORKERS_ENV, "1");
+    }
+    let workers = lifting_sim::worker_count(usize::MAX);
+    eprintln!("running all experiments at {scale:?} scale on {workers} worker(s) ...");
 
-    eprintln!("[1/8] figure 10");
-    let fig10 = fig10_wrongful_blames(scale, 10);
-    eprintln!("[2/8] figure 11");
-    let fig11 = fig11_score_distributions(scale, 11);
-    eprintln!("[3/8] figure 12");
-    let (eta, fig12) = fig12_detection_vs_delta(scale, 12);
-    eprintln!("[4/8] figure 13");
-    let fig13 = fig13_history_entropy(scale, 13);
-    eprintln!("[5/8] figure 1");
-    let fig01 = fig01_stream_health(scale, 1);
-    eprintln!("[6/8] figure 14");
-    let fig14_full = fig14_planetlab_scores(scale, 1.0, 14);
-    let fig14_half = fig14_planetlab_scores(scale, 0.5, 14);
-    eprintln!("[7/8] table 3");
-    let table3 = table03_verification_overhead(scale, 3);
-    eprintln!("[8/8] table 5");
-    let table5 = table05_practical_overhead(scale, 5);
+    // Every experiment is a job; independent scenarios *inside* an experiment
+    // fan out further through the same pool (fig01's three cases, fig12's
+    // delta sweep, the table grids), and fig14's two pdcc runs are jobs of
+    // their own.
+    let jobs: Vec<Job> = vec![
+        ("fig01", Box::new(move || to_value(&fig01_stream_health(scale, 1)))),
+        ("fig10", Box::new(move || to_value(&fig10_wrongful_blames(scale, 10)))),
+        ("fig11", Box::new(move || to_value(&fig11_score_distributions(scale, 11)))),
+        (
+            "fig12",
+            Box::new(move || {
+                let (eta, points) = fig12_detection_vs_delta(scale, 12);
+                json!({ "eta": eta, "points": points })
+            }),
+        ),
+        ("fig13", Box::new(move || to_value(&fig13_history_entropy(scale, 13)))),
+        ("fig14_pdcc_1", Box::new(move || to_value(&fig14_planetlab_scores(scale, 1.0, 14)))),
+        ("fig14_pdcc_05", Box::new(move || to_value(&fig14_planetlab_scores(scale, 0.5, 14)))),
+        ("table3", Box::new(move || to_value(&table03_verification_overhead(scale, 3)))),
+        ("table5", Box::new(move || to_value(&table05_practical_overhead(scale, 5)))),
+    ];
+
+    let wall_start = Instant::now();
+    let results: Vec<(Value, f64)> = run_jobs_parallel(jobs.len(), |i| {
+        let (name, run) = &jobs[i];
+        eprintln!("[{}/{}] {name} ...", i + 1, jobs.len());
+        let start = Instant::now();
+        let value = run();
+        let secs = start.elapsed().as_secs_f64();
+        eprintln!("[{}/{}] {name} done in {secs:.2}s", i + 1, jobs.len());
+        (value, secs)
+    });
+    let total_secs = wall_start.elapsed().as_secs_f64();
+
+    let by_name = |name: &str| -> &Value {
+        &results[jobs.iter().position(|(n, _)| *n == name).unwrap()].0
+    };
+    let timings = Value::Object(
+        jobs.iter()
+            .zip(&results)
+            .map(|((name, _), (_, secs))| (name.to_string(), Value::Float(*secs)))
+            .collect(),
+    );
 
     let summary = json!({
         "scale": format!("{scale:?}"),
-        "fig01": fig01,
-        "fig10": fig10,
-        "fig11": fig11,
-        "fig12": {"eta": eta, "points": fig12},
-        "fig13": fig13,
-        "fig14": {"pdcc_1": fig14_full, "pdcc_05": fig14_half},
-        "table3": table3,
-        "table5": table5,
+        "workers": workers,
+        "fig01": by_name("fig01"),
+        "fig10": by_name("fig10"),
+        "fig11": by_name("fig11"),
+        "fig12": by_name("fig12"),
+        "fig13": by_name("fig13"),
+        "fig14": json!({ "pdcc_1": by_name("fig14_pdcc_1"), "pdcc_05": by_name("fig14_pdcc_05") }),
+        "table3": by_name("table3"),
+        "table5": by_name("table5"),
+        "timings_secs": timings,
+        "total_wall_secs": total_secs,
     });
     let path = "experiments_summary.json";
-    std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap())
-        .expect("write summary");
+    std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap()).expect("write summary");
     println!("wrote {path}");
+
+    // Timing-only snapshot: the seed of the perf trajectory across PRs.
+    // With workers > 1 the per-experiment spans overlap and include
+    // descheduled time (their sum exceeds the wall clock); `contended` flags
+    // that, and `total_wall_secs` is the number to track across runs. Use
+    // `--sequential` when per-experiment spans themselves must be comparable.
+    let bench = json!({
+        "suite": "run_all_experiments",
+        "scale": format!("{scale:?}"),
+        "workers": workers,
+        "contended": workers > 1,
+        "experiments_secs": summary.get("timings_secs").unwrap(),
+        "total_wall_secs": total_secs,
+    });
+    let bench_path = "BENCH_experiments.json";
+    std::fs::write(bench_path, serde_json::to_string_pretty(&bench).unwrap())
+        .expect("write bench snapshot");
+    println!("wrote {bench_path}");
+
+    let pick = |v: &Value, keys: &[&str]| -> f64 {
+        let mut cur = v.clone();
+        for k in keys {
+            cur = match k.parse::<usize>() {
+                Ok(i) => cur.get_index(i).cloned().unwrap_or(Value::Null),
+                Err(_) => cur.get(k).cloned().unwrap_or(Value::Null),
+            };
+        }
+        cur.as_f64().unwrap_or(0.0)
+    };
     println!(
         "headlines: fig10 σ = {:.1} (paper 25.6); fig11 detection = {:.2}; \
          fig13 p*m = {:.2} (paper 0.21); fig14 detection@30s = {:.2} (paper 0.86)",
-        fig10.std_dev,
-        fig11.detection,
-        fig13.max_bias_25_colluders,
-        fig14_full
-            .snapshots
-            .get(1)
-            .map(|s| s.detection)
-            .unwrap_or(0.0)
+        pick(by_name("fig10"), &["std_dev"]),
+        pick(by_name("fig11"), &["detection"]),
+        pick(by_name("fig13"), &["max_bias_25_colluders"]),
+        pick(by_name("fig14_pdcc_1"), &["snapshots", "1", "detection"]),
     );
+    println!("total wall-clock: {total_secs:.2}s on {workers} worker(s)");
 }

@@ -8,7 +8,8 @@ use lifting_analysis::{
 use lifting_analysis::entropy::calibrate_gamma;
 use lifting_gossip::FreeriderConfig;
 use lifting_runtime::{
-    run_scenario, run_scenario_with_snapshots, RunOutcome, ScenarioConfig, ScoreSnapshot,
+    run_jobs_parallel, run_scenario, run_scenario_with_snapshots, run_scenarios_parallel,
+    RunOutcome, ScenarioConfig, ScoreSnapshot,
 };
 use lifting_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -87,21 +88,25 @@ pub fn fig01_stream_health(scale: Scale, seed: u64) -> Vec<HealthCurve> {
         }
         config
     };
-    let cases = [
+    let (labels, configs): (Vec<String>, Vec<ScenarioConfig>) = [
         ("no freeriders".to_string(), make(false, true)),
         ("25% freeriders".to_string(), make(true, false)),
         ("25% freeriders (LiFTinG)".to_string(), make(true, true)),
-    ];
-    cases
+    ]
+    .into_iter()
+    .unzip();
+    // The three cases are independent full-system runs; fan them out on the
+    // scenario fleet (each carries its own seed, so results are identical to
+    // running them one by one).
+    let outcomes = run_scenarios_parallel(configs);
+    labels
         .into_iter()
-        .map(|(label, config)| {
-            let outcome = run_scenario(config);
-            HealthCurve {
-                label,
-                lag_secs: outcome.stream_health.lag_secs.clone(),
-                fraction_clear: outcome.stream_health.fraction_clear.clone(),
-                expelled: outcome.expelled_count,
-            }
+        .zip(outcomes)
+        .map(|(label, outcome)| HealthCurve {
+            label,
+            lag_secs: outcome.stream_health.lag_secs.clone(),
+            fraction_clear: outcome.stream_health.fraction_clear.clone(),
+            expelled: outcome.expelled_count,
         })
         .collect()
 }
@@ -230,21 +235,21 @@ pub fn fig12_detection_vs_delta(scale: Scale, seed: u64) -> (f64, Vec<DetectionP
         .population_scores(honest_n, 0, FreeridingDegree::HONEST, periods, seed)
         .honest;
     let eta = calibrate_threshold(&honest, 0.01).unwrap_or(-9.75);
-    let points = (0..=20)
-        .map(|i| {
-            let delta = i as f64 * 0.01;
-            let degree = FreeridingDegree::uniform(delta);
-            let scores = model
-                .population_scores(0, freerider_n, degree, periods, seed ^ (i as u64 + 1))
-                .freeriders;
-            DetectionPoint {
-                delta,
-                gain: degree.gain(),
-                detection: detection_rate(&scores, eta),
-                false_positives: false_positive_rate(&honest, eta),
-            }
-        })
-        .collect();
+    // Each δ of the sweep is an independent Monte-Carlo population with its
+    // own derived seed; fan the 21 points out across the worker pool.
+    let points = run_jobs_parallel(21, |i| {
+        let delta = i as f64 * 0.01;
+        let degree = FreeridingDegree::uniform(delta);
+        let scores = model
+            .population_scores(0, freerider_n, degree, periods, seed ^ (i as u64 + 1))
+            .freeriders;
+        DetectionPoint {
+            delta,
+            gain: degree.gain(),
+            detection: detection_rate(&scores, eta),
+            false_positives: false_positive_rate(&honest, eta),
+        }
+    });
     (eta, points)
 }
 
@@ -396,16 +401,24 @@ pub fn table03_verification_overhead(scale: Scale, seed: u64) -> Vec<Verificatio
     let params = ProtocolParams::planetlab_defaults();
     let nodes = scale.pick(150, 60);
     let duration = scale.secs(20, 10);
-    [0.0, 1.0 / 7.0, 0.5, 1.0]
-        .into_iter()
-        .map(|pdcc| {
+    let pdccs = [0.0, 1.0 / 7.0, 0.5, 1.0];
+    let configs: Vec<ScenarioConfig> = pdccs
+        .iter()
+        .map(|&pdcc| {
             let mut config = ScenarioConfig::planetlab_baseline(seed);
             config.nodes = nodes;
             config.lifting.managers = 10;
             config.lifting.pdcc = pdcc;
             config.duration = duration;
             config.stream_rate_bps = 400_000;
-            let outcome = run_scenario(config);
+            config
+        })
+        .collect();
+    let outcomes = run_scenarios_parallel(configs);
+    pdccs
+        .into_iter()
+        .zip(outcomes)
+        .map(|(pdcc, outcome)| {
             let verification_msgs: u64 = outcome
                 .traffic
                 .per_category
@@ -446,9 +459,15 @@ pub struct PracticalOverheadCell {
 pub fn table05_practical_overhead(scale: Scale, seed: u64) -> Vec<PracticalOverheadCell> {
     let nodes = scale.pick(150, 60);
     let duration = scale.secs(20, 10);
-    let mut cells = Vec::new();
+    let mut grid = Vec::new();
     for stream_kbps in [674u64, 1082, 2036] {
         for pdcc in [0.0, 0.5, 1.0] {
+            grid.push((stream_kbps, pdcc));
+        }
+    }
+    let configs: Vec<ScenarioConfig> = grid
+        .iter()
+        .map(|&(stream_kbps, pdcc)| {
             let mut config = ScenarioConfig::planetlab_baseline(seed);
             config.nodes = nodes;
             config.lifting.managers = if nodes >= 300 { 25 } else { 10 };
@@ -456,15 +475,18 @@ pub fn table05_practical_overhead(scale: Scale, seed: u64) -> Vec<PracticalOverh
             config.stream_rate_bps = stream_kbps * 1_000;
             config.duration = duration;
             config.default_upload_bps = Some(10_000_000);
-            let outcome = run_scenario(config);
-            cells.push(PracticalOverheadCell {
-                stream_kbps,
-                pdcc,
-                overhead: outcome.traffic.overhead_ratio,
-            });
-        }
-    }
-    cells
+            config
+        })
+        .collect();
+    let outcomes = run_scenarios_parallel(configs);
+    grid.into_iter()
+        .zip(outcomes)
+        .map(|((stream_kbps, pdcc), outcome)| PracticalOverheadCell {
+            stream_kbps,
+            pdcc,
+            overhead: outcome.traffic.overhead_ratio,
+        })
+        .collect()
 }
 
 /// Convenience: the headline PlanetLab run used by `run_all_experiments`

@@ -1,0 +1,230 @@
+//! Offline substitute for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`
+//! and the `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock harness: each benchmark is warmed up briefly, then timed over a
+//! fixed measurement budget, and the mean/min per-iteration times are printed.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batches are sized in `iter_batched`; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark driver handed to bench functions.
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+            warm_up: Duration::from_millis(50),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            max_samples: self.sample_size.max(1),
+            result: None,
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    measurement: Duration,
+    warm_up: Duration,
+    max_samples: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also estimates the cost of one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Batch iterations so each sample is long enough to time reliably.
+        let target_sample = (self.measurement / self.max_samples.max(1) as u32)
+            .max(Duration::from_micros(50));
+        let batch = (target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.max_samples);
+        let mut total_iters: u64 = 0;
+        let run_start = Instant::now();
+        while samples.len() < self.max_samples && run_start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed() / batch as u32);
+            total_iters += batch;
+        }
+        let min = samples.iter().copied().min().unwrap_or_default();
+        let sum: Duration = samples.iter().sum();
+        let mean = sum / samples.len().max(1) as u32;
+        self.result = Some(Measurement {
+            mean,
+            min,
+            iters: total_iters,
+        });
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine is
+    /// measured.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.max_samples);
+        let mut total_iters: u64 = 0;
+        let run_start = Instant::now();
+        while samples.len() < self.max_samples && run_start.elapsed() < self.measurement {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            samples.push(t0.elapsed());
+            total_iters += 1;
+        }
+        let min = samples.iter().copied().min().unwrap_or_default();
+        let sum: Duration = samples.iter().sum();
+        let mean = sum / samples.len().max(1) as u32;
+        self.result = Some(Measurement {
+            mean,
+            min,
+            iters: total_iters,
+        });
+    }
+
+    fn report(&self, name: &str) {
+        match self.result {
+            Some(m) => println!(
+                "bench {name:<48} mean {:>12} min {:>12} ({} iters)",
+                format_duration(m.mean),
+                format_duration(m.min),
+                m.iters
+            ),
+            None => println!("bench {name:<48} (no measurement)"),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

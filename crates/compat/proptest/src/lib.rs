@@ -1,0 +1,130 @@
+//! Offline substitute for `proptest`.
+//!
+//! Supports the subset the workspace uses: the `proptest!` macro with range
+//! strategies (`lo..hi` over integers and floats), `ProptestConfig::with_cases`
+//! and `prop_assert!`. Cases are sampled from a fixed-seed RNG, so failures are
+//! reproducible; there is no shrinking.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+pub mod prelude {
+    pub use crate::{ProptestConfig, Strategy};
+    // The macros are exported at the crate root by `#[macro_export]`; re-name
+    // them here so `use proptest::prelude::*` finds them like upstream.
+    pub use crate::{prop_assert, proptest};
+}
+
+/// Test-runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Value-generation strategies. Implemented for range expressions.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+    fn sample(&self, rng: &mut SmallRng) -> usize {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for std::ops::Range<i64> {
+    type Value = i64;
+    fn sample(&self, rng: &mut SmallRng) -> i64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+#[doc(hidden)]
+pub fn __new_rng(tag: u64) -> SmallRng {
+    use rand::SeedableRng;
+    SmallRng::seed_from_u64(0x5EED ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Asserts a property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled instantiations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::__new_rng(stringify!($name).len() as u64);
+            for case in 0..config.cases {
+                $(let $arg = ($strategy).sample(&mut rng);)*
+                let run = || -> () { $body };
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {case} failed with inputs: {:?}",
+                        ($(stringify!($arg), $arg),*)
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}

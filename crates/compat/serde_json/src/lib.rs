@@ -1,0 +1,168 @@
+//! Offline substitute for `serde_json`.
+//!
+//! Provides [`Value`] (re-exported from the vendored `serde`), the [`json!`]
+//! macro, [`to_value`], [`to_string`] and [`to_string_pretty`]. Nested object
+//! or array literals inside `json!` must themselves be written as `json!(...)`
+//! calls (the vendored macro does not recurse into bare `{...}` literals).
+
+pub use serde::Value;
+
+/// Error type of the vendored serializers. Serialization into a string never
+/// fails here, so this is only a placeholder matching serde_json's signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    // Keep integral floats readable and round-trippable.
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * depth) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from an object/array literal or any serializable
+/// expression. Values inside a literal are arbitrary expressions (including
+/// nested `json!(...)` calls); bare nested `{...}` literals are not supported.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$value)) ),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$value) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let v = json!({
+            "a": 1u64,
+            "b": [1.5f64, 2.0f64],
+            "c": json!({"nested": true}),
+            "s": "x\"y",
+        });
+        let compact = to_string(&v).unwrap();
+        assert_eq!(
+            compact,
+            r#"{"a":1,"b":[1.5,2.0],"c":{"nested":true},"s":"x\"y"}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}

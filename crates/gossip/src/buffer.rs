@@ -6,7 +6,7 @@
 //! reached it within `L` of their emission. Figure 1 plots, for each lag, the
 //! fraction of nodes for which this holds.
 
-use std::collections::HashMap;
+use lifting_sim::collections::DetHashMap;
 
 use lifting_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -25,7 +25,7 @@ pub struct Receipt {
 /// Per-node record of chunk receptions.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PlayoutBuffer {
-    received: HashMap<ChunkId, Receipt>,
+    received: DetHashMap<ChunkId, Receipt>,
 }
 
 impl PlayoutBuffer {

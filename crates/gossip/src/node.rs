@@ -7,7 +7,7 @@
 //! return the data the runtime must put on the wire; they never perform I/O
 //! themselves, which keeps the protocol unit-testable without a network.
 
-use std::collections::{HashMap, HashSet};
+use lifting_sim::collections::{DetHashMap, DetHashSet};
 
 use lifting_sim::{NodeId, SimDuration, SimTime};
 use rand::Rng;
@@ -53,17 +53,17 @@ pub struct GossipNode {
     config: GossipConfig,
     behavior: Behavior,
     /// All chunks this node holds, by id.
-    store: HashMap<ChunkId, Chunk>,
+    store: DetHashMap<ChunkId, Chunk>,
     /// Chunks received since the last propose phase, grouped by serving node.
-    fresh_by_source: HashMap<NodeId, Vec<ChunkId>>,
+    fresh_by_source: DetHashMap<NodeId, Vec<ChunkId>>,
     /// Chunks already proposed (or deliberately skipped): infect-and-die.
-    proposed: HashSet<ChunkId>,
+    proposed: DetHashSet<ChunkId>,
     /// Latest proposal sent to each partner.
-    offers_out: HashMap<NodeId, OutstandingOffer>,
+    offers_out: DetHashMap<NodeId, OutstandingOffer>,
     /// Chunks requested from some proposer and not yet received, with the
     /// request expiry time (avoids requesting the same chunk from two
     /// proposers in the same period).
-    requested_pending: HashMap<ChunkId, SimTime>,
+    requested_pending: DetHashMap<ChunkId, SimTime>,
     /// Gossip-period counter (increments every propose phase).
     period: u64,
     /// Playout record for stream-health metrics.
@@ -83,11 +83,11 @@ impl GossipNode {
             id,
             config,
             behavior,
-            store: HashMap::new(),
-            fresh_by_source: HashMap::new(),
-            proposed: HashSet::new(),
-            offers_out: HashMap::new(),
-            requested_pending: HashMap::new(),
+            store: DetHashMap::default(),
+            fresh_by_source: DetHashMap::default(),
+            proposed: DetHashSet::default(),
+            offers_out: DetHashMap::default(),
+            requested_pending: DetHashMap::default(),
             period: 0,
             playout: PlayoutBuffer::new(),
             chunks_served: 0,

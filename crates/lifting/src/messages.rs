@@ -60,12 +60,17 @@ pub struct ConfirmResponsePayload {
 }
 
 /// Any LiFTinG verification message.
+///
+/// The two payload-heavy variants are boxed so that the enum — and every
+/// simulation event carrying it through the scheduler's binary heap — stays
+/// small: the box is allocated when the payload (which already owns `Vec`s)
+/// is built, not on the per-event hot path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum VerificationMessage {
     /// Acknowledgment from a receiver to its server (UDP).
-    Ack(AckPayload),
+    Ack(Box<AckPayload>),
     /// Confirm request from a verifier to a witness (UDP).
-    Confirm(ConfirmPayload),
+    Confirm(Box<ConfirmPayload>),
     /// Confirm response from a witness to the verifier (UDP).
     ConfirmResponse(ConfirmResponsePayload),
     /// Blame sent to one of the target's reputation managers (UDP).
@@ -105,21 +110,21 @@ mod tests {
 
     #[test]
     fn ack_size_scales_with_chunks_and_partners() {
-        let ack = VerificationMessage::Ack(AckPayload {
+        let ack = VerificationMessage::Ack(Box::new(AckPayload {
             chunks: vec![ChunkId::new(1), ChunkId::new(2)],
             partners: vec![NodeId::new(3); 7],
             period: 1,
-        });
+        }));
         assert_eq!(ack.wire_size(), 16 + 2 * 8 + 7 * 6);
     }
 
     #[test]
     fn confirm_and_response_are_small() {
-        let confirm = VerificationMessage::Confirm(ConfirmPayload {
+        let confirm = VerificationMessage::Confirm(Box::new(ConfirmPayload {
             subject: NodeId::new(1),
             chunks: vec![ChunkId::new(1)],
             token: 9,
-        });
+        }));
         assert_eq!(confirm.wire_size(), 16 + 6 + 8);
         let resp = VerificationMessage::ConfirmResponse(ConfirmResponsePayload {
             subject: NodeId::new(1),

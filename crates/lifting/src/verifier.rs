@@ -19,7 +19,7 @@
 //! man-in-the-middle variant names accomplices instead of its real partners
 //! in its acknowledgments (Figure 8b).
 
-use std::collections::{HashMap, HashSet};
+use lifting_sim::collections::{DetHashMap, DetHashSet};
 
 use lifting_gossip::{ChunkId, ProposeRound};
 use lifting_sim::{NodeId, SimTime};
@@ -90,7 +90,7 @@ pub enum VerifierAction {
 struct PendingServe {
     proposer: NodeId,
     requested: Vec<ChunkId>,
-    received: HashSet<ChunkId>,
+    received: DetHashSet<ChunkId>,
 }
 
 #[derive(Debug)]
@@ -103,7 +103,7 @@ struct PendingAck {
 struct PendingConfirm {
     subject: NodeId,
     witnesses: Vec<NodeId>,
-    confirmed: HashSet<NodeId>,
+    confirmed: DetHashSet<NodeId>,
 }
 
 /// The per-node LiFTinG verification engine.
@@ -115,9 +115,9 @@ pub struct Verifier {
     collusion: CollusionConfig,
     history: NodeHistory,
     current_period: u64,
-    pending_serves: HashMap<u64, PendingServe>,
-    pending_acks: HashMap<u64, PendingAck>,
-    pending_confirms: HashMap<u64, PendingConfirm>,
+    pending_serves: DetHashMap<u64, PendingServe>,
+    pending_acks: DetHashMap<u64, PendingAck>,
+    pending_confirms: DetHashMap<u64, PendingConfirm>,
     next_token: u64,
     blames_emitted: u64,
 }
@@ -139,9 +139,9 @@ impl Verifier {
             collusion,
             history,
             current_period: 0,
-            pending_serves: HashMap::new(),
-            pending_acks: HashMap::new(),
-            pending_confirms: HashMap::new(),
+            pending_serves: DetHashMap::default(),
+            pending_acks: DetHashMap::default(),
+            pending_confirms: DetHashMap::default(),
             next_token: 0,
             blames_emitted: 0,
         }
@@ -234,7 +234,7 @@ impl Verifier {
             PendingServe {
                 proposer,
                 requested: requested.to_vec(),
-                received: HashSet::new(),
+                received: DetHashSet::default(),
             },
         );
         vec![VerifierAction::StartTimer {
@@ -381,7 +381,7 @@ impl Verifier {
                 PendingConfirm {
                     subject: from,
                     witnesses: ack.partners.clone(),
-                    confirmed: HashSet::new(),
+                    confirmed: DetHashSet::default(),
                 },
             );
             for witness in &ack.partners {

@@ -1,6 +1,6 @@
 //! The per-manager score book.
 
-use std::collections::HashMap;
+use lifting_sim::collections::DetHashMap;
 
 use lifting_sim::NodeId;
 use serde::{Deserialize, Serialize};
@@ -33,7 +33,7 @@ impl ScoreRecord {
 /// The state a manager node keeps about the nodes it manages.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ManagerState {
-    records: HashMap<NodeId, ScoreRecord>,
+    records: DetHashMap<NodeId, ScoreRecord>,
 }
 
 impl ManagerState {

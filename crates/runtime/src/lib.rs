@@ -30,6 +30,9 @@ pub mod world;
 pub use message::{Event, Message};
 pub use metrics::{NodeOutcome, RunOutcome, ScoreSnapshot};
 pub use node::SystemNode;
-pub use runner::{build_engine, run_scenario, run_scenario_with_snapshots};
+pub use runner::{
+    build_engine, run_jobs_parallel, run_scenario, run_scenario_with_snapshots,
+    run_scenarios_parallel, run_scenarios_parallel_with_snapshots,
+};
 pub use scenario::{CollusionScenario, FreeriderScenario, ScenarioConfig};
 pub use world::SystemWorld;

@@ -105,3 +105,24 @@ mod tests {
         assert!(serve.wire_size() > propose.wire_size());
     }
 }
+
+#[cfg(test)]
+mod size_regression {
+    /// Every pending event sits in the scheduler's binary heap and is moved on
+    /// each sift, so [`Event`] must stay lean. The payload-heavy verification
+    /// variants are boxed in `lifting-core` to keep it that way; this test
+    /// pins the budget so a future fat variant is caught immediately.
+    #[test]
+    fn event_fits_the_heap_entry_budget() {
+        assert!(
+            std::mem::size_of::<super::Event>() <= 48,
+            "Event grew to {} bytes; box the oversized variant",
+            std::mem::size_of::<super::Event>()
+        );
+        assert!(
+            std::mem::size_of::<super::Message>() <= 40,
+            "Message grew to {} bytes; box the oversized variant",
+            std::mem::size_of::<super::Message>()
+        );
+    }
+}

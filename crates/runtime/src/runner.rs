@@ -1,6 +1,7 @@
-//! Convenience entry points for running scenarios.
+//! Convenience entry points for running scenarios, sequentially or as a
+//! multi-core fleet.
 
-use lifting_sim::{Engine, SimDuration, SimTime};
+use lifting_sim::{pool, Engine, SimDuration, SimTime};
 
 use crate::metrics::{RunOutcome, ScoreSnapshot};
 use crate::scenario::ScenarioConfig;
@@ -57,9 +58,92 @@ pub fn run_scenario_with_snapshots(
     engine.world().run_outcome(end, snapshots, &lags)
 }
 
+/// Runs a fleet of independent scenarios on a worker pool, one engine per
+/// scenario, and returns their outcomes in input order.
+///
+/// Every scenario carries its own master seed and runs in a self-contained
+/// engine, so the outcomes are **bit-identical** to running each scenario
+/// through [`run_scenario`] sequentially — the pool only changes wall-clock
+/// time, never results. Set `LIFTING_WORKERS=1` to force sequential
+/// execution (e.g. for timing comparisons).
+pub fn run_scenarios_parallel(configs: Vec<ScenarioConfig>) -> Vec<RunOutcome> {
+    pool::run_indexed(configs.len(), |i| run_scenario(configs[i].clone()))
+}
+
+/// Like [`run_scenarios_parallel`], but each scenario also records score
+/// snapshots at its requested instants.
+pub fn run_scenarios_parallel_with_snapshots(
+    jobs: Vec<(ScenarioConfig, Vec<SimDuration>)>,
+) -> Vec<RunOutcome> {
+    pool::run_indexed(jobs.len(), |i| {
+        let (config, snaps) = &jobs[i];
+        run_scenario_with_snapshots(config.clone(), snaps)
+    })
+}
+
+/// Runs `jobs` arbitrary indexed jobs on the same worker pool the scenario
+/// fleet uses, returning results in index order. This is the job-queue
+/// primitive the experiment harness fans whole figures out through; results
+/// are deterministic as long as `f(i)` depends only on `i`.
+pub fn run_jobs_parallel<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    pool::run_indexed(jobs, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_fleet_matches_sequential_runs_bit_for_bit() {
+        let configs: Vec<ScenarioConfig> = (0..4)
+            .map(|i| {
+                let mut c = ScenarioConfig::small_test(15 + i, 100 + i as u64);
+                c.duration = SimDuration::from_secs(4);
+                c
+            })
+            .collect();
+        let parallel = run_scenarios_parallel(configs.clone());
+        let sequential: Vec<RunOutcome> = configs.into_iter().map(run_scenario).collect();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.finals.outcomes, s.finals.outcomes);
+            assert_eq!(p.traffic.total_bytes_sent, s.traffic.total_bytes_sent);
+            assert_eq!(p.stream_health.fraction_clear, s.stream_health.fraction_clear);
+            assert_eq!(p.expelled_count, s.expelled_count);
+        }
+    }
+
+    #[test]
+    fn parallel_snapshot_fleet_matches_sequential_runs() {
+        let snaps = vec![SimDuration::from_secs(2), SimDuration::from_secs(4)];
+        let jobs: Vec<(ScenarioConfig, Vec<SimDuration>)> = (0..3)
+            .map(|i| {
+                let mut c = ScenarioConfig::small_test(16 + i, 7 + i as u64);
+                c.duration = SimDuration::from_secs(5);
+                (c, snaps.clone())
+            })
+            .collect();
+        let parallel = run_scenarios_parallel_with_snapshots(jobs.clone());
+        for (p, (config, snaps)) in parallel.iter().zip(jobs) {
+            let s = run_scenario_with_snapshots(config, &snaps);
+            assert_eq!(p.snapshots.len(), 2);
+            for (ps, ss) in p.snapshots.iter().zip(&s.snapshots) {
+                assert_eq!(ps.at, ss.at);
+                assert_eq!(ps.outcomes, ss.outcomes);
+            }
+            assert_eq!(p.finals.outcomes, s.finals.outcomes);
+        }
+    }
+
+    #[test]
+    fn job_queue_preserves_index_order() {
+        let out = run_jobs_parallel(32, |i| i * i);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
 
     #[test]
     fn small_honest_system_disseminates_the_stream() {

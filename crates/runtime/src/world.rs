@@ -281,7 +281,7 @@ impl SystemWorld {
                         now,
                         node,
                         to,
-                        Message::Verification(VerificationMessage::Ack(ack)),
+                        Message::Verification(VerificationMessage::Ack(Box::new(ack))),
                         Transport::Udp,
                         ctx,
                     );
@@ -291,7 +291,7 @@ impl SystemWorld {
                         now,
                         node,
                         to,
-                        Message::Verification(VerificationMessage::Confirm(confirm)),
+                        Message::Verification(VerificationMessage::Confirm(Box::new(confirm))),
                         Transport::Udp,
                         ctx,
                     );
@@ -457,12 +457,12 @@ impl SystemWorld {
             Message::Verification(VerificationMessage::Ack(ack)) => {
                 let actions = {
                     let SystemNode { verifier, rng, .. } = &mut self.nodes[to.index()];
-                    verifier.on_ack(from, ack, now, rng)
+                    verifier.on_ack(from, *ack, now, rng)
                 };
                 self.process_actions(to, actions, now, ctx);
             }
             Message::Verification(VerificationMessage::Confirm(confirm)) => {
-                let actions = self.nodes[to.index()].verifier.on_confirm(from, confirm, now);
+                let actions = self.nodes[to.index()].verifier.on_confirm(from, *confirm, now);
                 self.process_actions(to, actions, now, ctx);
             }
             Message::Verification(VerificationMessage::ConfirmResponse(resp)) => {

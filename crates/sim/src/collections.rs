@@ -1,0 +1,41 @@
+//! Hash collections with a *deterministic* hasher.
+//!
+//! `std`'s default `RandomState` seeds every map differently, so iteration
+//! order varies between processes (and between two maps in one process).
+//! Protocol state machines in this workspace iterate their maps while
+//! emitting messages, so that randomness would leak into event order and
+//! break the reproducibility contract of the simulator — every run must be
+//! bit-identical for a fixed scenario seed, sequential or parallel.
+//!
+//! [`DetHashMap`] / [`DetHashSet`] keep O(1) operations but hash with
+//! [`DefaultHasher`]'s fixed keys: iteration order becomes a pure function of
+//! the insertion sequence, identical across runs, threads and processes.
+//! (Simulation inputs are not attacker-controlled, so hash-flooding
+//! resistance is irrelevant here.)
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
+
+/// A `HashMap` whose iteration order is reproducible across runs.
+pub type DetHashMap<K, V> = HashMap<K, V, BuildHasherDefault<DefaultHasher>>;
+
+/// A `HashSet` whose iteration order is reproducible across runs.
+pub type DetHashSet<T> = HashSet<T, BuildHasherDefault<DefaultHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_order_is_a_function_of_insertions() {
+        let build = || {
+            let mut m = DetHashMap::default();
+            for i in 0..1_000u64 {
+                m.insert(i.wrapping_mul(0x9E37_79B9), i);
+            }
+            m.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -17,18 +17,21 @@ pub trait World {
 }
 
 /// Scheduling facility handed to [`World::handle_event`].
+///
+/// The context borrows a scratch buffer owned by the [`Engine`], so handling
+/// an event performs no allocation once the buffer has warmed up: follow-up
+/// events are staged in the recycled buffer and drained into the queue in one
+/// batch after the handler returns.
 #[derive(Debug)]
-pub struct Context<E> {
+pub struct Context<'a, E> {
     now: SimTime,
-    scheduled: Vec<(SimTime, E)>,
+    scheduled: &'a mut Vec<(SimTime, E)>,
 }
 
-impl<E> Context<E> {
-    fn new(now: SimTime) -> Self {
-        Context {
-            now,
-            scheduled: Vec::new(),
-        }
+impl<'a, E> Context<'a, E> {
+    fn new(now: SimTime, scheduled: &'a mut Vec<(SimTime, E)>) -> Self {
+        debug_assert!(scheduled.is_empty(), "scratch buffer must start drained");
+        Context { now, scheduled }
     }
 
     /// The current simulated time.
@@ -73,6 +76,9 @@ pub struct Engine<W: World> {
     queue: EventQueue<W::Event>,
     clock: SimTime,
     events_processed: u64,
+    /// Recycled staging buffer for events scheduled while handling an event.
+    /// [`Context`] borrows it, so the steady-state run loop allocates nothing.
+    scratch: Vec<(SimTime, W::Event)>,
 }
 
 impl<W: World> Engine<W> {
@@ -84,6 +90,7 @@ impl<W: World> Engine<W> {
             queue: EventQueue::new(),
             clock: SimTime::ZERO,
             events_processed: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -138,11 +145,9 @@ impl<W: World> Engine<W> {
             }
             let (time, event) = self.queue.pop().expect("peeked event must exist");
             self.clock = time;
-            let mut ctx = Context::new(time);
+            let mut ctx = Context::new(time, &mut self.scratch);
             self.world.handle_event(time, event, &mut ctx);
-            for (t, e) in ctx.scheduled {
-                self.queue.push(t, e);
-            }
+            self.queue.push_batch(self.scratch.drain(..));
             self.events_processed += 1;
             report.events_processed += 1;
         }
@@ -163,11 +168,9 @@ impl<W: World> Engine<W> {
                 break;
             };
             self.clock = time;
-            let mut ctx = Context::new(time);
+            let mut ctx = Context::new(time, &mut self.scratch);
             self.world.handle_event(time, event, &mut ctx);
-            for (t, e) in ctx.scheduled {
-                self.queue.push(t, e);
-            }
+            self.queue.push_batch(self.scratch.drain(..));
             self.events_processed += 1;
             report.events_processed += 1;
         }

@@ -62,6 +62,27 @@ impl<E> EventQueue<E> {
         self.heap.push(Scheduled { time, seq, event });
     }
 
+    /// Schedules a batch of events, delivered at their respective times;
+    /// events with equal times keep the iterator's order (FIFO, like
+    /// consecutive [`push`](Self::push) calls).
+    ///
+    /// Reserves heap capacity up front from the iterator's size hint, so
+    /// pushing a drained scratch buffer whose capacity the heap has already
+    /// absorbed performs no allocation.
+    pub fn push_batch<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let events = events.into_iter();
+        let (lower, _) = events.size_hint();
+        if lower > 1 {
+            self.heap.reserve(lower);
+        }
+        for (time, event) in events {
+            self.push(time, event);
+        }
+    }
+
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|s| (s.time, s.event))
@@ -117,6 +138,23 @@ mod tests {
         }
         let popped: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_batch_matches_individual_pushes() {
+        let t = SimTime::from_millis(1);
+        let mut batched = EventQueue::new();
+        batched.push(SimTime::from_millis(2), 100);
+        batched.push_batch((0..50).map(|i| (t, i)));
+        let mut pushed = EventQueue::new();
+        pushed.push(SimTime::from_millis(2), 100);
+        for i in 0..50 {
+            pushed.push(t, i);
+        }
+        let drain = |mut q: EventQueue<i32>| -> Vec<(SimTime, i32)> {
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        assert_eq!(drain(batched), drain(pushed));
     }
 
     #[test]

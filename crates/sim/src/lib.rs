@@ -41,14 +41,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collections;
 pub mod engine;
 pub mod event;
 pub mod id;
+pub mod pool;
 pub mod rng;
 pub mod time;
 
 pub use engine::{Context, Engine, RunReport, World};
 pub use event::EventQueue;
 pub use id::NodeId;
+pub use pool::{run_indexed, worker_count};
 pub use rng::{derive_rng, split_seed, SeedSequence};
 pub use time::{SimDuration, SimTime};

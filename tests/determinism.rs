@@ -1,0 +1,80 @@
+//! Determinism regression test for the parallel experiment fleet: the same
+//! `ScenarioConfig` list run through `run_scenarios_parallel` and through
+//! sequential `run_scenario` calls must produce identical `RunOutcome`s, and
+//! the Monte-Carlo population sampler must agree with itself across worker
+//! counts.
+
+use std::sync::Mutex;
+
+use lifting::analysis::{BlameModel, FreeridingDegree, ProtocolParams};
+use lifting::prelude::*;
+use lifting::runtime::run_scenarios_parallel;
+
+/// Tests in this file mutate `LIFTING_WORKERS`; serialize them so the test
+/// harness's own threading cannot interleave the env writes.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn scenario_fleet() -> Vec<ScenarioConfig> {
+    let mut fleet = Vec::new();
+    for (i, seed) in [3u64, 17, 4242].into_iter().enumerate() {
+        let mut config = ScenarioConfig::small_test(18 + 4 * i, seed);
+        config.duration = SimDuration::from_secs(5);
+        if i == 2 {
+            config = config.with_planetlab_freeriders(0.25);
+        }
+        fleet.push(config);
+    }
+    fleet
+}
+
+#[test]
+fn parallel_fleet_outcomes_equal_sequential_outcomes() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    // Force a few workers even on single-core machines so the threaded path
+    // is genuinely exercised.
+    std::env::set_var("LIFTING_WORKERS", "3");
+
+    let fleet = scenario_fleet();
+    let parallel = run_scenarios_parallel(fleet.clone());
+    let sequential: Vec<RunOutcome> = fleet.into_iter().map(run_scenario).collect();
+
+    assert_eq!(parallel.len(), sequential.len());
+    for (p, s) in parallel.iter().zip(&sequential) {
+        assert_eq!(p.finals.outcomes, s.finals.outcomes, "per-node outcomes diverged");
+        assert_eq!(p.expelled_count, s.expelled_count);
+        assert_eq!(p.traffic.total_bytes_sent, s.traffic.total_bytes_sent);
+        assert_eq!(p.traffic.total_messages_sent, s.traffic.total_messages_sent);
+        assert_eq!(p.traffic.overhead_ratio, s.traffic.overhead_ratio);
+        assert_eq!(p.stream_health.fraction_clear, s.stream_health.fraction_clear);
+        assert_eq!(p.emitted_chunks, s.emitted_chunks);
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("LIFTING_WORKERS", "3");
+    let config = {
+        let mut c = ScenarioConfig::small_test(25, 99).with_planetlab_freeriders(0.2);
+        c.duration = SimDuration::from_secs(6);
+        c
+    };
+    let a = run_scenario(config.clone());
+    let b = run_scenario(config);
+    assert_eq!(a.finals.outcomes, b.finals.outcomes);
+    assert_eq!(a.traffic.total_bytes_sent, b.traffic.total_bytes_sent);
+    assert_eq!(a.stream_health.fraction_clear, b.stream_health.fraction_clear);
+}
+
+#[test]
+fn monte_carlo_scores_do_not_depend_on_worker_count() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("LIFTING_WORKERS", "3");
+    let model = BlameModel::new(ProtocolParams::simulation_defaults(), 1.0);
+    let with_pool = model.population_scores(150, 100, FreeridingDegree::uniform(0.1), 8, 31);
+    std::env::set_var("LIFTING_WORKERS", "1");
+    let sequential = model.population_scores(150, 100, FreeridingDegree::uniform(0.1), 8, 31);
+    std::env::remove_var("LIFTING_WORKERS");
+    assert_eq!(with_pool.honest, sequential.honest);
+    assert_eq!(with_pool.freeriders, sequential.freeriders);
+}
