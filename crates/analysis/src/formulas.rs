@@ -220,8 +220,7 @@ impl ProtocolParams {
         if margin <= 0.0 {
             return 0.0;
         }
-        (1.0 - sigma_b_freerider * sigma_b_freerider / (periods as f64 * margin * margin))
-            .max(0.0)
+        (1.0 - sigma_b_freerider * sigma_b_freerider / (periods as f64 * margin * margin)).max(0.0)
     }
 
     /// Maximum number of verification/blame messages per gossip period
@@ -283,7 +282,11 @@ mod tests {
         let b_honest = p.expected_wrongful_blame();
         let b_zero = p.expected_blame_freerider(FreeridingDegree::HONEST);
         assert!(close(b_honest, b_zero, 1e-9));
-        assert!(close(p.expected_excess_blame(FreeridingDegree::HONEST), 0.0, 1e-9));
+        assert!(close(
+            p.expected_excess_blame(FreeridingDegree::HONEST),
+            0.0,
+            1e-9
+        ));
     }
 
     #[test]
@@ -331,7 +334,10 @@ mod tests {
         let alpha_10 = p.detection_bound(d, 30.0, 10, -9.75);
         let alpha_50 = p.detection_bound(d, 30.0, 50, -9.75);
         assert!(alpha_50 >= alpha_10, "α bound must grow with time");
-        assert!(alpha_50 > 0.9, "strong freeriding must be detected: {alpha_50}");
+        assert!(
+            alpha_50 > 0.9,
+            "strong freeriding must be detected: {alpha_50}"
+        );
     }
 
     #[test]

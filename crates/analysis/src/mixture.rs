@@ -188,7 +188,11 @@ mod tests {
             data.push(gaussian_sample(&mut rng, -25.0, 3.0));
         }
         let fit = GaussianMixture::fit(&data, 100).unwrap();
-        assert!((fit.low.mean - (-25.0)).abs() < 2.0, "low mean {}", fit.low.mean);
+        assert!(
+            (fit.low.mean - (-25.0)).abs() < 2.0,
+            "low mean {}",
+            fit.low.mean
+        );
         assert!(fit.high.mean.abs() < 1.0, "high mean {}", fit.high.mean);
         assert!((fit.low.weight - 0.1).abs() < 0.05);
         let boundary = fit.decision_boundary();
@@ -205,7 +209,9 @@ mod tests {
     #[test]
     fn single_mode_data_still_converges() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let data: Vec<f64> = (0..500).map(|_| gaussian_sample(&mut rng, 5.0, 1.0)).collect();
+        let data: Vec<f64> = (0..500)
+            .map(|_| gaussian_sample(&mut rng, 5.0, 1.0))
+            .collect();
         let fit = GaussianMixture::fit(&data, 50).unwrap();
         // Both components should sit near the single mode.
         assert!((fit.low.mean - 5.0).abs() < 2.0);

@@ -303,8 +303,7 @@ mod tests {
     fn freeriders_score_lower_than_honest_nodes() {
         let params = ProtocolParams::simulation_defaults();
         let model = BlameModel::new(params, 1.0);
-        let samples =
-            model.population_scores(500, 500, FreeridingDegree::uniform(0.1), 50, 11);
+        let samples = model.population_scores(500, 500, FreeridingDegree::uniform(0.1), 50, 11);
         let honest = Summary::of(&samples.honest);
         let freeriders = Summary::of(&samples.freeriders);
         assert!(

@@ -43,5 +43,11 @@ fn bench_full_system(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig10, bench_fig12, bench_fig13, bench_full_system);
+criterion_group!(
+    benches,
+    bench_fig10,
+    bench_fig12,
+    bench_fig13,
+    bench_full_system
+);
 criterion_main!(benches);

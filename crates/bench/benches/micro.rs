@@ -138,7 +138,9 @@ fn bench_audit(c: &mut Criterion) {
     let mut rng = derive_rng(5, 0);
     let mut history = NodeHistory::new(NodeId::new(0), 50);
     for p in 0..50u64 {
-        let partners: Vec<NodeId> = (0..7).map(|_| NodeId::new(rng.gen_range(1..10_000))).collect();
+        let partners: Vec<NodeId> = (0..7)
+            .map(|_| NodeId::new(rng.gen_range(1..10_000)))
+            .collect();
         history.record_proposal_sent(p, partners, vec![ChunkId::new(p), ChunkId::new(p + 1)]);
     }
     let auditor = Auditor::with_threshold(LiftingConfig::planetlab(), 7, 7.5);

@@ -8,9 +8,18 @@ fn main() {
     let scale = scale_from_args();
     eprintln!("figure 10 — wrongful blames and compensation ({scale:?} scale)");
     let r = fig10_wrongful_blames(scale, 10);
-    println!("expected wrongful blame b~ (Eq. 5)  : {:.2}  (paper: 72.95)", r.expected_compensation);
-    println!("mean compensated score              : {:.3}  (paper: < 0.01)", r.mean_score);
-    println!("score standard deviation            : {:.2}  (paper: 25.6)", r.std_dev);
+    println!(
+        "expected wrongful blame b~ (Eq. 5)  : {:.2}  (paper: 72.95)",
+        r.expected_compensation
+    );
+    println!(
+        "mean compensated score              : {:.3}  (paper: < 0.01)",
+        r.mean_score
+    );
+    println!(
+        "score standard deviation            : {:.2}  (paper: 25.6)",
+        r.std_dev
+    );
     println!();
     println!("{:>10}  {:>16}", "score", "fraction of nodes");
     for (c, f) in r.bin_centers.iter().zip(&r.fractions) {

@@ -18,12 +18,18 @@ fn main() {
     );
     println!();
     println!("detection α at η = -9.75        : {:.3}", r.detection);
-    println!("false positives β at η = -9.75  : {:.4}  (paper target: < 1%)", r.false_positives);
+    println!(
+        "false positives β at η = -9.75  : {:.4}  (paper target: < 1%)",
+        r.false_positives
+    );
     if let Some(b) = r.mixture_boundary {
         println!("2-component mixture boundary    : {b:.2}  (likelihood-maximization ablation)");
     }
     println!();
-    println!("{:>8}  {:>14}  {:>14}", "score", "cdf honest", "cdf freeriders");
+    println!(
+        "{:>8}  {:>14}  {:>14}",
+        "score", "cdf honest", "cdf freeriders"
+    );
     for ((x, h), f) in r.grid.iter().zip(&r.honest_cdf).zip(&r.freerider_cdf) {
         println!("{x:>8.1}  {h:>14.3}  {f:>14.3}");
     }

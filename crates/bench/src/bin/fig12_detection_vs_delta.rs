@@ -25,13 +25,22 @@ fn main() {
         points
             .iter()
             .min_by(|a, b| {
-                (a.delta - d).abs().partial_cmp(&(b.delta - d).abs()).unwrap()
+                (a.delta - d)
+                    .abs()
+                    .partial_cmp(&(b.delta - d).abs())
+                    .unwrap()
             })
             .unwrap()
     };
     println!("paper checkpoints:");
-    println!("  δ = 0.05 → detection {:.2}  (paper: ≈ 0.65)", at(0.05).detection);
-    println!("  δ = 0.10 → detection {:.2}  (paper: > 0.99)", at(0.10).detection);
+    println!(
+        "  δ = 0.05 → detection {:.2}  (paper: ≈ 0.65)",
+        at(0.05).detection
+    );
+    println!(
+        "  δ = 0.10 → detection {:.2}  (paper: > 0.99)",
+        at(0.10).detection
+    );
     println!(
         "  δ = 0.035 (10% gain) → detection {:.2}  (paper: ≈ 0.50)",
         at(0.04).detection

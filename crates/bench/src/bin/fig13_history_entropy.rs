@@ -8,7 +8,10 @@ fn main() {
     let scale = scale_from_args();
     eprintln!("figure 13 — history entropy ({scale:?} scale)");
     let r = fig13_history_entropy(scale, 13);
-    println!("maximum entropy log2(nh·f)      : {:.3}  (paper: 9.23)", r.max_entropy);
+    println!(
+        "maximum entropy log2(nh·f)      : {:.3}  (paper: 9.23)",
+        r.max_entropy
+    );
     println!(
         "fanout entropy (honest)         : mean {:.3}  min {:.3}  max {:.3}  (paper: 9.11–9.21)",
         r.fanout.mean, r.fanout.min, r.fanout.max
@@ -17,7 +20,10 @@ fn main() {
         "fanin entropy (honest)          : mean {:.3}  min {:.3}  max {:.3}  (paper: 8.98–9.34)",
         r.fanin.mean, r.fanin.min, r.fanin.max
     );
-    println!("calibrated threshold γ          : {:.2}  (paper: 8.95)", r.calibrated_gamma);
+    println!(
+        "calibrated threshold γ          : {:.2}  (paper: 8.95)",
+        r.calibrated_gamma
+    );
     println!(
         "biased colluder history entropy : {:.2}  (fails the γ check)",
         r.biased_entropy_example

@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use lifting_bench::experiments::*;
 use lifting_bench::scale_from_args;
-use lifting_runtime::run_jobs_parallel;
+use lifting_runtime::{run_jobs_parallel, ScenarioRegistry};
 use serde_json::{json, to_value, Value};
 
 type Job = (&'static str, Box<dyn Fn() -> Value + Send + Sync>);
@@ -29,9 +29,18 @@ fn main() {
     // delta sweep, the table grids), and fig14's two pdcc runs are jobs of
     // their own.
     let jobs: Vec<Job> = vec![
-        ("fig01", Box::new(move || to_value(&fig01_stream_health(scale, 1)))),
-        ("fig10", Box::new(move || to_value(&fig10_wrongful_blames(scale, 10)))),
-        ("fig11", Box::new(move || to_value(&fig11_score_distributions(scale, 11)))),
+        (
+            "fig01",
+            Box::new(move || to_value(&fig01_stream_health(scale, 1))),
+        ),
+        (
+            "fig10",
+            Box::new(move || to_value(&fig10_wrongful_blames(scale, 10))),
+        ),
+        (
+            "fig11",
+            Box::new(move || to_value(&fig11_score_distributions(scale, 11))),
+        ),
         (
             "fig12",
             Box::new(move || {
@@ -39,11 +48,34 @@ fn main() {
                 json!({ "eta": eta, "points": points })
             }),
         ),
-        ("fig13", Box::new(move || to_value(&fig13_history_entropy(scale, 13)))),
-        ("fig14_pdcc_1", Box::new(move || to_value(&fig14_planetlab_scores(scale, 1.0, 14)))),
-        ("fig14_pdcc_05", Box::new(move || to_value(&fig14_planetlab_scores(scale, 0.5, 14)))),
-        ("table3", Box::new(move || to_value(&table03_verification_overhead(scale, 3)))),
-        ("table5", Box::new(move || to_value(&table05_practical_overhead(scale, 5)))),
+        (
+            "fig13",
+            Box::new(move || to_value(&fig13_history_entropy(scale, 13))),
+        ),
+        (
+            "fig14_pdcc_1",
+            Box::new(move || to_value(&fig14_planetlab_scores(scale, 1.0, 14))),
+        ),
+        (
+            "fig14_pdcc_05",
+            Box::new(move || to_value(&fig14_planetlab_scores(scale, 0.5, 14))),
+        ),
+        (
+            "table3",
+            Box::new(move || to_value(&table03_verification_overhead(scale, 3))),
+        ),
+        (
+            "table5",
+            Box::new(move || to_value(&table05_practical_overhead(scale, 5))),
+        ),
+        (
+            "layer_traffic",
+            Box::new(move || to_value(&layer_traffic_breakdown(scale, 30))),
+        ),
+        (
+            "adversaries",
+            Box::new(move || to_value(&adversary_showcase(scale, 21))),
+        ),
     ];
 
     let wall_start = Instant::now();
@@ -58,9 +90,8 @@ fn main() {
     });
     let total_secs = wall_start.elapsed().as_secs_f64();
 
-    let by_name = |name: &str| -> &Value {
-        &results[jobs.iter().position(|(n, _)| *n == name).unwrap()].0
-    };
+    let by_name =
+        |name: &str| -> &Value { &results[jobs.iter().position(|(n, _)| *n == name).unwrap()].0 };
     let timings = Value::Object(
         jobs.iter()
             .zip(&results)
@@ -68,9 +99,15 @@ fn main() {
             .collect(),
     );
 
+    let scenario_names: Vec<String> = ScenarioRegistry::builtin()
+        .names()
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
     let summary = json!({
         "scale": format!("{scale:?}"),
         "workers": workers,
+        "scenarios": scenario_names,
         "fig01": by_name("fig01"),
         "fig10": by_name("fig10"),
         "fig11": by_name("fig11"),
@@ -79,6 +116,8 @@ fn main() {
         "fig14": json!({ "pdcc_1": by_name("fig14_pdcc_1"), "pdcc_05": by_name("fig14_pdcc_05") }),
         "table3": by_name("table3"),
         "table5": by_name("table5"),
+        "layer_traffic": by_name("layer_traffic"),
+        "adversaries": by_name("adversaries"),
         "timings_secs": timings,
         "total_wall_secs": total_secs,
     });

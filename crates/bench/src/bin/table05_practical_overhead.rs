@@ -8,7 +8,10 @@ fn main() {
     let scale = scale_from_args();
     eprintln!("table 5 — practical overhead ({scale:?} scale)");
     let cells = table05_practical_overhead(scale, 5);
-    println!("{:>16}  {:>10}  {:>10}  {:>10}", "stream", "pdcc=0", "pdcc=0.5", "pdcc=1");
+    println!(
+        "{:>16}  {:>10}  {:>10}  {:>10}",
+        "stream", "pdcc=0", "pdcc=0.5", "pdcc=1"
+    );
     for kbps in [674u64, 1082, 2036] {
         let at = |p: f64| {
             cells

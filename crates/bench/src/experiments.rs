@@ -1,45 +1,23 @@
 //! The experiments themselves: one function per table/figure of the paper.
 
+use lifting_analysis::entropy::calibrate_gamma;
 use lifting_analysis::{
     calibrate_threshold, detection_rate, ecdf, false_positive_rate, max_undetectable_bias,
     shannon_entropy, uniform_selection_entropy, BlameModel, FreeridingDegree, GaussianMixture,
     Histogram, ProtocolParams, Summary,
 };
-use lifting_analysis::entropy::calibrate_gamma;
-use lifting_gossip::FreeriderConfig;
 use lifting_runtime::{
-    run_jobs_parallel, run_scenario, run_scenario_with_snapshots, run_scenarios_parallel,
-    RunOutcome, ScenarioConfig, ScoreSnapshot,
+    fig14_scenario_name, run_jobs_parallel, run_scenario, run_scenario_with_snapshots,
+    run_scenarios_parallel, table03_scenario_name, table05_scenario_name, LayerTraffic, RunOutcome,
+    ScenarioConfig, ScenarioRegistry, ScoreSnapshot, TABLE03_PDCCS, TABLE05_PDCCS,
+    TABLE05_STREAM_KBPS,
 };
 use lifting_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
 pub use lifting_analysis::entropy::uniform_selection_entropy as entropy_samples;
-
-/// Experiment scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Scale {
-    /// The paper's population sizes and durations.
-    Paper,
-    /// A reduced scale for smoke runs and Criterion benches.
-    Quick,
-}
-
-impl Scale {
-    fn pick(self, paper: usize, quick: usize) -> usize {
-        match self {
-            Scale::Paper => paper,
-            Scale::Quick => quick,
-        }
-    }
-
-    fn secs(self, paper: u64, quick: u64) -> SimDuration {
-        SimDuration::from_secs(match self {
-            Scale::Paper => paper,
-            Scale::Quick => quick,
-        })
-    }
-}
+/// Experiment scale (re-exported from the runtime's scenario registry).
+pub use lifting_runtime::Scale;
 
 // ---------------------------------------------------------------------------
 // Figure 1 — system efficiency in the presence of freeriders.
@@ -62,38 +40,14 @@ pub struct HealthCurve {
 /// baseline run, 25 % freeriders without LiFTinG, and 25 % freeriders with
 /// LiFTinG expelling them.
 pub fn fig01_stream_health(scale: Scale, seed: u64) -> Vec<HealthCurve> {
-    let nodes = scale.pick(300, 80);
-    let duration = scale.secs(40, 20);
-    let make = |freeriders: bool, lifting: bool| {
-        let mut config = ScenarioConfig::planetlab_baseline(seed);
-        config.nodes = nodes;
-        config.duration = duration;
-        config.lifting_enabled = lifting;
-        if nodes < 300 {
-            config.lifting.managers = 10;
-            config.stream_rate_bps = 400_000;
-        }
-        if freeriders {
-            config = config.with_planetlab_freeriders(0.25);
-            if let Some(f) = &mut config.freeriders {
-                // "Wise" freeriders of the introduction: they shave ~45 % of
-                // their upload duty, enough to visibly hurt the stream.
-                f.degree = FreeriderConfig {
-                    delta1: 2.0 / 7.0,
-                    delta2: 0.15,
-                    delta3: 0.15,
-                    period_stretch: 1,
-                };
-            }
-        }
-        config
-    };
+    let registry = ScenarioRegistry::builtin();
     let (labels, configs): (Vec<String>, Vec<ScenarioConfig>) = [
-        ("no freeriders".to_string(), make(false, true)),
-        ("25% freeriders".to_string(), make(true, false)),
-        ("25% freeriders (LiFTinG)".to_string(), make(true, true)),
+        ("no freeriders", "fig01/no-freeriders"),
+        ("25% freeriders", "fig01/freeriders-no-lifting"),
+        ("25% freeriders (LiFTinG)", "fig01/freeriders-lifting"),
     ]
     .into_iter()
+    .map(|(label, scenario)| (label.to_string(), registry.build(scenario, scale, seed)))
     .unzip();
     // The three cases are independent full-system runs; fan them out on the
     // scenario fleet (each carries its own seed, so results are identical to
@@ -295,7 +249,13 @@ pub fn fig13_history_entropy(scale: Scale, seed: u64) -> EntropyResult {
     let gamma = calibrate_gamma(entries, population, samples.min(500), 0.15, seed);
     // A colluder biasing 60 % of its pushes towards a 25-node coalition.
     let biased: Vec<u32> = (0..entries)
-        .map(|i| if i % 5 < 3 { (i % 25) as u32 } else { 1_000 + i as u32 })
+        .map(|i| {
+            if i % 5 < 3 {
+                (i % 25) as u32
+            } else {
+                1_000 + i as u32
+            }
+        })
         .collect();
     EntropyResult {
         fanout: Summary::of(&fanout),
@@ -352,14 +312,16 @@ fn snapshot_metrics(snap: &ScoreSnapshot, eta: f64) -> PlanetlabSnapshot {
 /// with Δ = (1/7, 0.1, 0.1)) observed at 25, 30 and 35 seconds, for the given
 /// cross-checking probability.
 pub fn fig14_planetlab_scores(scale: Scale, pdcc: f64, seed: u64) -> PlanetlabScoresResult {
-    let mut config = ScenarioConfig::planetlab_baseline(seed).with_planetlab_freeriders(0.1);
-    config.lifting.pdcc = pdcc;
-    config.nodes = scale.pick(300, 100);
-    if config.nodes < 300 {
-        config.lifting.managers = 10;
-        config.stream_rate_bps = 400_000;
-    }
-    config.duration = scale.secs(36, 36);
+    // The paper's two pdcc values are registered scenarios; any other pdcc
+    // reuses the registered deployment with the probability overridden.
+    let registry = ScenarioRegistry::builtin();
+    let config = registry
+        .try_build(&fig14_scenario_name(pdcc), scale, seed)
+        .unwrap_or_else(|| {
+            let mut config = registry.build(&fig14_scenario_name(1.0), scale, seed);
+            config.lifting.pdcc = pdcc;
+            config
+        });
     let snaps = [
         SimDuration::from_secs(25),
         SimDuration::from_secs(30),
@@ -399,21 +361,16 @@ pub struct VerificationOverheadRow {
 /// verification message counts for several values of pdcc.
 pub fn table03_verification_overhead(scale: Scale, seed: u64) -> Vec<VerificationOverheadRow> {
     let params = ProtocolParams::planetlab_defaults();
-    let nodes = scale.pick(150, 60);
-    let duration = scale.secs(20, 10);
-    let pdccs = [0.0, 1.0 / 7.0, 0.5, 1.0];
+    let pdccs = TABLE03_PDCCS;
+    let registry = ScenarioRegistry::builtin();
     let configs: Vec<ScenarioConfig> = pdccs
         .iter()
-        .map(|&pdcc| {
-            let mut config = ScenarioConfig::planetlab_baseline(seed);
-            config.nodes = nodes;
-            config.lifting.managers = 10;
-            config.lifting.pdcc = pdcc;
-            config.duration = duration;
-            config.stream_rate_bps = 400_000;
-            config
-        })
+        .map(|&pdcc| registry.build(&table03_scenario_name(pdcc), scale, seed))
         .collect();
+    // Normalize by the population/duration of the scenarios actually run, so
+    // the registry stays the single source of truth.
+    let nodes = configs[0].nodes;
+    let duration = configs[0].duration;
     let outcomes = run_scenarios_parallel(configs);
     pdccs
         .into_iter()
@@ -431,8 +388,7 @@ pub fn table03_verification_overhead(scale: Scale, seed: u64) -> Vec<Verificatio
                 pdcc,
                 analytical_bound: params.verification_message_bound(pdcc, 25),
                 gossip_messages: params.gossip_message_count(),
-                measured_per_node_period: verification_msgs as f64
-                    / (nodes as f64 * periods),
+                measured_per_node_period: verification_msgs as f64 / (nodes as f64 * periods),
             }
         })
         .collect()
@@ -457,25 +413,17 @@ pub struct PracticalOverheadCell {
 /// Table 5: cross-checking and blaming overhead for stream rates of 674, 1082
 /// and 2036 kbps and pdcc ∈ {0, 0.5, 1}.
 pub fn table05_practical_overhead(scale: Scale, seed: u64) -> Vec<PracticalOverheadCell> {
-    let nodes = scale.pick(150, 60);
-    let duration = scale.secs(20, 10);
     let mut grid = Vec::new();
-    for stream_kbps in [674u64, 1082, 2036] {
-        for pdcc in [0.0, 0.5, 1.0] {
+    for stream_kbps in TABLE05_STREAM_KBPS {
+        for pdcc in TABLE05_PDCCS {
             grid.push((stream_kbps, pdcc));
         }
     }
+    let registry = ScenarioRegistry::builtin();
     let configs: Vec<ScenarioConfig> = grid
         .iter()
         .map(|&(stream_kbps, pdcc)| {
-            let mut config = ScenarioConfig::planetlab_baseline(seed);
-            config.nodes = nodes;
-            config.lifting.managers = if nodes >= 300 { 25 } else { 10 };
-            config.lifting.pdcc = pdcc;
-            config.stream_rate_bps = stream_kbps * 1_000;
-            config.duration = duration;
-            config.default_upload_bps = Some(10_000_000);
-            config
+            registry.build(&table05_scenario_name(stream_kbps, pdcc), scale, seed)
         })
         .collect();
     let outcomes = run_scenarios_parallel(configs);
@@ -492,14 +440,85 @@ pub fn table05_practical_overhead(scale: Scale, seed: u64) -> Vec<PracticalOverh
 /// Convenience: the headline PlanetLab run used by `run_all_experiments`
 /// (detection / false positives / overhead after 30 s).
 pub fn headline_run(scale: Scale, seed: u64) -> RunOutcome {
-    let mut config = ScenarioConfig::planetlab_baseline(seed).with_planetlab_freeriders(0.1);
-    config.nodes = scale.pick(300, 100);
-    if config.nodes < 300 {
-        config.lifting.managers = 10;
-        config.stream_rate_bps = 400_000;
+    run_scenario(ScenarioRegistry::builtin().build("headline/planetlab", scale, seed))
+}
+
+// ---------------------------------------------------------------------------
+// Per-layer overhead breakdown and the adversary showcases.
+// ---------------------------------------------------------------------------
+
+/// Per-layer traffic of one full-system run (Table 3's overhead breakdown at
+/// system scale: gossip vs verification vs audit vs reputation bytes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerTrafficResult {
+    /// The registered scenario that was run.
+    pub scenario: String,
+    /// Per-layer message/byte counters.
+    pub per_layer: Vec<LayerTraffic>,
+    /// Overall LiFTinG overhead ratio (Table 5's headline number).
+    pub overhead: f64,
+}
+
+/// Runs the headline PlanetLab scenario and reports its traffic split by
+/// protocol-stack layer.
+pub fn layer_traffic_breakdown(scale: Scale, seed: u64) -> LayerTrafficResult {
+    let scenario = "headline/planetlab";
+    let outcome = run_scenario(ScenarioRegistry::builtin().build(scenario, scale, seed));
+    LayerTrafficResult {
+        scenario: scenario.to_string(),
+        per_layer: outcome.layer_traffic.clone(),
+        overhead: outcome.traffic.overhead_ratio,
     }
-    config.duration = scale.secs(30, 20);
-    run_scenario(config)
+}
+
+/// Outcome of one adversary-showcase scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdversaryShowcaseResult {
+    /// The registered scenario that was run.
+    pub scenario: String,
+    /// Detection probability at η = −9.75.
+    pub detection: f64,
+    /// False-positive probability at η = −9.75.
+    pub false_positives: f64,
+    /// Nodes expelled during the run.
+    pub expelled: usize,
+    /// Mean score of the misbehaving population.
+    pub freerider_mean: f64,
+    /// Mean score of the honest population.
+    pub honest_mean: f64,
+}
+
+/// Runs the pluggable-adversary scenarios (attacks the pre-refactor wiring
+/// could not express: on-off freeriders and blame spammers) and reports how
+/// the detector fares against each.
+pub fn adversary_showcase(scale: Scale, seed: u64) -> Vec<AdversaryShowcaseResult> {
+    let registry = ScenarioRegistry::builtin();
+    let scenarios = ["adversary/on-off-freeriders", "adversary/blame-spam"];
+    let configs: Vec<ScenarioConfig> = scenarios
+        .iter()
+        .map(|name| registry.build(name, scale, seed))
+        .collect();
+    let outcomes = run_scenarios_parallel(configs);
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let eta = -9.75;
+    scenarios
+        .iter()
+        .zip(outcomes)
+        .map(|(scenario, outcome)| AdversaryShowcaseResult {
+            scenario: scenario.to_string(),
+            detection: outcome.detection_rate(eta),
+            false_positives: outcome.false_positive_rate(eta),
+            expelled: outcome.expelled_count,
+            freerider_mean: mean(&outcome.finals.freerider_scores()),
+            honest_mean: mean(&outcome.finals.honest_scores()),
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,74 @@
+//! Golden-snapshot tests pinning the fig01 and fig12 quick-scale outputs
+//! bit-for-bit across refactors.
+//!
+//! The digests hash the raw IEEE-754 bit patterns of every reported number,
+//! so *any* numeric drift — a reordered RNG draw, a changed float-summation
+//! order, a different partner pick — fails the test. When a change is
+//! *supposed* to alter results (a new protocol feature, a scenario tweak),
+//! re-run with `LIFTING_PRINT_GOLDEN=1` and update the constants; silent
+//! drift is the thing this file exists to catch.
+
+use lifting_bench::experiments::{fig01_stream_health, fig12_detection_vs_delta, Scale};
+
+/// FNV-1a over a stream of 64-bit words.
+fn fnv1a(words: impl Iterator<Item = u64>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn maybe_print(name: &str, digest: u64) {
+    if std::env::var_os("LIFTING_PRINT_GOLDEN").is_some() {
+        eprintln!("golden digest {name} = 0x{digest:016x}");
+    }
+}
+
+const FIG01_DIGEST: u64 = 0x784bcd7f34320fdf;
+const FIG12_DIGEST: u64 = 0x91eaf63d92631f2e;
+
+#[test]
+fn fig01_quick_scale_run_outcome_is_pinned() {
+    let curves = fig01_stream_health(Scale::Quick, 1);
+    assert_eq!(curves.len(), 3);
+    assert_eq!(curves[0].label, "no freeriders");
+    assert_eq!(curves[1].label, "25% freeriders");
+    assert_eq!(curves[2].label, "25% freeriders (LiFTinG)");
+    let words = curves.iter().flat_map(|curve| {
+        std::iter::once(curve.expelled as u64)
+            .chain(curve.lag_secs.iter().map(|x| x.to_bits()))
+            .chain(curve.fraction_clear.iter().map(|x| x.to_bits()))
+    });
+    let digest = fnv1a(words);
+    maybe_print("FIG01_DIGEST", digest);
+    assert_eq!(
+        digest, FIG01_DIGEST,
+        "fig01 quick-scale output drifted; if intentional, update FIG01_DIGEST \
+         (run with LIFTING_PRINT_GOLDEN=1 to print the new digest)"
+    );
+}
+
+#[test]
+fn fig12_quick_scale_sweep_is_pinned() {
+    let (eta, points) = fig12_detection_vs_delta(Scale::Quick, 12);
+    assert_eq!(points.len(), 21);
+    let words = std::iter::once(eta.to_bits()).chain(points.iter().flat_map(|p| {
+        [
+            p.delta.to_bits(),
+            p.gain.to_bits(),
+            p.detection.to_bits(),
+            p.false_positives.to_bits(),
+        ]
+    }));
+    let digest = fnv1a(words);
+    maybe_print("FIG12_DIGEST", digest);
+    assert_eq!(
+        digest, FIG12_DIGEST,
+        "fig12 quick-scale output drifted; if intentional, update FIG12_DIGEST \
+         (run with LIFTING_PRINT_GOLDEN=1 to print the new digest)"
+    );
+}

@@ -122,9 +122,10 @@ impl Bencher {
         let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
 
         // Batch iterations so each sample is long enough to time reliably.
-        let target_sample = (self.measurement / self.max_samples.max(1) as u32)
-            .max(Duration::from_micros(50));
-        let batch = (target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+        let target_sample =
+            (self.measurement / self.max_samples.max(1) as u32).max(Duration::from_micros(50));
+        let batch =
+            (target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
 
         let mut samples: Vec<Duration> = Vec::with_capacity(self.max_samples);
         let mut total_iters: u64 = 0;

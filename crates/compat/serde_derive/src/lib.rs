@@ -18,9 +18,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(String::from(\"{f}\"), serde::Serialize::to_json_value(&self.{f}))"
-                    )
+                    format!("(String::from(\"{f}\"), serde::Serialize::to_json_value(&self.{f}))")
                 })
                 .collect();
             format!("serde::Value::Object(vec![{}])", entries.join(", "))

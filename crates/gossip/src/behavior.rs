@@ -71,9 +71,10 @@ impl FreeriderConfig {
 }
 
 /// Behaviour of a node at the dissemination layer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Behavior {
     /// Strictly follows the protocol.
+    #[default]
     Honest,
     /// Deviates according to the embedded configuration.
     Freerider(FreeriderConfig),
@@ -146,15 +147,9 @@ impl Behavior {
         match self {
             Behavior::Honest => false,
             Behavior::Freerider(cfg) => {
-                cfg.period_stretch > 1 && period_index % cfg.period_stretch as u64 != 0
+                cfg.period_stretch > 1 && !period_index.is_multiple_of(cfg.period_stretch as u64)
             }
         }
-    }
-}
-
-impl Default for Behavior {
-    fn default() -> Self {
-        Behavior::Honest
     }
 }
 

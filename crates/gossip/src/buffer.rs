@@ -89,12 +89,7 @@ impl PlayoutBuffer {
 
     /// True if this node views a clear stream at the given lag: at least
     /// `threshold` of the reference chunks arrived within `lag`.
-    pub fn views_clear_stream(
-        &self,
-        emitted: &[Chunk],
-        lag: SimDuration,
-        threshold: f64,
-    ) -> bool {
+    pub fn views_clear_stream(&self, emitted: &[Chunk], lag: SimDuration, threshold: f64) -> bool {
         self.delivery_ratio_within(emitted, lag) >= threshold
     }
 }
@@ -159,7 +154,10 @@ mod tests {
         let c = chunk(1, 100);
         assert!(buf.record(&c, SimTime::from_millis(150)));
         assert!(!buf.record(&c, SimTime::from_millis(900)));
-        assert_eq!(buf.lag_of(ChunkId::new(1)), Some(SimDuration::from_millis(50)));
+        assert_eq!(
+            buf.lag_of(ChunkId::new(1)),
+            Some(SimDuration::from_millis(50))
+        );
         assert_eq!(buf.len(), 1);
         assert!(buf.contains(ChunkId::new(1)));
     }

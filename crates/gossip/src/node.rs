@@ -104,6 +104,22 @@ impl GossipNode {
         &self.behavior
     }
 
+    /// Replaces the node's dissemination behaviour.
+    ///
+    /// Time-varying adversaries (e.g. an on-off freerider) switch behaviour
+    /// between gossip periods through this; the protocol state (store, fresh
+    /// chunks, offers) is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new behaviour embeds an invalid freerider configuration.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        if let Behavior::Freerider(f) = &behavior {
+            f.validate();
+        }
+        self.behavior = behavior;
+    }
+
     /// The protocol configuration.
     pub fn config(&self) -> &GossipConfig {
         &self.config
@@ -143,7 +159,10 @@ impl GossipNode {
         }
         self.store.insert(chunk.id, chunk);
         self.playout.record(&chunk, now);
-        self.fresh_by_source.entry(self.id).or_default().push(chunk.id);
+        self.fresh_by_source
+            .entry(self.id)
+            .or_default()
+            .push(chunk.id);
     }
 
     /// Runs one propose phase at `now` towards the given `partners` (already
@@ -229,12 +248,7 @@ impl GossipNode {
     /// Handles an incoming proposal from `from` and returns the chunk ids to
     /// request (phase 2). Chunks already held or already requested recently
     /// from another proposer are not requested again.
-    pub fn on_propose(
-        &mut self,
-        _from: NodeId,
-        chunks: &[ChunkId],
-        now: SimTime,
-    ) -> Vec<ChunkId> {
+    pub fn on_propose(&mut self, _from: NodeId, chunks: &[ChunkId], now: SimTime) -> Vec<ChunkId> {
         // Drop expired reservations first.
         self.requested_pending.retain(|_, expiry| *expiry > now);
         let expiry = now + self.config.gossip_period;
@@ -377,7 +391,11 @@ mod tests {
             .unwrap();
         assert_eq!(round.chunks.len(), 2);
         // Partner asks for a chunk that was never proposed (id 99): ignored.
-        let served = a.on_request(NodeId::new(1), &[ChunkId::new(1), ChunkId::new(99)], &mut rng);
+        let served = a.on_request(
+            NodeId::new(1),
+            &[ChunkId::new(1), ChunkId::new(99)],
+            &mut rng,
+        );
         assert_eq!(served.len(), 1);
         assert_eq!(served[0].id, ChunkId::new(1));
     }
@@ -395,7 +413,11 @@ mod tests {
     fn chunks_are_not_requested_twice_within_a_period() {
         let mut b = honest(1);
         let wanted1 = b.on_propose(NodeId::new(0), &[ChunkId::new(5)], SimTime::ZERO);
-        let wanted2 = b.on_propose(NodeId::new(2), &[ChunkId::new(5)], SimTime::from_millis(100));
+        let wanted2 = b.on_propose(
+            NodeId::new(2),
+            &[ChunkId::new(5)],
+            SimTime::from_millis(100),
+        );
         assert_eq!(wanted1, vec![ChunkId::new(5)]);
         assert!(wanted2.is_empty(), "already requested from node 0");
         // After the reservation expires the chunk can be requested again.
@@ -480,7 +502,11 @@ mod tests {
         let round = f
             .begin_propose_round(SimTime::from_millis(1000), vec![NodeId::new(1)], &mut rng)
             .unwrap();
-        assert_eq!(round.chunks.len(), 2, "accumulated chunks are proposed together");
+        assert_eq!(
+            round.chunks.len(),
+            2,
+            "accumulated chunks are proposed together"
+        );
     }
 
     #[test]

@@ -72,9 +72,13 @@ impl StreamSource {
     ///
     /// [`next_emission`]: StreamSource::next_emission
     pub fn emit(&mut self) -> Chunk {
-        let chunk = Chunk::new(ChunkId::new(self.next_id), self.chunk_size, self.next_emission);
+        let chunk = Chunk::new(
+            ChunkId::new(self.next_id),
+            self.chunk_size,
+            self.next_emission,
+        );
         self.next_id += 1;
-        self.next_emission = self.next_emission + self.chunk_interval();
+        self.next_emission += self.chunk_interval();
         chunk
     }
 

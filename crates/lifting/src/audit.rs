@@ -166,8 +166,8 @@ impl Auditor {
         // (coalition-level concentration), which keeps honest nodes safe while
         // still catching the man-in-the-middle cover-up.
         const FANIN_THRESHOLD_FRACTION: f64 = 0.5;
-        let fanin_applicable =
-            (fanin_multiset.len() as f64) >= 0.5 * self.nominal_entries() && fanin_multiset.len() >= 2;
+        let fanin_applicable = (fanin_multiset.len() as f64) >= 0.5 * self.nominal_entries()
+            && fanin_multiset.len() >= 2;
         let (fanin_entropy, fanin_threshold, fanin_fails) = if fanin_multiset.is_empty() {
             (None, None, false)
         } else {
@@ -326,8 +326,10 @@ mod tests {
     #[test]
     fn biased_partner_selection_is_expelled() {
         // The freerider proposes only to its 10-node coalition, over and over.
-        let mut oracle = TableOracle::default();
-        oracle.default_confirm = true;
+        let mut oracle = TableOracle {
+            default_confirm: true,
+            ..Default::default()
+        };
         let coalition: Vec<NodeId> = (1..=10).map(NodeId::new).collect();
         let mut h = NodeHistory::new(NodeId::new(0), 50);
         let mut rng = derive_rng(2, 0);
@@ -393,16 +395,19 @@ mod tests {
 
     #[test]
     fn period_stretching_is_blamed() {
-        let mut oracle = TableOracle::default();
-        oracle.default_confirm = true;
+        let mut oracle = TableOracle {
+            default_confirm: true,
+            ..Default::default()
+        };
         let mut h = NodeHistory::new(NodeId::new(0), 50);
         let mut rng = derive_rng(5, 0);
         // 50 periods of activity but proposals in only 25 of them.
         for p in 0..50u64 {
             h.record_serve_received(p, NodeId::new(rng.gen_range(1..1000)), ChunkId::new(p));
             if p % 2 == 0 {
-                let partners: Vec<NodeId> =
-                    (0..7).map(|_| NodeId::new(rng.gen_range(1..1000))).collect();
+                let partners: Vec<NodeId> = (0..7)
+                    .map(|_| NodeId::new(rng.gen_range(1..1000)))
+                    .collect();
                 for w in &partners {
                     oracle
                         .askers
@@ -425,10 +430,16 @@ mod tests {
     fn short_histories_are_not_expelled() {
         // A node that just joined has only a few entries: the entropy check
         // must not fire.
-        let mut oracle = TableOracle::default();
-        oracle.default_confirm = true;
+        let mut oracle = TableOracle {
+            default_confirm: true,
+            ..Default::default()
+        };
         let mut h = NodeHistory::new(NodeId::new(0), 50);
-        h.record_proposal_sent(0, vec![NodeId::new(1), NodeId::new(2)], vec![ChunkId::new(1)]);
+        h.record_proposal_sent(
+            0,
+            vec![NodeId::new(1), NodeId::new(2)],
+            vec![ChunkId::new(1)],
+        );
         let auditor = auditor();
         let report = auditor.audit(&h, &mut oracle);
         assert_eq!(report.verdict, AuditVerdict::Pass);

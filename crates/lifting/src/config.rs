@@ -84,7 +84,10 @@ impl LiftingConfig {
         assert!(self.eta < 0.0, "η must be negative");
         assert!(self.gamma > 0.0, "γ must be positive");
         assert!(self.history_periods > 0, "history must cover ≥ 1 period");
-        assert!(!self.serve_timeout.is_zero(), "serve timeout must be positive");
+        assert!(
+            !self.serve_timeout.is_zero(),
+            "serve timeout must be positive"
+        );
         assert!(!self.ack_timeout.is_zero(), "ack timeout must be positive");
         assert!(
             !self.confirm_timeout.is_zero(),

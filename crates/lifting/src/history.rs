@@ -56,7 +56,10 @@ impl NodeHistory {
     ///
     /// Panics if `capacity_periods` is zero.
     pub fn new(owner: NodeId, capacity_periods: usize) -> Self {
-        assert!(capacity_periods > 0, "history must cover at least one period");
+        assert!(
+            capacity_periods > 0,
+            "history must cover at least one period"
+        );
         NodeHistory {
             owner,
             capacity_periods,
@@ -115,7 +118,9 @@ impl NodeHistory {
 
     /// Records a chunk served to this node by `source` during `period`.
     pub fn record_serve_received(&mut self, period: u64, source: NodeId, chunk: ChunkId) {
-        self.current_mut(period).serves_received.push((source, chunk));
+        self.current_mut(period)
+            .serves_received
+            .push((source, chunk));
     }
 
     /// Records a proposal received from `proposer` during `period`.
@@ -133,7 +138,9 @@ impl NodeHistory {
     /// Records a confirm request received from `asker` about `subject` during
     /// `period`.
     pub fn record_confirm_received(&mut self, period: u64, asker: NodeId, subject: NodeId) {
-        self.current_mut(period).confirms_received.push((asker, subject));
+        self.current_mut(period)
+            .confirms_received
+            .push((asker, subject));
     }
 
     /// Iterates over the recorded periods, oldest first.
@@ -259,10 +266,7 @@ mod tests {
         h.record_confirm_received(0, NodeId::new(10), NodeId::new(1));
         h.record_confirm_received(0, NodeId::new(11), NodeId::new(1));
         h.record_confirm_received(1, NodeId::new(12), NodeId::new(5));
-        assert_eq!(
-            h.confirm_askers_about(NodeId::new(1)),
-            nodes(&[10, 11])
-        );
+        assert_eq!(h.confirm_askers_about(NodeId::new(1)), nodes(&[10, 11]));
         assert_eq!(h.confirm_askers_about(NodeId::new(5)), nodes(&[12]));
         assert!(h.confirm_askers_about(NodeId::new(9)).is_empty());
     }

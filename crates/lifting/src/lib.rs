@@ -43,9 +43,7 @@ pub use blame::{Blame, BlameReason};
 pub use collusion::CollusionConfig;
 pub use config::LiftingConfig;
 pub use history::{NodeHistory, PeriodRecord, ProposalRecord};
-pub use messages::{
-    AckPayload, ConfirmPayload, ConfirmResponsePayload, VerificationMessage,
-};
+pub use messages::{AckPayload, ConfirmPayload, ConfirmResponsePayload, VerificationMessage};
 pub use verifier::{Verifier, VerifierAction, VerifierTimer};
 
 pub use lifting_sim::NodeId;

@@ -82,6 +82,12 @@ pub enum VerificationMessage {
 }
 
 impl VerificationMessage {
+    /// True if this message is addressed to the reputation plane (a blame
+    /// for one of the target's managers) rather than the verification plane.
+    pub fn is_blame(&self) -> bool {
+        matches!(self, VerificationMessage::Blame(_))
+    }
+
     /// Application-level payload size in bytes.
     pub fn wire_size(&self) -> u64 {
         match self {
@@ -136,11 +142,8 @@ mod tests {
 
     #[test]
     fn blame_message_has_fixed_size() {
-        let blame = VerificationMessage::Blame(Blame::new(
-            NodeId::new(8),
-            3.5,
-            BlameReason::PartialServe,
-        ));
+        let blame =
+            VerificationMessage::Blame(Blame::new(NodeId::new(8), 3.5, BlameReason::PartialServe));
         assert_eq!(blame.wire_size(), 16 + 6 + 8);
         assert_eq!(VerificationMessage::HistoryRequest.wire_size(), 16);
     }

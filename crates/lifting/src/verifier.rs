@@ -284,19 +284,18 @@ impl Verifier {
             // Man-in-the-middle attack (Figure 8b): name accomplices instead
             // of the real partners so the server's confirm requests go to
             // colluders who will vouch for us.
-            let partners = if self.collusion.man_in_the_middle()
-                && !self.collusion.is_colluder(*source)
-            {
-                let mut accomplices = self.collusion.accomplices(self.id);
-                accomplices.truncate(self.fanout.max(round.partners.len()));
-                if accomplices.is_empty() {
-                    round.partners.clone()
+            let partners =
+                if self.collusion.man_in_the_middle() && !self.collusion.is_colluder(*source) {
+                    let mut accomplices = self.collusion.accomplices(self.id);
+                    accomplices.truncate(self.fanout.max(round.partners.len()));
+                    if accomplices.is_empty() {
+                        round.partners.clone()
+                    } else {
+                        accomplices
+                    }
                 } else {
-                    accomplices
-                }
-            } else {
-                round.partners.clone()
-            };
+                    round.partners.clone()
+                };
             actions.push(VerifierAction::SendAck {
                 to: *source,
                 ack: AckPayload {
@@ -352,9 +351,7 @@ impl Verifier {
         let satisfied: Vec<u64> = self
             .pending_acks
             .iter()
-            .filter(|(_, p)| {
-                p.receiver == from && p.chunks.iter().all(|c| ack.chunks.contains(c))
-            })
+            .filter(|(_, p)| p.receiver == from && p.chunks.iter().all(|c| ack.chunks.contains(c)))
             .map(|(t, _)| *t)
             .collect();
         for t in &satisfied {

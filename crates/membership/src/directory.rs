@@ -89,8 +89,7 @@ impl Directory {
         count: usize,
         exclude: NodeId,
     ) -> Vec<NodeId> {
-        let available: usize =
-            self.active_count - usize::from(self.is_active(exclude));
+        let available: usize = self.active_count - usize::from(self.is_active(exclude));
         let target = count.min(available);
         let mut picked = Vec::with_capacity(target);
         if target == 0 {
@@ -104,10 +103,7 @@ impl Directory {
         while picked.len() < target && attempts < max_attempts {
             attempts += 1;
             let candidate = NodeId::new(rng.gen_range(0..n as u32));
-            if candidate == exclude
-                || !self.is_active(candidate)
-                || picked.contains(&candidate)
-            {
+            if candidate == exclude || !self.is_active(candidate) || picked.contains(&candidate) {
                 continue;
             }
             picked.push(candidate);

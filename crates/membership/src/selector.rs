@@ -155,10 +155,7 @@ mod tests {
         for _ in 0..500 {
             let partners = sel.select(NodeId::new(0), 7, &dir, &mut rng);
             total += partners.len();
-            colluder_picks += partners
-                .iter()
-                .filter(|p| coalition.contains(p))
-                .count();
+            colluder_picks += partners.iter().filter(|p| coalition.contains(p)).count();
         }
         let fraction = colluder_picks as f64 / total as f64;
         assert!(

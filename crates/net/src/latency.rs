@@ -55,12 +55,7 @@ impl LatencyModel {
     }
 
     /// Samples the one-way latency for a message from `from` to `to`.
-    pub fn sample<R: Rng + ?Sized>(
-        &self,
-        from: NodeId,
-        to: NodeId,
-        rng: &mut R,
-    ) -> SimDuration {
+    pub fn sample<R: Rng + ?Sized>(&self, from: NodeId, to: NodeId, rng: &mut R) -> SimDuration {
         match self {
             LatencyModel::Constant(d) => *d,
             LatencyModel::Uniform { min, max } => {
@@ -73,9 +68,8 @@ impl LatencyModel {
                 spread,
                 jitter,
             } => {
-                let mut d = *base
-                    + Self::node_offset(from, *spread)
-                    + Self::node_offset(to, *spread);
+                let mut d =
+                    *base + Self::node_offset(from, *spread) + Self::node_offset(to, *spread);
                 if !jitter.is_zero() {
                     d += SimDuration::from_micros(rng.gen_range(0..=jitter.as_micros()));
                 }

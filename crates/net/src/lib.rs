@@ -32,6 +32,6 @@ pub use latency::LatencyModel;
 pub use loss::LossModel;
 pub use network::{DeliveryOutcome, Network, NetworkConfig};
 pub use traffic::{TrafficCategory, TrafficReport, TrafficStats};
-pub use transport::Transport;
+pub use transport::{Transport, TransportPolicy};
 
 pub use lifting_sim::NodeId;

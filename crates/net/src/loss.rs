@@ -8,9 +8,10 @@ use serde::{Deserialize, Serialize};
 /// The paper's analysis (Section 6.2) assumes losses "independently drawn from
 /// a Bernoulli distribution of parameter `pl`"; PlanetLab exhibited an average
 /// loss of 4 % and the Monte-Carlo simulations use 7 %.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LossModel {
     /// No losses at all.
+    #[default]
     None,
     /// Each message is independently lost with probability `pl`.
     Bernoulli {
@@ -26,7 +27,10 @@ impl LossModel {
     ///
     /// Panics if `pl` is not within `[0, 1]`.
     pub fn bernoulli(pl: f64) -> Self {
-        assert!((0.0..=1.0).contains(&pl), "loss probability {pl} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&pl),
+            "loss probability {pl} not in [0,1]"
+        );
         if pl == 0.0 {
             LossModel::None
         } else {
@@ -53,12 +57,6 @@ impl LossModel {
             LossModel::None => false,
             LossModel::Bernoulli { pl } => rng.gen_bool(*pl),
         }
-    }
-}
-
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::None
     }
 }
 

@@ -10,7 +10,7 @@ use crate::bandwidth::{NodeCapability, UplinkState};
 use crate::latency::LatencyModel;
 use crate::loss::LossModel;
 use crate::traffic::{TrafficCategory, TrafficStats};
-use crate::transport::Transport;
+use crate::transport::{Transport, TransportPolicy};
 
 /// Static configuration of the simulated network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,6 +26,9 @@ pub struct NetworkConfig {
     pub tcp_header_bytes: u64,
     /// Default capability assigned to nodes that are not given one explicitly.
     pub default_capability: NodeCapability,
+    /// Which transport each traffic category travels over (Section 5.3:
+    /// audits over TCP, everything else over UDP).
+    pub transports: TransportPolicy,
 }
 
 impl Default for NetworkConfig {
@@ -36,6 +39,7 @@ impl Default for NetworkConfig {
             udp_header_bytes: 28,
             tcp_header_bytes: 40,
             default_capability: NodeCapability::unconstrained(),
+            transports: TransportPolicy::paper(),
         }
     }
 }
@@ -166,6 +170,9 @@ impl Network {
     /// Adjudicates the transmission of a message of `payload_bytes` from
     /// `from` to `to`, returning when (and whether) it arrives.
     ///
+    /// The transport is resolved from the configured [`TransportPolicy`]:
+    /// call sites only name the [`TrafficCategory`], so audits-over-TCP vs
+    /// gossip-over-UDP is configuration rather than a per-call decision.
     /// The message is accounted to `category` whatever the outcome. Expelled
     /// endpoints, UDP loss and the sender's uplink serialization are all
     /// applied here.
@@ -175,9 +182,9 @@ impl Network {
         from: NodeId,
         to: NodeId,
         payload_bytes: u64,
-        transport: Transport,
         category: TrafficCategory,
     ) -> DeliveryOutcome {
+        let transport: Transport = self.config.transports.transport_for(category);
         let header = match transport {
             Transport::Udp => self.config.udp_header_bytes,
             Transport::Tcp => self.config.tcp_header_bytes,
@@ -231,7 +238,6 @@ mod tests {
                 NodeId::new(i % 4),
                 NodeId::new((i + 1) % 4),
                 100,
-                Transport::Udp,
                 TrafficCategory::GossipControl,
             );
             if out.is_delivered() {
@@ -256,7 +262,6 @@ mod tests {
                     NodeId::new(0),
                     NodeId::new(1),
                     100,
-                    Transport::Udp,
                     TrafficCategory::Verification,
                 )
                 .is_delivered()
@@ -269,13 +274,15 @@ mod tests {
                     NodeId::new(0),
                     NodeId::new(1),
                     100,
-                    Transport::Tcp,
                     TrafficCategory::Audit,
                 )
                 .is_delivered()
             })
             .count();
-        assert!(udp_delivered > 800 && udp_delivered < 1200, "{udp_delivered}");
+        assert!(
+            udp_delivered > 800 && udp_delivered < 1200,
+            "{udp_delivered}"
+        );
         assert_eq!(tcp_delivered, 2000);
     }
 
@@ -290,7 +297,6 @@ mod tests {
             NodeId::new(0),
             NodeId::new(1),
             10,
-            Transport::Udp,
             TrafficCategory::GossipControl,
         );
         let from_expelled = net.send(
@@ -298,7 +304,6 @@ mod tests {
             NodeId::new(1),
             NodeId::new(2),
             10,
-            Transport::Udp,
             TrafficCategory::GossipControl,
         );
         assert_eq!(to_expelled, DeliveryOutcome::Lost);
@@ -319,7 +324,6 @@ mod tests {
             NodeId::new(0),
             NodeId::new(1),
             1_222,
-            Transport::Udp,
             TrafficCategory::StreamData,
         );
         let second = net.send(
@@ -327,7 +331,6 @@ mod tests {
             NodeId::new(0),
             NodeId::new(1),
             1_222,
-            Transport::Udp,
             TrafficCategory::StreamData,
         );
         assert_eq!(
@@ -352,7 +355,6 @@ mod tests {
             NodeId::new(0),
             NodeId::new(1),
             100,
-            Transport::Udp,
             TrafficCategory::StreamData,
         );
         let c = net.stats().category(TrafficCategory::StreamData);
@@ -373,7 +375,6 @@ mod tests {
             NodeId::new(0),
             NodeId::new(1),
             100,
-            Transport::Udp,
             TrafficCategory::Verification,
         );
         assert_eq!(out, DeliveryOutcome::Lost);

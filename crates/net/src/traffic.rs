@@ -12,9 +12,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 /// Category of a message, used for overhead accounting.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TrafficCategory {
     /// Chunk payloads (the stream itself, carried by serve messages).
     StreamData,

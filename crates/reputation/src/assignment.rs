@@ -30,7 +30,7 @@ impl ManagerAssignment {
         );
         let managers = (0..n)
             .map(|i| {
-                let mut rng = derive_rng(seed, 0xA111A_0000 + i as u64);
+                let mut rng = derive_rng(seed, 0x000A_111A_0000 + i as u64);
                 let mut candidates: Vec<NodeId> = (0..n as u32)
                     .filter(|j| *j as usize != i)
                     .map(NodeId::new)
@@ -40,10 +40,7 @@ impl ManagerAssignment {
                 candidates
             })
             .collect();
-        ManagerAssignment {
-            managers,
-            per_node,
-        }
+        ManagerAssignment { managers, per_node }
     }
 
     /// Number of managers assigned to each node (`M`).
@@ -73,10 +70,10 @@ impl ManagerAssignment {
     /// Iterates over every `(managed node, manager)` pair — useful to build
     /// the reverse index of which nodes a given manager is responsible for.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.managers.iter().enumerate().flat_map(|(i, ms)| {
-            ms.iter()
-                .map(move |m| (NodeId::new(i as u32), *m))
-        })
+        self.managers
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ms)| ms.iter().map(move |m| (NodeId::new(i as u32), *m)))
     }
 }
 

@@ -29,10 +29,9 @@ impl VoteFunction {
 
 /// Minimum vote (the paper's choice). `None` for an empty slice.
 pub fn aggregate_min(replies: &[f64]) -> Option<f64> {
-    replies
-        .iter()
-        .copied()
-        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+    replies.iter().copied().fold(None, |acc: Option<f64>, v| {
+        Some(acc.map_or(v, |a| a.min(v)))
+    })
 }
 
 /// Mean vote (ablation baseline). `None` for an empty slice.

@@ -1,0 +1,285 @@
+//! Builds a [`SystemWorld`] from a [`ScenarioConfig`]: wires the node
+//! stacks, the adversaries, the network, the manager assignment and the
+//! audit plane.
+//!
+//! The construction order (and in particular the order of RNG derivations)
+//! is part of the determinism contract: existing scenarios must produce
+//! bit-identical [`crate::RunOutcome`]s across refactors.
+
+use std::sync::Arc;
+
+use lifting_analysis::entropy::calibrate_gamma;
+use lifting_analysis::ProtocolParams;
+use lifting_core::Auditor;
+use lifting_gossip::StreamSource;
+use lifting_membership::Directory;
+use lifting_net::{Network, NodeCapability};
+use lifting_reputation::ManagerAssignment;
+use lifting_sim::{derive_rng, NodeId, SimDuration, SimTime};
+use rand::Rng;
+
+use crate::layers::{
+    Adversary, AuditCoordinator, BlameSpammer, Colluder, Freerider, Honest, NodeStack,
+    OnOffFreerider,
+};
+use crate::message::Event;
+use crate::scenario::{AdversaryScenario, ScenarioConfig};
+use crate::world::SystemWorld;
+
+/// The adversary node `index` plays under `config`.
+///
+/// Node 0 (the source) and the honest population play [`Honest`]; the
+/// freerider suffix plays whatever [`AdversaryScenario`] selects, defaulting
+/// to the paper's independent-freerider / colluder wiring.
+pub fn adversary_for(
+    config: &ScenarioConfig,
+    index: usize,
+    coalition: &Arc<Vec<NodeId>>,
+) -> Box<dyn Adversary> {
+    if !config.is_freerider(index) {
+        return Box::new(Honest);
+    }
+    let degree = config.freeriders.expect("freeriders configured").degree;
+    match config.adversary {
+        AdversaryScenario::Baseline => {
+            if config.collusion.is_active() {
+                Box::new(Colluder {
+                    degree,
+                    coalition: coalition.clone(),
+                    partner_bias: config.collusion.partner_bias,
+                    cover_up: config.collusion.cover_up,
+                    man_in_the_middle: config.collusion.man_in_the_middle,
+                })
+            } else {
+                Box::new(Freerider { degree })
+            }
+        }
+        AdversaryScenario::OnOff {
+            on_periods,
+            off_periods,
+        } => Box::new(OnOffFreerider {
+            degree,
+            on_periods,
+            off_periods,
+        }),
+        AdversaryScenario::BlameSpam {
+            blames_per_period,
+            blame_value,
+        } => Box::new(BlameSpammer {
+            blames_per_period,
+            blame_value,
+        }),
+    }
+}
+
+/// Builds the system described by `config`.
+pub fn build_world(config: ScenarioConfig) -> SystemWorld {
+    config.validate();
+    let n = config.nodes;
+    let seed = config.seed;
+
+    let directory = Directory::new(n);
+    let mut network = Network::new(n, config.network.clone(), derive_rng(seed, 1));
+
+    // Node capabilities: the source and a fraction of the honest nodes.
+    let mut cap_rng = derive_rng(seed, 2);
+    for i in 0..n {
+        let default = match config.default_upload_bps {
+            Some(bps) => NodeCapability::broadband(bps),
+            None => NodeCapability::unconstrained(),
+        };
+        let cap = if i == 0 {
+            // The source is always well provisioned.
+            default
+        } else if !config.is_freerider(i)
+            && config.poor_node_fraction > 0.0
+            && cap_rng.gen_bool(config.poor_node_fraction)
+        {
+            NodeCapability::poor(config.poor_upload_bps, config.poor_extra_loss)
+        } else {
+            default
+        };
+        network.set_capability(NodeId::new(i as u32), cap);
+    }
+
+    // Coalition: every freerider belongs to it when collusion is active.
+    let coalition: Arc<Vec<NodeId>> = Arc::new(
+        (0..n)
+            .filter(|i| config.is_freerider(*i))
+            .map(|i| NodeId::new(i as u32))
+            .collect(),
+    );
+
+    let stacks: Vec<NodeStack> = (0..n)
+        .map(|i| {
+            NodeStack::new(
+                NodeId::new(i as u32),
+                config.gossip,
+                config.lifting,
+                config.lifting_enabled,
+                adversary_for(&config, i, &coalition),
+                derive_rng(seed, 1000 + i as u64),
+            )
+        })
+        .collect();
+
+    let assignment = ManagerAssignment::new(n, config.lifting.managers, seed);
+    let mut stacks = stacks;
+    // Register every scored node (the source is never scored or expelled).
+    for i in 1..n {
+        let id = NodeId::new(i as u32);
+        for m in assignment.managers_of(id) {
+            stacks[m.index()].reputation.register(id);
+        }
+    }
+
+    // Per-period compensation of wrongful blames (Equation 5, adapted to
+    // the scenario's loss rate, fanout, request size and pdcc).
+    let pr = config.network.loss.reception_probability();
+    let chunks_per_period = config.stream_rate_bps as f64 / (config.chunk_size as f64 * 8.0)
+        * config.gossip.gossip_period.as_secs_f64();
+    let requested = (chunks_per_period / config.gossip.fanout as f64)
+        .ceil()
+        .max(1.0) as usize;
+    let params = ProtocolParams::new(config.gossip.fanout, requested, pr);
+    let compensation_per_period = if config.lifting.compensate_wrongful_blames {
+        params.expected_blame_direct_verification()
+            + config.lifting.pdcc * params.expected_blame_cross_checking()
+    } else {
+        0.0
+    };
+
+    // Entropy threshold calibrated for this deployment's history size and
+    // population (the paper's 8.95 corresponds to 600 entries / 10,000
+    // nodes; smaller systems need a lower threshold).
+    // The safety margin is generous (0.6 bits): honest histories in small
+    // systems collide a lot, and a wrongful expulsion is far more costly
+    // than a missed audit (freeriders are still caught by their much lower
+    // entropy and by the score-based detection).
+    let entries = config.lifting.history_periods * config.gossip.fanout;
+    let gamma = calibrate_gamma(entries, n.max(2), 60, 0.6, seed ^ 0x5eed)
+        .min(config.lifting.gamma)
+        .max(0.1);
+    let audits = AuditCoordinator::new(Auditor::with_threshold(
+        config.lifting,
+        config.gossip.fanout,
+        gamma,
+    ));
+
+    let source = StreamSource::new(config.stream_rate_bps, config.chunk_size);
+
+    SystemWorld {
+        directory,
+        network,
+        stacks,
+        assignment,
+        audits,
+        source,
+        emitted_chunks: Vec::new(),
+        compensation_per_period,
+        expulsion_votes: vec![0; n],
+        expelled: vec![false; n],
+        rng: derive_rng(seed, 3),
+        scratch_downcalls: Vec::new(),
+        config,
+    }
+}
+
+/// The initial events of a run under `config`: the first source emission,
+/// staggered gossip ticks, staggered audit ticks (when enabled) and the
+/// first period end.
+pub fn initial_events(config: &ScenarioConfig) -> Vec<(SimTime, Event)> {
+    let mut events = vec![(SimTime::ZERO, Event::SourceEmit)];
+    let period = config.gossip.gossip_period;
+    let n = config.nodes;
+    for i in 0..n {
+        // Stagger gossip phases uniformly over one period, as real
+        // deployments do implicitly (nodes start at different times).
+        let offset = SimDuration::from_micros(period.as_micros() * i as u64 / n as u64);
+        events.push((
+            SimTime::ZERO + offset,
+            Event::GossipTick {
+                node: NodeId::new(i as u32),
+            },
+        ));
+        if config.audits_enabled && i != 0 {
+            let audit_offset =
+                SimDuration::from_micros(config.audit_interval.as_micros() * i as u64 / n as u64);
+            events.push((
+                SimTime::ZERO + config.audit_interval + audit_offset,
+                Event::AuditTick {
+                    auditor: NodeId::new(i as u32),
+                },
+            ));
+        }
+    }
+    events.push((SimTime::ZERO + period, Event::PeriodEnd));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CollusionScenario, FreeriderScenario};
+    use lifting_gossip::FreeriderConfig;
+
+    #[test]
+    fn baseline_wiring_matches_the_paper_adversaries() {
+        let mut config = ScenarioConfig::small_test(10, 1).with_planetlab_freeriders(0.3);
+        let coalition = Arc::new(vec![NodeId::new(7), NodeId::new(8), NodeId::new(9)]);
+        assert_eq!(adversary_for(&config, 0, &coalition).name(), "honest");
+        assert_eq!(adversary_for(&config, 7, &coalition).name(), "freerider");
+        config.collusion = CollusionScenario {
+            partner_bias: 0.3,
+            cover_up: true,
+            man_in_the_middle: false,
+        };
+        assert_eq!(adversary_for(&config, 7, &coalition).name(), "colluder");
+        assert_eq!(adversary_for(&config, 1, &coalition).name(), "honest");
+    }
+
+    #[test]
+    fn non_baseline_adversaries_replace_the_freerider_population() {
+        let mut config = ScenarioConfig::small_test(10, 1);
+        config.freeriders = Some(FreeriderScenario {
+            count: 2,
+            degree: FreeriderConfig::uniform(0.2),
+        });
+        config.adversary = AdversaryScenario::OnOff {
+            on_periods: 2,
+            off_periods: 2,
+        };
+        let coalition = Arc::new(Vec::new());
+        assert_eq!(
+            adversary_for(&config, 9, &coalition).name(),
+            "on-off-freerider"
+        );
+        config.adversary = AdversaryScenario::BlameSpam {
+            blames_per_period: 1,
+            blame_value: 1.0,
+        };
+        assert_eq!(
+            adversary_for(&config, 9, &coalition).name(),
+            "blame-spammer"
+        );
+        assert_eq!(adversary_for(&config, 0, &coalition).name(), "honest");
+    }
+
+    #[test]
+    fn initial_events_stagger_ticks_and_schedule_audits() {
+        let mut config = ScenarioConfig::small_test(5, 3);
+        config.audits_enabled = true;
+        let events = initial_events(&config);
+        let gossip_ticks = events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::GossipTick { .. }))
+            .count();
+        let audit_ticks = events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::AuditTick { .. }))
+            .count();
+        assert_eq!(gossip_ticks, 5);
+        assert_eq!(audit_ticks, 4, "the source never audits");
+        assert!(matches!(events[0], (t, Event::SourceEmit) if t == SimTime::ZERO));
+    }
+}

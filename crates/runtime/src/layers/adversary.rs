@@ -1,0 +1,327 @@
+//! Pluggable adversaries.
+//!
+//! Section 4 of the paper enumerates the ways a node can deviate in each
+//! phase; the monolithic runtime used to hard-wire those deviations at
+//! construction time (`if is_freerider` branches picking a `Behavior`, a
+//! `PartnerSelector` and a `CollusionConfig`). The [`Adversary`] trait makes
+//! misbehaviour a first-class, composable plug-in instead: an adversary
+//! *configures* each plane of the stack when the node is built, and may keep
+//! *reshaping* them as the run progresses (time-varying attacks) or inject
+//! traffic of its own (fabricated blames).
+
+use std::sync::Arc;
+
+use lifting_core::{Blame, BlameReason, CollusionConfig};
+use lifting_gossip::{Behavior, FreeriderConfig, GossipNode};
+use lifting_membership::{PartnerSelector, SelectionPolicy};
+use lifting_sim::NodeId;
+
+use super::LayerEnv;
+
+/// A node's strategy: how each plane of its protocol stack deviates (or not)
+/// from the protocol.
+///
+/// The three `*_plane` methods are consulted once, when the stack is built;
+/// the hooks run during the simulation. Every implementation must be
+/// deterministic given the node's RNG stream.
+pub trait Adversary: std::fmt::Debug + Send {
+    /// Short name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Ground truth: whether this node misbehaves (used only by the metrics,
+    /// never by the protocol).
+    fn is_freerider(&self) -> bool {
+        false
+    }
+
+    /// Dissemination-plane behaviour (fanout decrease, partial propose,
+    /// partial serve, period stretching — Section 4.1).
+    fn dissemination_plane(&self) -> Behavior {
+        Behavior::Honest
+    }
+
+    /// Membership-plane partner selection (colluders bias it towards the
+    /// coalition — Section 4.1(iii)).
+    fn membership_plane(&self) -> PartnerSelector {
+        PartnerSelector::uniform()
+    }
+
+    /// Verification-plane collusion (cover-up, man-in-the-middle —
+    /// Section 5.2, Figure 8).
+    fn verification_plane(&self) -> CollusionConfig {
+        CollusionConfig::none()
+    }
+
+    /// Hook run at the start of every gossip tick, before the propose phase;
+    /// `period` is the counter the upcoming propose round will carry (i.e.
+    /// `ProposeRound::period`, the pre-increment value the verifier's history
+    /// records for the round). Time-varying adversaries reshape the
+    /// dissemination plane here. Implementations used by the paper's
+    /// scenarios must not consume RNG.
+    fn on_gossip_tick(&mut self, _period: u64, _gossip: &mut GossipNode) {}
+
+    /// Blames this node fabricates out of thin air at the end of its gossip
+    /// tick (the blame-spamming attack on the reputation plane). Honest and
+    /// paper adversaries return nothing and consume no RNG.
+    fn fabricate_blames(&mut self, _env: &mut LayerEnv<'_>) -> Vec<Blame> {
+        Vec::new()
+    }
+}
+
+/// Strict protocol compliance on every plane.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Honest;
+
+impl Adversary for Honest {
+    fn name(&self) -> &'static str {
+        "honest"
+    }
+}
+
+/// The paper's independent freerider: deviates at the dissemination plane
+/// only, with degree `Δ = (δ1, δ2, δ3)` (Section 4.1).
+#[derive(Debug, Clone, Copy)]
+pub struct Freerider {
+    /// The degree of freeriding.
+    pub degree: FreeriderConfig,
+}
+
+impl Adversary for Freerider {
+    fn name(&self) -> &'static str {
+        "freerider"
+    }
+
+    fn is_freerider(&self) -> bool {
+        true
+    }
+
+    fn dissemination_plane(&self) -> Behavior {
+        Behavior::Freerider(self.degree)
+    }
+}
+
+/// A coalition member: freerides at the dissemination plane and additionally
+/// subverts partner selection and the verification procedures together with
+/// its accomplices (Sections 4.1(iii) and 5.2).
+#[derive(Debug, Clone)]
+pub struct Colluder {
+    /// The degree of freeriding.
+    pub degree: FreeriderConfig,
+    /// The whole coalition (including this node).
+    pub coalition: Arc<Vec<NodeId>>,
+    /// Probability of picking a coalition member as gossip partner (`pm`);
+    /// 0 keeps the selection uniform.
+    pub partner_bias: f64,
+    /// Vouch for coalition members during confirmations, never blame them.
+    pub cover_up: bool,
+    /// Mount the man-in-the-middle attack of Figure 8b.
+    pub man_in_the_middle: bool,
+}
+
+impl Adversary for Colluder {
+    fn name(&self) -> &'static str {
+        "colluder"
+    }
+
+    fn is_freerider(&self) -> bool {
+        true
+    }
+
+    fn dissemination_plane(&self) -> Behavior {
+        Behavior::Freerider(self.degree)
+    }
+
+    fn membership_plane(&self) -> PartnerSelector {
+        if self.partner_bias > 0.0 {
+            PartnerSelector::new(SelectionPolicy::ColludingBias {
+                colluders: self.coalition.clone(),
+                pm: self.partner_bias,
+            })
+        } else {
+            PartnerSelector::uniform()
+        }
+    }
+
+    fn verification_plane(&self) -> CollusionConfig {
+        CollusionConfig::coalition(
+            self.coalition.clone(),
+            self.cover_up,
+            self.man_in_the_middle,
+        )
+    }
+}
+
+/// An **on-off freerider** — a time-varying attack the old `Behavior` enum
+/// could not express: the node freerides for `on_periods` gossip periods,
+/// then behaves honestly for `off_periods`, and so on. Dodging detection this
+/// way exploits the score's `1/r` normalization (Equation 6): blame collected
+/// while "on" is diluted by the honest windows.
+#[derive(Debug, Clone, Copy)]
+pub struct OnOffFreerider {
+    /// The degree of freeriding while "on".
+    pub degree: FreeriderConfig,
+    /// Length of the freeriding window, in gossip periods (≥ 1).
+    pub on_periods: u64,
+    /// Length of the honest window, in gossip periods (≥ 1).
+    pub off_periods: u64,
+}
+
+impl OnOffFreerider {
+    /// True if the node freerides during `period`.
+    pub fn is_on(&self, period: u64) -> bool {
+        let cycle = (self.on_periods + self.off_periods).max(1);
+        period % cycle < self.on_periods
+    }
+}
+
+impl Adversary for OnOffFreerider {
+    fn name(&self) -> &'static str {
+        "on-off-freerider"
+    }
+
+    fn is_freerider(&self) -> bool {
+        true
+    }
+
+    fn dissemination_plane(&self) -> Behavior {
+        Behavior::Freerider(self.degree)
+    }
+
+    fn on_gossip_tick(&mut self, period: u64, gossip: &mut GossipNode) {
+        let behavior = if self.is_on(period) {
+            Behavior::Freerider(self.degree)
+        } else {
+            Behavior::Honest
+        };
+        if gossip.behavior() != &behavior {
+            gossip.set_behavior(behavior);
+        }
+    }
+}
+
+/// A **blame spammer** — an attack on the reputation plane the old
+/// construction could not express: the node participates honestly in the
+/// dissemination but floods the managers with fabricated blames against
+/// random peers, trying to drive honest nodes below the expulsion threshold
+/// and erode trust in the scores. The per-period compensation `b̃`
+/// (Equation 5) is LiFTinG's only systemic defence, which is exactly what
+/// this adversary stresses.
+#[derive(Debug, Clone, Copy)]
+pub struct BlameSpammer {
+    /// Fabricated blames emitted per gossip tick.
+    pub blames_per_period: u32,
+    /// Value of each fabricated blame.
+    pub blame_value: f64,
+}
+
+impl Adversary for BlameSpammer {
+    fn name(&self) -> &'static str {
+        "blame-spammer"
+    }
+
+    fn is_freerider(&self) -> bool {
+        true
+    }
+
+    fn fabricate_blames(&mut self, env: &mut LayerEnv<'_>) -> Vec<Blame> {
+        (0..self.blames_per_period)
+            .filter_map(|_| {
+                let target = *env.directory.sample_uniform(env.rng, 1, env.me).first()?;
+                Some(Blame::new(
+                    target,
+                    self.blame_value,
+                    BlameReason::PartialServe,
+                ))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifting_gossip::GossipConfig;
+    use lifting_membership::Directory;
+    use lifting_sim::{derive_rng, SimTime};
+
+    #[test]
+    fn paper_adversaries_configure_the_planes_like_the_old_wiring() {
+        let honest = Honest;
+        assert!(!honest.is_freerider());
+        assert_eq!(honest.dissemination_plane(), Behavior::Honest);
+        assert!(!honest.verification_plane().covers_up());
+
+        let freerider = Freerider {
+            degree: FreeriderConfig::planetlab(),
+        };
+        assert!(freerider.is_freerider());
+        assert!(freerider.dissemination_plane().is_freerider());
+        assert!(!freerider.verification_plane().man_in_the_middle());
+
+        let coalition = Arc::new(vec![NodeId::new(1), NodeId::new(2)]);
+        let colluder = Colluder {
+            degree: FreeriderConfig::planetlab(),
+            coalition: coalition.clone(),
+            partner_bias: 0.3,
+            cover_up: true,
+            man_in_the_middle: false,
+        };
+        assert!(colluder.verification_plane().covers_up());
+        assert!(matches!(
+            colluder.membership_plane().policy(),
+            SelectionPolicy::ColludingBias { .. }
+        ));
+        let unbiased = Colluder {
+            partner_bias: 0.0,
+            ..colluder
+        };
+        assert!(matches!(
+            unbiased.membership_plane().policy(),
+            SelectionPolicy::Uniform
+        ));
+    }
+
+    #[test]
+    fn on_off_freerider_alternates_windows() {
+        let mut adversary = OnOffFreerider {
+            degree: FreeriderConfig::uniform(0.3),
+            on_periods: 2,
+            off_periods: 3,
+        };
+        let on: Vec<bool> = (0..10).map(|p| adversary.is_on(p)).collect();
+        assert_eq!(
+            on,
+            vec![true, true, false, false, false, true, true, false, false, false]
+        );
+        let mut gossip = GossipNode::new(
+            NodeId::new(4),
+            GossipConfig::planetlab(),
+            Behavior::Freerider(adversary.degree),
+        );
+        adversary.on_gossip_tick(2, &mut gossip);
+        assert_eq!(gossip.behavior(), &Behavior::Honest);
+        adversary.on_gossip_tick(5, &mut gossip);
+        assert!(gossip.behavior().is_freerider());
+    }
+
+    #[test]
+    fn blame_spammer_fabricates_the_configured_volume() {
+        let mut adversary = BlameSpammer {
+            blames_per_period: 3,
+            blame_value: 10.0,
+        };
+        let directory = Directory::new(20);
+        let mut rng = derive_rng(7, 0);
+        let mut env = LayerEnv {
+            me: NodeId::new(5),
+            now: SimTime::ZERO,
+            directory: &directory,
+            rng: &mut rng,
+            upcalls_consumed: true,
+        };
+        let blames = adversary.fabricate_blames(&mut env);
+        assert_eq!(blames.len(), 3);
+        assert!(blames.iter().all(|b| b.target != NodeId::new(5)));
+        assert!(blames.iter().all(|b| b.value == 10.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! The a-posteriori audit plane (Section 5.3).
+//!
+//! Audits are the one procedure that cannot live inside a single node's
+//! stack: the auditor pulls the target's bounded history over TCP and then
+//! polls *other* nodes (the witnesses) to cross-check it. The
+//! [`AuditCoordinator`] therefore operates over the whole stack array and
+//! the network, and hands the runtime a typed [`AuditOutcome`] to apply.
+
+use lifting_core::{AuditOracle, AuditVerdict, Auditor, Blame, BlameReason, VerificationMessage};
+use lifting_gossip::ChunkId;
+use lifting_net::{Network, TrafficCategory};
+use lifting_sim::{NodeId, SimTime};
+
+use super::NodeStack;
+
+/// What an audit concluded about its target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AuditOutcome {
+    /// The history passed every check.
+    Pass,
+    /// Unconfirmed entries: blame the target proportionally.
+    Blame(Blame),
+    /// Entropy or phase-count checks failed hard: expel the target.
+    Expel,
+}
+
+/// Runs a-posteriori audits over the node stacks.
+#[derive(Debug)]
+pub struct AuditCoordinator {
+    auditor: Auditor,
+}
+
+impl AuditCoordinator {
+    /// Creates a coordinator around a configured [`Auditor`].
+    pub fn new(auditor: Auditor) -> Self {
+        AuditCoordinator { auditor }
+    }
+
+    /// The entropy threshold the auditor applies.
+    pub fn gamma(&self) -> f64 {
+        self.auditor.gamma()
+    }
+
+    /// Audits `target` on behalf of `auditor`: transfers the history over the
+    /// network (accounted as audit traffic), polls the witnesses through the
+    /// live node states, runs the entropy and cross-checks, and returns the
+    /// outcome for the runtime to apply.
+    pub fn audit(
+        &self,
+        stacks: &[NodeStack],
+        network: &mut Network,
+        auditor: NodeId,
+        target: NodeId,
+        now: SimTime,
+    ) -> AuditOutcome {
+        // Account the TCP history transfer.
+        let history = stacks[target.index()]
+            .verification
+            .verifier
+            .history()
+            .clone();
+        network.send(
+            now,
+            auditor,
+            target,
+            VerificationMessage::HistoryRequest.wire_size(),
+            TrafficCategory::Audit,
+        );
+        network.send(
+            now,
+            target,
+            auditor,
+            VerificationMessage::HistoryResponse(Box::new(history.clone())).wire_size(),
+            TrafficCategory::Audit,
+        );
+
+        // Poll the witnesses through the real node states, accounting traffic.
+        let report = {
+            let mut oracle = StackAuditOracle {
+                stacks,
+                network,
+                auditor,
+                now,
+            };
+            self.auditor.audit(&history, &mut oracle)
+        };
+
+        if std::env::var_os("LIFTING_AUDIT_DEBUG").is_some() {
+            eprintln!(
+                "audit of {target}: fanout H={:.2}/thr {:.2} ({} entries), fanin H={:?}/thr {:?}, unconfirmed={}, phases {}/{}, verdict {:?}",
+                report.fanout_entropy,
+                report.applied_fanout_threshold,
+                history.fanout_multiset().len(),
+                report.fanin_entropy.map(|h| (h * 100.0).round() / 100.0),
+                report.applied_fanin_threshold.map(|h| (h * 100.0).round() / 100.0),
+                report.unconfirmed_pushes,
+                report.observed_propose_phases,
+                report.expected_propose_phases,
+                report.verdict
+            );
+        }
+        match report.verdict {
+            AuditVerdict::Expel => AuditOutcome::Expel,
+            AuditVerdict::Blamed => AuditOutcome::Blame(Blame::new(
+                target,
+                report.blame,
+                BlameReason::UnconfirmedHistoryEntry,
+            )),
+            AuditVerdict::Pass => AuditOutcome::Pass,
+        }
+    }
+}
+
+/// Audit oracle backed by the live node stacks; every poll is accounted as
+/// audit traffic (TCP under the paper's transport policy).
+struct StackAuditOracle<'a> {
+    stacks: &'a [NodeStack],
+    network: &'a mut Network,
+    auditor: NodeId,
+    now: SimTime,
+}
+
+impl AuditOracle for StackAuditOracle<'_> {
+    fn confirm_proposal(&mut self, witness: NodeId, subject: NodeId, chunks: &[ChunkId]) -> bool {
+        self.network.send(
+            self.now,
+            self.auditor,
+            witness,
+            32 + 8 * chunks.len() as u64,
+            TrafficCategory::Audit,
+        );
+        self.network
+            .send(self.now, witness, self.auditor, 24, TrafficCategory::Audit);
+        self.stacks[witness.index()]
+            .verification
+            .verifier
+            .answer_audit_poll(subject, chunks)
+    }
+
+    fn confirm_askers(&mut self, witness: NodeId, subject: NodeId) -> Vec<NodeId> {
+        self.network
+            .send(self.now, self.auditor, witness, 32, TrafficCategory::Audit);
+        let askers = self.stacks[witness.index()]
+            .verification
+            .verifier
+            .confirm_askers_about(subject);
+        self.network.send(
+            self.now,
+            witness,
+            self.auditor,
+            24 + 6 * askers.len() as u64,
+            TrafficCategory::Audit,
+        );
+        askers
+    }
+}

@@ -1,0 +1,130 @@
+//! The layered node protocol stack.
+//!
+//! The paper structures each LiFTinG node as distinct planes: gossip
+//! dissemination (Section 3), direct verification and a-posteriori audits
+//! (Section 5), and score/reputation management (Section 5.4). This module
+//! mirrors that structure as composable layers:
+//!
+//! ```text
+//!                ┌─────────────────────────┐
+//!                │     ReputationLayer     │  manager role: blames → scores
+//!                ├─────────────────────────┤
+//!                │    VerificationLayer    │  direct verification, acks,
+//!                │                         │  cross-checking, audit answers
+//!                ├─────────────────────────┤
+//!                │       GossipLayer       │  propose / request / serve
+//!                └───────────┬─────────────┘
+//!                            │  Downcall (send / timer / blame)
+//!                      lifting-net
+//! ```
+//!
+//! * Each layer implements the [`Layer`] trait: wire traffic enters through
+//!   `on_inbound`, **upcalls** (typed notifications) flow to the layer above,
+//!   and **downcalls** ([`Downcall`]) flow to the [`NodeStack`], which routes
+//!   them to the network and the event scheduler.
+//! * Misbehaviour is not wired into the layers: an [`Adversary`]
+//!   implementation reshapes each plane (dissemination behaviour, partner
+//!   selection, verification collusion) and may inject traffic of its own,
+//!   so attacks compose across layers instead of being scattered through the
+//!   runtime.
+//! * A-posteriori audits need cross-node state (the auditor polls witnesses),
+//!   so they are coordinated by [`audit::AuditCoordinator`] over the whole
+//!   stack array rather than inside a single node's stack.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the full diagram and the
+//! mapping from each layer to the paper section it implements.
+
+pub mod adversary;
+pub mod audit;
+pub mod gossip;
+pub mod reputation;
+pub mod stack;
+pub mod verification;
+
+pub use adversary::{Adversary, BlameSpammer, Colluder, Freerider, Honest, OnOffFreerider};
+pub use audit::{AuditCoordinator, AuditOutcome};
+pub use gossip::{GossipLayer, GossipUpcall};
+pub use reputation::ReputationLayer;
+pub use stack::NodeStack;
+pub use verification::VerificationLayer;
+
+use lifting_core::{Blame, VerifierTimer};
+use lifting_membership::Directory;
+use lifting_sim::{NodeId, SimTime};
+use rand::rngs::SmallRng;
+
+use crate::message::Message;
+
+/// A request a layer hands down the stack for the runtime to execute.
+///
+/// Downcalls are collected in order: the order in which a stack emits them is
+/// the order in which the runtime puts messages on the wire, which keeps the
+/// network's RNG consumption — and therefore whole runs — deterministic.
+#[derive(Debug)]
+pub enum Downcall {
+    /// Put a message on the wire (the transport is resolved from the
+    /// network's per-category [`lifting_net::TransportPolicy`]).
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        message: Message,
+    },
+    /// Arm a verifier timer for this node.
+    StartTimer {
+        /// The timer to arm.
+        timer: VerifierTimer,
+        /// When it expires.
+        deadline: SimTime,
+    },
+    /// Route a blame to the target's reputation managers.
+    Blame(Blame),
+}
+
+/// Everything a layer may consult while handling traffic: the node's
+/// identity, the simulated clock, the membership view and the node's private
+/// RNG stream.
+pub struct LayerEnv<'a> {
+    /// The node this stack belongs to.
+    pub me: NodeId,
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Membership view (read-only: layers never mutate the directory).
+    pub directory: &'a Directory,
+    /// The node's private deterministic RNG stream.
+    pub rng: &'a mut SmallRng,
+    /// True when the verification plane consumes upcalls in this run. Lower
+    /// layers may skip *constructing* data-carrying upcalls when false (pure
+    /// allocation avoidance — it must never change RNG draws or wire order).
+    pub upcalls_consumed: bool,
+}
+
+/// One plane of the node protocol stack.
+///
+/// A layer consumes its own slice of the wire traffic (`Inbound`), emits
+/// typed upcalls to the layer above, and pushes [`Downcall`]s for the runtime
+/// into the output queue. Layers never touch the network or the scheduler
+/// directly — that is what keeps them unit-testable sans-IO and the stack's
+/// RNG consumption deterministic.
+pub trait Layer {
+    /// The wire messages this layer consumes.
+    type Inbound;
+    /// The typed notification this layer emits to the layer above it.
+    type Upcall;
+
+    /// Name of the layer, used in diagnostics and per-layer metrics.
+    fn name(&self) -> &'static str;
+
+    /// Handles a message addressed to this layer, pushing downcalls into
+    /// `out` and upcalls for the layer above into `upcalls`. Both buffers
+    /// are caller-owned scratch space recycled across events, keeping the
+    /// hot path allocation-free.
+    fn on_inbound(
+        &mut self,
+        env: &mut LayerEnv<'_>,
+        from: NodeId,
+        inbound: Self::Inbound,
+        out: &mut Vec<Downcall>,
+        upcalls: &mut Vec<Self::Upcall>,
+    );
+}

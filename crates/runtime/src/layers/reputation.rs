@@ -1,0 +1,108 @@
+//! The reputation plane: the manager role of one node.
+
+use lifting_core::VerificationMessage;
+use lifting_reputation::ManagerState;
+use lifting_sim::NodeId;
+
+use super::{Downcall, Layer, LayerEnv};
+
+/// The reputation layer of one node: its manager score book (Section 5.4,
+/// Alliatrust-style). Every node is potentially a manager for `m` other
+/// nodes; the manager assignment decides which blames reach it.
+#[derive(Debug, Default)]
+pub struct ReputationLayer {
+    /// The score records of the nodes this manager is responsible for.
+    pub manager: ManagerState,
+}
+
+impl ReputationLayer {
+    /// Creates an empty layer.
+    pub fn new() -> Self {
+        ReputationLayer {
+            manager: ManagerState::new(),
+        }
+    }
+
+    /// Registers `node` under this manager.
+    pub fn register(&mut self, node: NodeId) {
+        self.manager.register(node);
+    }
+
+    /// Ends one gossip period: increments `r` and credits the per-period
+    /// compensation `b̃` for every managed node (Equation 5).
+    pub fn end_period(&mut self, compensation_per_period: f64) {
+        self.manager.end_period(compensation_per_period);
+    }
+
+    /// Nodes newly voted for expulsion at the current scores (Equation 6).
+    pub fn expulsion_votes(&mut self, eta: f64, min_periods: u64) -> Vec<NodeId> {
+        self.manager.expulsion_votes(eta, min_periods)
+    }
+
+    /// The normalized score this manager holds for `node`, if managed.
+    pub fn score(&self, node: NodeId) -> Option<f64> {
+        self.manager.normalized_score(node)
+    }
+}
+
+impl Layer for ReputationLayer {
+    /// The reputation layer consumes blame messages addressed to this node in
+    /// its manager role.
+    type Inbound = VerificationMessage;
+    type Upcall = ();
+
+    fn name(&self) -> &'static str {
+        "reputation"
+    }
+
+    fn on_inbound(
+        &mut self,
+        _env: &mut LayerEnv<'_>,
+        _from: NodeId,
+        inbound: VerificationMessage,
+        _out: &mut Vec<Downcall>,
+        _upcalls: &mut Vec<()>,
+    ) {
+        if let VerificationMessage::Blame(blame) = inbound {
+            self.manager.apply_blame(blame.target, blame.value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifting_core::{Blame, BlameReason};
+    use lifting_membership::Directory;
+    use lifting_sim::{derive_rng, SimTime};
+
+    #[test]
+    fn blames_lower_the_managed_score_and_trigger_votes() {
+        let mut layer = ReputationLayer::new();
+        let target = NodeId::new(3);
+        layer.register(target);
+        let directory = Directory::new(4);
+        let mut rng = derive_rng(0, 0);
+        let mut env = LayerEnv {
+            me: NodeId::new(1),
+            now: SimTime::ZERO,
+            directory: &directory,
+            rng: &mut rng,
+            upcalls_consumed: true,
+        };
+        let mut out = Vec::new();
+        layer.on_inbound(
+            &mut env,
+            NodeId::new(2),
+            VerificationMessage::Blame(Blame::new(target, 30.0, BlameReason::MissingAck)),
+            &mut out,
+            &mut Vec::new(),
+        );
+        assert!(out.is_empty());
+        layer.end_period(0.0);
+        assert!(layer.score(target).unwrap() < -9.75);
+        assert_eq!(layer.expulsion_votes(-9.75, 1), vec![target]);
+        // A second sweep does not re-vote.
+        assert!(layer.expulsion_votes(-9.75, 1).is_empty());
+    }
+}

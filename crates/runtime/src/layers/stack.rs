@@ -1,0 +1,243 @@
+//! The per-node protocol stack: routes wire traffic and upcalls between the
+//! gossip, verification and reputation layers.
+
+use lifting_core::{LiftingConfig, Verifier, VerifierTimer};
+use lifting_gossip::{GossipConfig, GossipNode};
+use lifting_membership::Directory;
+use lifting_sim::{NodeId, SimTime};
+use rand::rngs::SmallRng;
+
+use super::{
+    Adversary, Downcall, GossipLayer, GossipUpcall, Layer, LayerEnv, ReputationLayer,
+    VerificationLayer,
+};
+use crate::message::Message;
+
+/// One node of the simulated system: the three protocol layers, the
+/// adversary shaping them, and the node's private RNG stream.
+#[derive(Debug)]
+pub struct NodeStack {
+    /// The dissemination plane.
+    pub gossip: GossipLayer,
+    /// The verification plane (direct verification + cross-checking).
+    pub verification: VerificationLayer,
+    /// The reputation plane (this node's manager role).
+    pub reputation: ReputationLayer,
+    /// The node's strategy; configured the planes and keeps reshaping them.
+    pub adversary: Box<dyn Adversary>,
+    /// The node's private RNG stream.
+    pub rng: SmallRng,
+    /// Ground truth for the metrics (from the adversary, cached).
+    pub is_freerider: bool,
+    /// Recycled scratch for the gossip layer's sends (allocation-free path).
+    scratch_sends: Vec<Downcall>,
+    /// Recycled scratch for the gossip layer's upcalls.
+    scratch_upcalls: Vec<GossipUpcall>,
+}
+
+impl NodeStack {
+    /// Builds a node stack: the adversary configures every plane.
+    pub fn new(
+        id: NodeId,
+        gossip_config: GossipConfig,
+        lifting_config: LiftingConfig,
+        lifting_enabled: bool,
+        adversary: Box<dyn Adversary>,
+        rng: SmallRng,
+    ) -> Self {
+        let fanout = gossip_config.fanout;
+        let is_freerider = adversary.is_freerider();
+        let gossip = GossipLayer::new(
+            GossipNode::new(id, gossip_config, adversary.dissemination_plane()),
+            adversary.membership_plane(),
+        );
+        let verifier = Verifier::new(id, fanout, lifting_config, adversary.verification_plane());
+        NodeStack {
+            gossip,
+            verification: VerificationLayer::new(verifier, lifting_enabled),
+            reputation: ReputationLayer::new(),
+            adversary,
+            rng,
+            is_freerider,
+            scratch_sends: Vec::new(),
+            scratch_upcalls: Vec::new(),
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.gossip.node.id()
+    }
+
+    /// Runs one gossip tick (the propose phase): the adversary may reshape
+    /// the dissemination plane first, the gossip layer runs the phase, its
+    /// upcalls drive the verification layer, and fabricated blames (if the
+    /// adversary spams the reputation plane) are appended last.
+    ///
+    /// Downcall order mirrors the pre-refactor runtime exactly:
+    /// verification traffic (acks, timers) first, then the propose sends,
+    /// then adversarial extras.
+    pub fn on_gossip_tick(
+        &mut self,
+        me: NodeId,
+        now: SimTime,
+        directory: &Directory,
+        out: &mut Vec<Downcall>,
+    ) {
+        let mut gossip_sends = std::mem::take(&mut self.scratch_sends);
+        let mut upcalls = std::mem::take(&mut self.scratch_upcalls);
+        let mut env = LayerEnv {
+            me,
+            now,
+            directory,
+            rng: &mut self.rng,
+            upcalls_consumed: self.verification.is_enabled(),
+        };
+        self.adversary
+            .on_gossip_tick(self.gossip.node.period(), &mut self.gossip.node);
+        self.gossip
+            .on_tick(&mut env, &mut gossip_sends, &mut upcalls);
+        for upcall in upcalls.drain(..) {
+            self.verification.on_gossip_upcall(&mut env, upcall, out);
+        }
+        out.append(&mut gossip_sends);
+        for blame in self.adversary.fabricate_blames(&mut env) {
+            out.push(Downcall::Blame(blame));
+        }
+        self.scratch_sends = gossip_sends;
+        self.scratch_upcalls = upcalls;
+    }
+
+    /// Routes one delivered message into the stack.
+    pub fn on_message(
+        &mut self,
+        me: NodeId,
+        from: NodeId,
+        message: Message,
+        now: SimTime,
+        directory: &Directory,
+        out: &mut Vec<Downcall>,
+    ) {
+        let mut gossip_sends = std::mem::take(&mut self.scratch_sends);
+        let mut upcalls = std::mem::take(&mut self.scratch_upcalls);
+        let mut env = LayerEnv {
+            me,
+            now,
+            directory,
+            rng: &mut self.rng,
+            upcalls_consumed: self.verification.is_enabled(),
+        };
+        match message {
+            Message::Gossip(gossip_message) => {
+                self.gossip.on_inbound(
+                    &mut env,
+                    from,
+                    gossip_message,
+                    &mut gossip_sends,
+                    &mut upcalls,
+                );
+                for upcall in upcalls.drain(..) {
+                    self.verification.on_gossip_upcall(&mut env, upcall, out);
+                }
+                out.append(&mut gossip_sends);
+            }
+            Message::Verification(verification_message) => {
+                let mut no_upcalls = Vec::new();
+                if verification_message.is_blame() {
+                    self.reputation.on_inbound(
+                        &mut env,
+                        from,
+                        verification_message,
+                        out,
+                        &mut no_upcalls,
+                    );
+                } else {
+                    self.verification.on_inbound(
+                        &mut env,
+                        from,
+                        verification_message,
+                        out,
+                        &mut no_upcalls,
+                    );
+                }
+            }
+        }
+        self.scratch_sends = gossip_sends;
+        self.scratch_upcalls = upcalls;
+    }
+
+    /// A verifier timer owned by this node expired.
+    pub fn on_timer(
+        &mut self,
+        me: NodeId,
+        timer: VerifierTimer,
+        now: SimTime,
+        directory: &Directory,
+        out: &mut Vec<Downcall>,
+    ) {
+        let mut env = LayerEnv {
+            me,
+            now,
+            directory,
+            rng: &mut self.rng,
+            upcalls_consumed: self.verification.is_enabled(),
+        };
+        self.verification.on_timer(&mut env, timer, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Freerider, Honest};
+    use lifting_core::CollusionConfig;
+    use lifting_gossip::FreeriderConfig;
+    use lifting_sim::derive_rng;
+
+    fn stack(id: u32, adversary: Box<dyn Adversary>) -> NodeStack {
+        NodeStack::new(
+            NodeId::new(id),
+            GossipConfig::planetlab(),
+            LiftingConfig::planetlab(),
+            true,
+            adversary,
+            derive_rng(1, id as u64),
+        )
+    }
+
+    #[test]
+    fn stack_wires_every_layer_with_the_same_identity() {
+        let s = stack(4, Box::new(Honest));
+        assert_eq!(s.id(), NodeId::new(4));
+        assert_eq!(s.gossip.node.id(), s.verification.verifier.id());
+        assert!(!s.is_freerider);
+    }
+
+    #[test]
+    fn freerider_adversary_shapes_the_dissemination_plane() {
+        let s = stack(
+            2,
+            Box::new(Freerider {
+                degree: FreeriderConfig::planetlab(),
+            }),
+        );
+        assert!(s.is_freerider);
+        assert!(s.gossip.node.behavior().is_freerider());
+        // Verification plane stays honest for an independent freerider.
+        let collusion: &CollusionConfig = &CollusionConfig::none();
+        assert_eq!(
+            s.verification.verifier.config().managers,
+            LiftingConfig::planetlab().managers
+        );
+        assert!(!collusion.covers_up());
+    }
+
+    #[test]
+    fn gossip_tick_on_empty_node_still_begins_a_period() {
+        let mut s = stack(1, Box::new(Honest));
+        let directory = Directory::new(8);
+        let mut out = Vec::new();
+        s.on_gossip_tick(NodeId::new(1), SimTime::ZERO, &directory, &mut out);
+        assert!(out.is_empty(), "nothing to propose, nothing on the wire");
+    }
+}

@@ -1,0 +1,214 @@
+//! The verification plane: LiFTinG direct verification and cross-checking.
+
+use lifting_core::{VerificationMessage, Verifier, VerifierAction, VerifierTimer};
+use lifting_sim::NodeId;
+
+use super::{Downcall, GossipUpcall, Layer, LayerEnv};
+use crate::message::Message;
+
+/// The verification layer of one node: wraps the sans-IO [`Verifier`] state
+/// machine, consumes the gossip layer's upcalls to build the node's history
+/// and arm checks, and turns verifier actions into [`Downcall`]s.
+///
+/// When the layer is disabled (`lifting_enabled = false` in the scenario) it
+/// swallows gossip upcalls without recording anything, reproducing the
+/// paper's "gossip without LiFTinG" baseline of Figure 1.
+#[derive(Debug)]
+pub struct VerificationLayer {
+    /// The LiFTinG verification engine.
+    pub verifier: Verifier,
+    enabled: bool,
+}
+
+impl VerificationLayer {
+    /// Creates the layer; `enabled` mirrors the scenario's `lifting_enabled`.
+    pub fn new(verifier: Verifier, enabled: bool) -> Self {
+        VerificationLayer { verifier, enabled }
+    }
+
+    /// True if the verification plane is active in this run.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Converts verifier actions into downcalls, preserving their order.
+    fn push_actions(actions: Vec<VerifierAction>, out: &mut Vec<Downcall>) {
+        for action in actions {
+            out.push(match action {
+                VerifierAction::SendAck { to, ack } => Downcall::Send {
+                    to,
+                    message: Message::Verification(VerificationMessage::Ack(Box::new(ack))),
+                },
+                VerifierAction::SendConfirm { to, confirm } => Downcall::Send {
+                    to,
+                    message: Message::Verification(VerificationMessage::Confirm(Box::new(confirm))),
+                },
+                VerifierAction::SendConfirmResponse { to, response } => Downcall::Send {
+                    to,
+                    message: Message::Verification(VerificationMessage::ConfirmResponse(response)),
+                },
+                VerifierAction::Blame(blame) => Downcall::Blame(blame),
+                VerifierAction::StartTimer { timer, deadline } => {
+                    Downcall::StartTimer { timer, deadline }
+                }
+            });
+        }
+    }
+
+    /// Consumes one gossip upcall: records history and arms direct
+    /// verification / cross-checking checks (Section 5).
+    pub fn on_gossip_upcall(
+        &mut self,
+        env: &mut LayerEnv<'_>,
+        upcall: GossipUpcall,
+        out: &mut Vec<Downcall>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        match upcall {
+            GossipUpcall::PeriodBegan(period) => self.verifier.begin_period(period),
+            GossipUpcall::RoundStarted(round) => {
+                let actions = self.verifier.on_propose_round(&round, env.now);
+                Self::push_actions(actions, out);
+            }
+            GossipUpcall::ProposeReceived { from, chunks } => {
+                self.verifier.on_propose_received(from, &chunks, env.now);
+            }
+            GossipUpcall::RequestSent { to, chunks } => {
+                let actions = self.verifier.on_request_sent(to, &chunks, env.now);
+                Self::push_actions(actions, out);
+            }
+            GossipUpcall::ChunksServed { to, chunks } => {
+                let actions = self.verifier.on_chunks_served(to, &chunks, env.now);
+                Self::push_actions(actions, out);
+            }
+            GossipUpcall::ServeReceived { from, chunk } => {
+                self.verifier.on_serve_received(from, chunk, env.now);
+            }
+        }
+    }
+
+    /// A verifier timer expired.
+    pub fn on_timer(
+        &mut self,
+        env: &mut LayerEnv<'_>,
+        timer: VerifierTimer,
+        out: &mut Vec<Downcall>,
+    ) {
+        let actions = self.verifier.on_timer(timer, env.now);
+        Self::push_actions(actions, out);
+    }
+}
+
+impl Layer for VerificationLayer {
+    type Inbound = VerificationMessage;
+    /// Blames flow up to the reputation plane, but they are routed by the
+    /// runtime (the managers live on *other* nodes), so the verification
+    /// layer has no in-stack upcall.
+    type Upcall = ();
+
+    fn name(&self) -> &'static str {
+        "verification"
+    }
+
+    fn on_inbound(
+        &mut self,
+        env: &mut LayerEnv<'_>,
+        from: NodeId,
+        inbound: VerificationMessage,
+        out: &mut Vec<Downcall>,
+        _upcalls: &mut Vec<()>,
+    ) {
+        match inbound {
+            VerificationMessage::Ack(ack) => {
+                let actions = self.verifier.on_ack(from, *ack, env.now, env.rng);
+                Self::push_actions(actions, out);
+            }
+            VerificationMessage::Confirm(confirm) => {
+                let actions = self.verifier.on_confirm(from, *confirm, env.now);
+                Self::push_actions(actions, out);
+            }
+            VerificationMessage::ConfirmResponse(response) => {
+                self.verifier.on_confirm_response(from, response);
+            }
+            VerificationMessage::Blame(_) => {
+                unreachable!("blames are addressed to the reputation layer")
+            }
+            VerificationMessage::HistoryRequest | VerificationMessage::HistoryResponse(_) => {
+                // Audits are executed synchronously by the audit coordinator;
+                // these messages only exist for traffic accounting.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifting_core::{CollusionConfig, LiftingConfig};
+    use lifting_membership::Directory;
+    use lifting_sim::{derive_rng, SimTime};
+
+    #[test]
+    fn disabled_layer_ignores_gossip_upcalls() {
+        let verifier = Verifier::new(
+            NodeId::new(1),
+            7,
+            LiftingConfig::planetlab(),
+            CollusionConfig::none(),
+        );
+        let mut layer = VerificationLayer::new(verifier, false);
+        let directory = Directory::new(4);
+        let mut rng = derive_rng(1, 1);
+        let mut env = LayerEnv {
+            me: NodeId::new(1),
+            now: SimTime::ZERO,
+            directory: &directory,
+            rng: &mut rng,
+            upcalls_consumed: true,
+        };
+        let mut out = Vec::new();
+        layer.on_gossip_upcall(
+            &mut env,
+            GossipUpcall::RequestSent {
+                to: NodeId::new(2),
+                chunks: vec![lifting_gossip::ChunkId::new(1)],
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "disabled layer must not arm checks");
+        assert_eq!(layer.verifier.pending_checks(), 0);
+    }
+
+    #[test]
+    fn request_sent_arms_a_serve_check_timer() {
+        let verifier = Verifier::new(
+            NodeId::new(1),
+            7,
+            LiftingConfig::planetlab(),
+            CollusionConfig::none(),
+        );
+        let mut layer = VerificationLayer::new(verifier, true);
+        let directory = Directory::new(4);
+        let mut rng = derive_rng(1, 2);
+        let mut env = LayerEnv {
+            me: NodeId::new(1),
+            now: SimTime::ZERO,
+            directory: &directory,
+            rng: &mut rng,
+            upcalls_consumed: true,
+        };
+        let mut out = Vec::new();
+        layer.on_gossip_upcall(
+            &mut env,
+            GossipUpcall::RequestSent {
+                to: NodeId::new(2),
+                chunks: vec![lifting_gossip::ChunkId::new(1)],
+            },
+            &mut out,
+        );
+        assert!(matches!(&out[..], [Downcall::StartTimer { .. }]));
+        assert_eq!(layer.verifier.pending_checks(), 1);
+    }
+}

@@ -1,18 +1,24 @@
 //! System runner: wires the gossip protocol, the LiFTinG verification layer,
 //! the reputation managers and the simulated network into runnable scenarios.
 //!
-//! The runtime owns the event loop glue that the sans-IO protocol crates
-//! deliberately avoid: it moves messages through [`lifting_net::Network`],
-//! schedules verifier timers, routes blames to reputation managers, applies
-//! per-period compensation and expulsion decisions, triggers a-posteriori
-//! audits, and collects the metrics every experiment of the paper needs
-//! (score distributions, detection / false-positive rates, stream health and
-//! traffic overhead).
+//! Each node is a layered protocol stack ([`layers::NodeStack`]): a gossip
+//! plane, a verification plane and a reputation plane connected by typed
+//! upcalls/downcalls (see [`layers`] and `ARCHITECTURE.md`), with
+//! misbehaviour plugged in through the [`layers::Adversary`] trait. The
+//! [`SystemWorld`] owns the stacks and the event-loop glue the sans-IO
+//! protocol crates deliberately avoid: it moves messages through
+//! [`lifting_net::Network`], schedules verifier timers, routes blames to
+//! reputation managers, applies per-period compensation and expulsion
+//! decisions, triggers a-posteriori audits, and collects the metrics every
+//! experiment of the paper needs (score distributions, detection /
+//! false-positive rates, stream health and traffic overhead).
 //!
 //! Entry points:
 //!
 //! * [`ScenarioConfig`] describes an experiment (population, freeriders,
-//!   collusion, stream rate, network conditions, LiFTinG parameters).
+//!   collusion, adversary, stream rate, network conditions, LiFTinG
+//!   parameters); the [`ScenarioRegistry`] maps experiment names
+//!   (`"fig01/no-freeriders"`, …) to ready-made configurations.
 //! * [`run_scenario`] runs it to completion and returns a [`RunOutcome`].
 //! * [`run_scenario_with_snapshots`] additionally records score snapshots at
 //!   chosen instants (Figure 14 reads scores at 25, 30 and 35 seconds).
@@ -20,19 +26,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
+pub mod layers;
 pub mod message;
 pub mod metrics;
-pub mod node;
+pub mod observe;
+pub mod registry;
 pub mod runner;
 pub mod scenario;
 pub mod world;
 
+pub use layers::{Adversary, NodeStack};
 pub use message::{Event, Message};
-pub use metrics::{NodeOutcome, RunOutcome, ScoreSnapshot};
-pub use node::SystemNode;
+pub use metrics::{LayerTraffic, NodeOutcome, RunOutcome, ScoreSnapshot, StackLayer};
+pub use registry::{
+    fig14_scenario_name, table03_scenario_name, table05_scenario_name, Scale, ScenarioRegistry,
+    FIG14_PDCCS, TABLE03_PDCCS, TABLE05_PDCCS, TABLE05_STREAM_KBPS,
+};
 pub use runner::{
     build_engine, run_jobs_parallel, run_scenario, run_scenario_with_snapshots,
     run_scenarios_parallel, run_scenarios_parallel_with_snapshots,
 };
-pub use scenario::{CollusionScenario, FreeriderScenario, ScenarioConfig};
+pub use scenario::{AdversaryScenario, CollusionScenario, FreeriderScenario, ScenarioConfig};
 pub use world::SystemWorld;

@@ -2,9 +2,88 @@
 
 use lifting_analysis::{detection_rate, false_positive_rate};
 use lifting_gossip::{Chunk, StreamHealth};
-use lifting_net::TrafficReport;
+use lifting_net::{TrafficCategory, TrafficReport};
 use lifting_sim::{NodeId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// The planes of the node protocol stack, for per-layer traffic breakdowns
+/// (the paper's Table 3 splits overhead the same way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StackLayer {
+    /// Dissemination: stream data plus propose/request control traffic.
+    Gossip,
+    /// Direct verification and cross-checking (acks, confirms, responses).
+    Verification,
+    /// A-posteriori audits (history transfers and witness polls).
+    Audit,
+    /// Reputation management (blames to managers).
+    Reputation,
+    /// Peer sampling / membership maintenance.
+    Membership,
+}
+
+impl StackLayer {
+    /// All layers, in display order.
+    pub const ALL: [StackLayer; 5] = [
+        StackLayer::Gossip,
+        StackLayer::Verification,
+        StackLayer::Audit,
+        StackLayer::Reputation,
+        StackLayer::Membership,
+    ];
+
+    /// The traffic categories attributed to this layer.
+    pub fn categories(self) -> &'static [TrafficCategory] {
+        match self {
+            StackLayer::Gossip => &[TrafficCategory::StreamData, TrafficCategory::GossipControl],
+            StackLayer::Verification => &[TrafficCategory::Verification],
+            StackLayer::Audit => &[TrafficCategory::Audit],
+            StackLayer::Reputation => &[TrafficCategory::Blame],
+            StackLayer::Membership => &[TrafficCategory::Membership],
+        }
+    }
+}
+
+/// Message/byte counters for one layer of the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerTraffic {
+    /// The layer.
+    pub layer: StackLayer,
+    /// Messages sent (attempted; includes messages later lost).
+    pub messages_sent: u64,
+    /// Bytes sent (attempted).
+    pub bytes_sent: u64,
+    /// Messages actually delivered.
+    pub messages_delivered: u64,
+    /// Bytes actually delivered.
+    pub bytes_delivered: u64,
+}
+
+/// Aggregates a per-category traffic report into per-layer counters
+/// (gossip vs verification vs audit vs reputation traffic).
+pub fn layer_breakdown(report: &TrafficReport) -> Vec<LayerTraffic> {
+    StackLayer::ALL
+        .iter()
+        .map(|&layer| {
+            let mut traffic = LayerTraffic {
+                layer,
+                messages_sent: 0,
+                bytes_sent: 0,
+                messages_delivered: 0,
+                bytes_delivered: 0,
+            };
+            for (category, counters) in &report.per_category {
+                if layer.categories().contains(category) {
+                    traffic.messages_sent += counters.messages_sent;
+                    traffic.bytes_sent += counters.bytes_sent;
+                    traffic.messages_delivered += counters.messages_delivered;
+                    traffic.bytes_delivered += counters.bytes_delivered;
+                }
+            }
+            traffic
+        })
+        .collect()
+}
 
 /// Per-node outcome at the end of a run (or at a snapshot instant).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,8 +145,7 @@ impl ScoreSnapshot {
     /// Fraction of honest nodes whose score is below `eta` or that have been
     /// expelled (the probability of false positives `β`).
     pub fn false_positive_rate(&self, eta: f64) -> f64 {
-        let honest: Vec<&NodeOutcome> =
-            self.outcomes.iter().filter(|o| !o.is_freerider).collect();
+        let honest: Vec<&NodeOutcome> = self.outcomes.iter().filter(|o| !o.is_freerider).collect();
         if honest.is_empty() {
             return 0.0;
         }
@@ -88,6 +166,9 @@ pub struct RunOutcome {
     pub snapshots: Vec<ScoreSnapshot>,
     /// Traffic accounting (Table 5's overhead ratio comes from here).
     pub traffic: TrafficReport,
+    /// Per-layer message/byte counters: the same traffic attributed to the
+    /// protocol-stack planes (Table 3's overhead breakdown).
+    pub layer_traffic: Vec<LayerTraffic>,
     /// Every chunk the source emitted (reference set for stream health).
     pub emitted_chunks: Vec<Chunk>,
     /// Stream health over a grid of lags (Figure 1), computed at the end of
@@ -163,5 +244,40 @@ mod tests {
         };
         assert_eq!(snap.detection_rate(-9.75), 0.0);
         assert_eq!(snap.false_positive_rate(-9.75), 0.0);
+    }
+
+    #[test]
+    fn layer_breakdown_attributes_every_category_to_exactly_one_layer() {
+        use lifting_net::{TrafficCategory, TrafficStats};
+        let mut stats = TrafficStats::new();
+        stats.record_sent(TrafficCategory::StreamData, 900);
+        stats.record_sent(TrafficCategory::GossipControl, 100);
+        stats.record_sent(TrafficCategory::Verification, 50);
+        stats.record_sent(TrafficCategory::Blame, 30);
+        stats.record_sent(TrafficCategory::Audit, 20);
+        stats.record_delivered(TrafficCategory::StreamData, 900);
+        let report = stats.report();
+        let layers = layer_breakdown(&report);
+        assert_eq!(layers.len(), StackLayer::ALL.len());
+        let by_layer = |layer: StackLayer| layers.iter().find(|l| l.layer == layer).unwrap();
+        // Gossip aggregates stream data + control; the LiFTinG planes split.
+        assert_eq!(by_layer(StackLayer::Gossip).bytes_sent, 1_000);
+        assert_eq!(by_layer(StackLayer::Gossip).messages_sent, 2);
+        assert_eq!(by_layer(StackLayer::Gossip).bytes_delivered, 900);
+        assert_eq!(by_layer(StackLayer::Verification).bytes_sent, 50);
+        assert_eq!(by_layer(StackLayer::Reputation).bytes_sent, 30);
+        assert_eq!(by_layer(StackLayer::Audit).bytes_sent, 20);
+        assert_eq!(by_layer(StackLayer::Membership).bytes_sent, 0);
+        // Nothing is double-counted: the per-layer sum equals the total.
+        let total: u64 = layers.iter().map(|l| l.bytes_sent).sum();
+        assert_eq!(total, report.total_bytes_sent);
+        // Every category belongs to exactly one layer.
+        for category in TrafficCategory::ALL {
+            let owners = StackLayer::ALL
+                .iter()
+                .filter(|l| l.categories().contains(&category))
+                .count();
+            assert_eq!(owners, 1, "{category:?} must map to exactly one layer");
+        }
     }
 }

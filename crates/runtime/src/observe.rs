@@ -1,0 +1,85 @@
+//! Metric readouts of a live [`SystemWorld`]: score snapshots, the
+//! stream-health curve and the assembled [`RunOutcome`].
+//!
+//! Kept apart from `world.rs` so the world module stays focused on event
+//! dispatch and the cross-layer glue.
+
+use lifting_gossip::{Chunk, StreamHealth};
+use lifting_sim::{NodeId, SimDuration, SimTime};
+
+use crate::metrics::{layer_breakdown, NodeOutcome, RunOutcome, ScoreSnapshot};
+use crate::world::SystemWorld;
+
+impl SystemWorld {
+    /// Reads the current normalized score of every node (min vote over its
+    /// managers) together with its expulsion status.
+    pub fn score_snapshot(&self, at: SimTime) -> ScoreSnapshot {
+        let outcomes = (1..self.config.nodes)
+            .map(|i| {
+                let id = NodeId::new(i as u32);
+                let replies: Vec<f64> = self
+                    .assignment
+                    .managers_of(id)
+                    .iter()
+                    .filter_map(|m| self.stacks[m.index()].reputation.score(id))
+                    .collect();
+                NodeOutcome {
+                    node: id,
+                    is_freerider: self.stacks[i].is_freerider,
+                    score: lifting_reputation::aggregate_min(&replies),
+                    expelled: self.expelled[i],
+                }
+            })
+            .collect();
+        ScoreSnapshot { at, outcomes }
+    }
+
+    /// Computes the stream-health curve (Figure 1) over the given lags, using
+    /// only the chunks emitted at least `settle` before `now` so that chunks
+    /// still in flight do not bias the result.
+    pub fn stream_health(
+        &self,
+        now: SimTime,
+        lags: &[SimDuration],
+        settle: SimDuration,
+    ) -> StreamHealth {
+        let reference: Vec<Chunk> = self
+            .emitted_chunks
+            .iter()
+            .copied()
+            .filter(|c| c.emitted_at + settle <= now)
+            .collect();
+        let buffers: Vec<_> = self
+            .stacks
+            .iter()
+            .skip(1)
+            .map(|s| s.gossip.node.playout())
+            .collect();
+        StreamHealth::compute(
+            &buffers,
+            &reference,
+            lags,
+            self.config.gossip.clear_stream_threshold,
+        )
+    }
+
+    /// Assembles the final outcome of a run.
+    pub fn run_outcome(
+        &self,
+        now: SimTime,
+        snapshots: Vec<ScoreSnapshot>,
+        lags: &[SimDuration],
+    ) -> RunOutcome {
+        let traffic = self.network.stats().report();
+        RunOutcome {
+            finals: self.score_snapshot(now),
+            snapshots,
+            layer_traffic: layer_breakdown(&traffic),
+            traffic,
+            emitted_chunks: self.emitted_chunks.clone(),
+            stream_health: self.stream_health(now, lags, SimDuration::from_secs(10)),
+            expelled_count: self.expelled_count(),
+            duration: now.saturating_since(SimTime::ZERO),
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! The scenario registry: one named builder per experiment configuration.
+//!
+//! Every figure and table of the paper used to hand-roll its own
+//! `ScenarioConfig` block inside the bench binaries; the registry is the
+//! single source of truth instead. A scenario is a *named builder*
+//! `(Scale, seed) -> ScenarioConfig`, so callers (the nine experiment
+//! binaries, `run_all_experiments`, tests) ask for `"fig01/no-freeriders"`
+//! rather than re-assembling the configuration.
+
+use std::sync::OnceLock;
+
+use lifting_gossip::FreeriderConfig;
+use lifting_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::{AdversaryScenario, ScenarioConfig};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// The paper's population sizes and durations.
+    Paper,
+    /// A reduced scale for smoke runs and Criterion benches.
+    Quick,
+}
+
+impl Scale {
+    /// Picks the paper-scale or quick-scale value.
+    pub fn pick(self, paper: usize, quick: usize) -> usize {
+        match self {
+            Scale::Paper => paper,
+            Scale::Quick => quick,
+        }
+    }
+
+    /// Picks the paper-scale or quick-scale duration, in seconds.
+    pub fn secs(self, paper: u64, quick: u64) -> SimDuration {
+        SimDuration::from_secs(match self {
+            Scale::Paper => paper,
+            Scale::Quick => quick,
+        })
+    }
+}
+
+/// The pdcc sweep of Table 3 (analytical vs measured verification messages).
+pub const TABLE03_PDCCS: [f64; 4] = [0.0, 1.0 / 7.0, 0.5, 1.0];
+/// The stream rates of Table 5, in kbps.
+pub const TABLE05_STREAM_KBPS: [u64; 3] = [674, 1082, 2036];
+/// The pdcc values of Table 5.
+pub const TABLE05_PDCCS: [f64; 3] = [0.0, 0.5, 1.0];
+/// The pdcc values of Figure 14.
+pub const FIG14_PDCCS: [f64; 2] = [1.0, 0.5];
+
+/// The registered name of the Table 3 scenario for `pdcc`.
+pub fn table03_scenario_name(pdcc: f64) -> String {
+    format!("table03/pdcc-{pdcc:.3}")
+}
+
+/// The registered name of the Table 5 scenario for `(stream_kbps, pdcc)`.
+pub fn table05_scenario_name(stream_kbps: u64, pdcc: f64) -> String {
+    format!("table05/{stream_kbps}kbps-pdcc-{pdcc}")
+}
+
+/// The registered name of the Figure 14 scenario for `pdcc`.
+pub fn fig14_scenario_name(pdcc: f64) -> String {
+    format!("fig14/planetlab-pdcc-{pdcc}")
+}
+
+type BuilderFn = Box<dyn Fn(Scale, u64) -> ScenarioConfig + Send + Sync>;
+
+struct ScenarioEntry {
+    name: String,
+    description: String,
+    builder: BuilderFn,
+}
+
+/// Name → scenario builder map.
+///
+/// [`ScenarioRegistry::builtin`] returns the registry of every scenario the
+/// experiment suite uses; [`ScenarioRegistry::register`] adds custom ones.
+#[derive(Default)]
+pub struct ScenarioRegistry {
+    entries: Vec<ScenarioEntry>,
+}
+
+impl ScenarioRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ScenarioRegistry::default()
+    }
+
+    /// Registers a scenario builder under `name` (replacing any previous
+    /// entry with the same name).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        builder: impl Fn(Scale, u64) -> ScenarioConfig + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        self.entries.retain(|e| e.name != name);
+        self.entries.push(ScenarioEntry {
+            name,
+            description: description.into(),
+            builder: Box::new(builder),
+        });
+    }
+
+    /// True if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    /// The registered scenario names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// The description of one scenario, if registered.
+    pub fn description(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.description.as_str())
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Builds the scenario registered under `name`, if any.
+    pub fn try_build(&self, name: &str, scale: Scale, seed: u64) -> Option<ScenarioConfig> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| (e.builder)(scale, seed))
+    }
+
+    /// Builds the scenario registered under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (listing the known names) if `name` is not registered.
+    pub fn build(&self, name: &str, scale: Scale, seed: u64) -> ScenarioConfig {
+        self.try_build(name, scale, seed).unwrap_or_else(|| {
+            panic!(
+                "unknown scenario {name:?}; registered scenarios: {:?}",
+                self.names()
+            )
+        })
+    }
+
+    /// The shared registry of every built-in scenario (figures, tables, the
+    /// headline run and the adversary showcases).
+    pub fn builtin() -> &'static ScenarioRegistry {
+        static BUILTIN: OnceLock<ScenarioRegistry> = OnceLock::new();
+        BUILTIN.get_or_init(|| {
+            let mut registry = ScenarioRegistry::new();
+            register_builtin(&mut registry);
+            registry
+        })
+    }
+}
+
+impl std::fmt::Debug for ScenarioRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioRegistry")
+            .field("scenarios", &self.names())
+            .finish()
+    }
+}
+
+/// Shrinks a paper-scale PlanetLab configuration the way every experiment
+/// does when run below 300 nodes: fewer managers, lighter stream.
+fn shrink_below_planetlab(config: &mut ScenarioConfig) {
+    if config.nodes < 300 {
+        config.lifting.managers = 10;
+        config.stream_rate_bps = 400_000;
+    }
+}
+
+fn register_builtin(registry: &mut ScenarioRegistry) {
+    // ------------------------------------------------------------------
+    // Figure 1 — stream health with/without freeriders and LiFTinG.
+    // ------------------------------------------------------------------
+    let fig01 = |freeriders: bool, lifting: bool| {
+        move |scale: Scale, seed: u64| {
+            let mut config = ScenarioConfig::planetlab_baseline(seed);
+            config.nodes = scale.pick(300, 80);
+            config.duration = scale.secs(40, 20);
+            config.lifting_enabled = lifting;
+            shrink_below_planetlab(&mut config);
+            if freeriders {
+                config = config.with_planetlab_freeriders(0.25);
+                if let Some(f) = &mut config.freeriders {
+                    // "Wise" freeriders of the introduction: they shave ~45 %
+                    // of their upload duty, enough to visibly hurt the stream.
+                    f.degree = FreeriderConfig {
+                        delta1: 2.0 / 7.0,
+                        delta2: 0.15,
+                        delta3: 0.15,
+                        period_stretch: 1,
+                    };
+                }
+            }
+            config
+        }
+    };
+    registry.register(
+        "fig01/no-freeriders",
+        "Figure 1 baseline: fully honest population, LiFTinG on",
+        fig01(false, true),
+    );
+    registry.register(
+        "fig01/freeriders-no-lifting",
+        "Figure 1: 25% wise freeriders, LiFTinG off",
+        fig01(true, false),
+    );
+    registry.register(
+        "fig01/freeriders-lifting",
+        "Figure 1: 25% wise freeriders, LiFTinG expelling them",
+        fig01(true, true),
+    );
+
+    // ------------------------------------------------------------------
+    // Figure 14 — the PlanetLab deployment at pdcc = 1 and 0.5.
+    // ------------------------------------------------------------------
+    for pdcc in FIG14_PDCCS {
+        registry.register(
+            fig14_scenario_name(pdcc),
+            format!("Figure 14: PlanetLab run with 10% freeriders, pdcc = {pdcc}"),
+            move |scale: Scale, seed: u64| {
+                let mut config =
+                    ScenarioConfig::planetlab_baseline(seed).with_planetlab_freeriders(0.1);
+                config.lifting.pdcc = pdcc;
+                config.nodes = scale.pick(300, 100);
+                shrink_below_planetlab(&mut config);
+                config.duration = scale.secs(36, 36);
+                config
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Table 3 — verification message overhead per pdcc.
+    // ------------------------------------------------------------------
+    for pdcc in TABLE03_PDCCS {
+        registry.register(
+            table03_scenario_name(pdcc),
+            format!("Table 3: honest run measuring verification messages at pdcc = {pdcc:.3}"),
+            move |scale: Scale, seed: u64| {
+                let mut config = ScenarioConfig::planetlab_baseline(seed);
+                config.nodes = scale.pick(150, 60);
+                config.lifting.managers = 10;
+                config.lifting.pdcc = pdcc;
+                config.duration = scale.secs(20, 10);
+                config.stream_rate_bps = 400_000;
+                config
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Table 5 — practical overhead per stream rate and pdcc.
+    // ------------------------------------------------------------------
+    for stream_kbps in TABLE05_STREAM_KBPS {
+        for pdcc in TABLE05_PDCCS {
+            registry.register(
+                table05_scenario_name(stream_kbps, pdcc),
+                format!("Table 5: overhead at {stream_kbps} kbps, pdcc = {pdcc}"),
+                move |scale: Scale, seed: u64| {
+                    let mut config = ScenarioConfig::planetlab_baseline(seed);
+                    config.nodes = scale.pick(150, 60);
+                    config.lifting.managers = if config.nodes >= 300 { 25 } else { 10 };
+                    config.lifting.pdcc = pdcc;
+                    config.stream_rate_bps = stream_kbps * 1_000;
+                    config.duration = scale.secs(20, 10);
+                    config.default_upload_bps = Some(10_000_000);
+                    config
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The headline PlanetLab run (detection / false positives / overhead).
+    // ------------------------------------------------------------------
+    registry.register(
+        "headline/planetlab",
+        "The headline PlanetLab run: 10% freeriders, scores read after 30 s",
+        |scale: Scale, seed: u64| {
+            let mut config =
+                ScenarioConfig::planetlab_baseline(seed).with_planetlab_freeriders(0.1);
+            config.nodes = scale.pick(300, 100);
+            shrink_below_planetlab(&mut config);
+            config.duration = scale.secs(30, 20);
+            config
+        },
+    );
+
+    // ------------------------------------------------------------------
+    // Adversary showcases: attacks the pre-refactor wiring could not express.
+    // ------------------------------------------------------------------
+    registry.register(
+        "adversary/on-off-freeriders",
+        "20% on-off freeriders (2 periods on, 2 off) dodging the score normalization",
+        |scale: Scale, seed: u64| {
+            let mut config = ScenarioConfig::planetlab_baseline(seed);
+            config.nodes = scale.pick(300, 80);
+            shrink_below_planetlab(&mut config);
+            config = config.with_planetlab_freeriders(0.2);
+            config.adversary = AdversaryScenario::OnOff {
+                on_periods: 2,
+                off_periods: 2,
+            };
+            config.duration = scale.secs(40, 20);
+            config
+        },
+    );
+    registry.register(
+        "adversary/blame-spam",
+        "10% blame spammers flooding the reputation plane with fabricated blames",
+        |scale: Scale, seed: u64| {
+            let mut config = ScenarioConfig::planetlab_baseline(seed);
+            config.nodes = scale.pick(300, 80);
+            shrink_below_planetlab(&mut config);
+            config = config.with_planetlab_freeriders(0.1);
+            config.adversary = AdversaryScenario::BlameSpam {
+                blames_per_period: 5,
+                blame_value: 5.0,
+            };
+            config.duration = scale.secs(30, 15);
+            config
+        },
+    );
+
+    // ------------------------------------------------------------------
+    // A small smoke scenario for tests and quick sanity checks.
+    // ------------------------------------------------------------------
+    registry.register(
+        "smoke/small",
+        "A 30-node ideal-network run with 20% planetlab freeriders",
+        |scale: Scale, seed: u64| {
+            let mut config =
+                ScenarioConfig::small_test(scale.pick(60, 30), seed).with_planetlab_freeriders(0.2);
+            config.duration = scale.secs(15, 8);
+            config
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_contains_every_figure_and_table() {
+        let registry = ScenarioRegistry::builtin();
+        for name in [
+            "fig01/no-freeriders",
+            "fig01/freeriders-no-lifting",
+            "fig01/freeriders-lifting",
+            "fig14/planetlab-pdcc-1",
+            "fig14/planetlab-pdcc-0.5",
+            "table03/pdcc-0.000",
+            "table03/pdcc-0.143",
+            "table03/pdcc-0.500",
+            "table03/pdcc-1.000",
+            "table05/674kbps-pdcc-0",
+            "table05/2036kbps-pdcc-1",
+            "headline/planetlab",
+            "adversary/on-off-freeriders",
+            "adversary/blame-spam",
+            "smoke/small",
+        ] {
+            assert!(registry.contains(name), "missing scenario {name}");
+            assert!(registry.description(name).is_some());
+        }
+        assert_eq!(registry.len(), 22);
+    }
+
+    #[test]
+    fn every_builtin_scenario_validates_at_both_scales() {
+        let registry = ScenarioRegistry::builtin();
+        for name in registry.names() {
+            for scale in [Scale::Paper, Scale::Quick] {
+                let config = registry.build(name, scale, 7);
+                config.validate();
+                assert_eq!(config.seed, 7, "{name} must thread the seed through");
+            }
+        }
+    }
+
+    #[test]
+    fn registration_replaces_same_name() {
+        let mut registry = ScenarioRegistry::new();
+        registry.register("x", "first", |_, seed| ScenarioConfig::small_test(10, seed));
+        registry.register("x", "second", |_, seed| {
+            ScenarioConfig::small_test(12, seed)
+        });
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.description("x"), Some("second"));
+        assert_eq!(registry.build("x", Scale::Quick, 1).nodes, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario")]
+    fn unknown_scenario_panics_with_the_known_names() {
+        ScenarioRegistry::builtin().build("no/such", Scale::Quick, 1);
+    }
+}

@@ -112,7 +112,10 @@ mod tests {
         for (p, s) in parallel.iter().zip(&sequential) {
             assert_eq!(p.finals.outcomes, s.finals.outcomes);
             assert_eq!(p.traffic.total_bytes_sent, s.traffic.total_bytes_sent);
-            assert_eq!(p.stream_health.fraction_clear, s.stream_health.fraction_clear);
+            assert_eq!(
+                p.stream_health.fraction_clear,
+                s.stream_health.fraction_clear
+            );
             assert_eq!(p.expelled_count, s.expelled_count);
         }
     }
@@ -156,7 +159,10 @@ mod tests {
             last > 0.9,
             "most nodes should view a clear stream at a large lag, got {last}"
         );
-        assert_eq!(outcome.expelled_count, 0, "honest nodes must not be expelled");
+        assert_eq!(
+            outcome.expelled_count, 0,
+            "honest nodes must not be expelled"
+        );
         // Honest nodes' compensated scores should not be wildly negative.
         let fp = outcome.false_positive_rate(-9.75);
         assert!(fp < 0.2, "false positives {fp}");

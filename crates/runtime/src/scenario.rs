@@ -45,6 +45,61 @@ impl CollusionScenario {
     }
 }
 
+/// Which [`crate::layers::Adversary`] the misbehaving population plays.
+///
+/// `Baseline` reproduces the paper's wiring (freeriders of the configured
+/// degree, colluding per [`CollusionScenario`]); the other variants plug in
+/// adversaries the original `Behavior`/`CollusionConfig` combination could
+/// not express.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AdversaryScenario {
+    /// The paper's adversary: every node of the freerider population
+    /// freerides with the configured degree; collusion per the scenario.
+    Baseline,
+    /// On-off freeriders: the population freerides for `on_periods` gossip
+    /// periods, then behaves honestly for `off_periods`, diluting the blame
+    /// it accumulates (exploits the `1/r` normalization of Equation 6).
+    OnOff {
+        /// Length of each freeriding window, in gossip periods (≥ 1).
+        on_periods: u64,
+        /// Length of each honest window, in gossip periods (≥ 1).
+        off_periods: u64,
+    },
+    /// Blame spammers: the population disseminates honestly but floods the
+    /// reputation plane with fabricated blames against random peers.
+    BlameSpam {
+        /// Fabricated blames emitted per gossip tick by each spammer.
+        blames_per_period: u32,
+        /// Value of each fabricated blame.
+        blame_value: f64,
+    },
+}
+
+impl AdversaryScenario {
+    /// Validates the adversary parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window length is zero or a blame value is negative.
+    pub fn validate(&self) {
+        match self {
+            AdversaryScenario::Baseline => {}
+            AdversaryScenario::OnOff {
+                on_periods,
+                off_periods,
+            } => {
+                assert!(
+                    *on_periods >= 1 && *off_periods >= 1,
+                    "on-off windows must be at least one period"
+                );
+            }
+            AdversaryScenario::BlameSpam { blame_value, .. } => {
+                assert!(*blame_value >= 0.0, "blame value must be non-negative");
+            }
+        }
+    }
+}
+
 /// Complete description of one experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioConfig {
@@ -71,6 +126,9 @@ pub struct ScenarioConfig {
     pub freeriders: Option<FreeriderScenario>,
     /// Collusion behaviour of the freeriders.
     pub collusion: CollusionScenario,
+    /// The adversary the misbehaving population plays (see
+    /// [`AdversaryScenario`]); `Baseline` reproduces the paper's wiring.
+    pub adversary: AdversaryScenario,
     /// Fraction of honest nodes with poor connectivity (low uplink and extra
     /// loss) — the paper attributes most false positives to such nodes.
     pub poor_node_fraction: f64,
@@ -104,6 +162,7 @@ impl ScenarioConfig {
             chunk_size: 4_096,
             freeriders: None,
             collusion: CollusionScenario::none(),
+            adversary: AdversaryScenario::Baseline,
             poor_node_fraction: 0.1,
             default_upload_bps: Some(5_000_000),
             poor_upload_bps: 800_000,
@@ -145,6 +204,7 @@ impl ScenarioConfig {
             chunk_size: 2_500,
             freeriders: None,
             collusion: CollusionScenario::none(),
+            adversary: AdversaryScenario::Baseline,
             poor_node_fraction: 0.0,
             default_upload_bps: None,
             poor_upload_bps: 500_000,
@@ -194,8 +254,23 @@ impl ScenarioConfig {
             (0.0..=1.0).contains(&self.collusion.partner_bias),
             "partner bias out of range"
         );
-        assert!(self.stream_rate_bps > 0 && self.chunk_size > 0, "empty stream");
+        assert!(
+            self.stream_rate_bps > 0 && self.chunk_size > 0,
+            "empty stream"
+        );
         assert!(!self.duration.is_zero(), "duration must be positive");
+        self.adversary.validate();
+        if !matches!(self.adversary, AdversaryScenario::Baseline) {
+            assert!(
+                self.freerider_count() > 0,
+                "a non-baseline adversary needs a misbehaving population (set `freeriders`)"
+            );
+            assert!(
+                !self.collusion.is_active(),
+                "collusion only composes with the baseline adversary; \
+                 the on-off / blame-spam adversaries would silently ignore it"
+            );
+        }
         if let Some(f) = &self.freeriders {
             f.degree.validate();
         }
@@ -251,6 +326,22 @@ mod tests {
             count: 4,
             degree: FreeriderConfig::uniform(0.1),
         });
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "collusion only composes with the baseline adversary")]
+    fn collusion_with_non_baseline_adversary_is_rejected() {
+        let mut s = ScenarioConfig::small_test(10, 0).with_planetlab_freeriders(0.3);
+        s.adversary = AdversaryScenario::OnOff {
+            on_periods: 1,
+            off_periods: 1,
+        };
+        s.collusion = CollusionScenario {
+            partner_bias: 0.0,
+            cover_up: true,
+            man_in_the_middle: false,
+        };
         s.validate();
     }
 

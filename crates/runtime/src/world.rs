@@ -1,178 +1,49 @@
-//! The simulated system: all nodes, the network, the reputation managers and
-//! the glue between them.
+//! The simulated system: the node stacks, the network, the audit plane and
+//! the world-level glue (event dispatch, blame routing, expulsions).
+//!
+//! All node-local protocol logic lives in [`crate::layers`]; the world only
+//! routes events into the right [`NodeStack`], executes the [`Downcall`]s the
+//! stacks emit, coordinates cross-node concerns (audits, expulsion quorums)
+//! and reads out the metrics.
 
-use std::sync::Arc;
-
-use lifting_analysis::entropy::calibrate_gamma;
-use lifting_analysis::ProtocolParams;
-use lifting_core::{
-    AuditOracle, AuditVerdict, Auditor, Blame, CollusionConfig, VerificationMessage,
-    VerifierAction,
-};
-use lifting_gossip::{Behavior, Chunk, ChunkId, GossipMessage, ProposePayload, RequestPayload,
-    ServePayload, StreamHealth, StreamSource};
-use lifting_membership::{Directory, PartnerSelector, SelectionPolicy};
-use lifting_net::{DeliveryOutcome, Network, NodeCapability, TrafficCategory, Transport};
-use lifting_reputation::{ManagerAssignment, ManagerState};
-use lifting_sim::{derive_rng, Context, NodeId, SimDuration, SimTime, World};
+use lifting_core::Blame;
+use lifting_gossip::{Chunk, StreamSource};
+use lifting_membership::Directory;
+use lifting_net::Network;
+use lifting_reputation::ManagerAssignment;
+use lifting_sim::{Context, NodeId, SimTime, World};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use lifting_core::VerificationMessage;
+
+use crate::builder;
+use crate::layers::{AuditCoordinator, AuditOutcome, Downcall, NodeStack};
 use crate::message::{Event, Message};
-use crate::metrics::{NodeOutcome, RunOutcome, ScoreSnapshot};
-use crate::node::SystemNode;
 use crate::scenario::ScenarioConfig;
 
 /// The whole simulated system.
 pub struct SystemWorld {
-    config: ScenarioConfig,
-    directory: Directory,
-    network: Network,
-    nodes: Vec<SystemNode>,
-    managers: Vec<ManagerState>,
-    assignment: ManagerAssignment,
-    auditor: Auditor,
-    source: StreamSource,
-    emitted_chunks: Vec<Chunk>,
-    compensation_per_period: f64,
-    expulsion_votes: Vec<usize>,
-    expelled: Vec<bool>,
-    rng: SmallRng,
+    pub(crate) config: ScenarioConfig,
+    pub(crate) directory: Directory,
+    pub(crate) network: Network,
+    pub(crate) stacks: Vec<NodeStack>,
+    pub(crate) assignment: ManagerAssignment,
+    pub(crate) audits: AuditCoordinator,
+    pub(crate) source: StreamSource,
+    pub(crate) emitted_chunks: Vec<Chunk>,
+    pub(crate) compensation_per_period: f64,
+    pub(crate) expulsion_votes: Vec<usize>,
+    pub(crate) expelled: Vec<bool>,
+    pub(crate) rng: SmallRng,
+    /// Recycled scratch buffer for stack downcalls (allocation-free loop).
+    pub(crate) scratch_downcalls: Vec<Downcall>,
 }
 
 impl SystemWorld {
     /// Builds the system described by `config`.
     pub fn new(config: ScenarioConfig) -> Self {
-        config.validate();
-        let n = config.nodes;
-        let seed = config.seed;
-
-        let directory = Directory::new(n);
-        let mut network = Network::new(n, config.network.clone(), derive_rng(seed, 1));
-
-        // Node capabilities: the source and a fraction of the honest nodes.
-        let mut cap_rng = derive_rng(seed, 2);
-        for i in 0..n {
-            let default = match config.default_upload_bps {
-                Some(bps) => NodeCapability::broadband(bps),
-                None => NodeCapability::unconstrained(),
-            };
-            let cap = if i == 0 {
-                // The source is always well provisioned.
-                default
-            } else if !config.is_freerider(i)
-                && config.poor_node_fraction > 0.0
-                && cap_rng.gen_bool(config.poor_node_fraction)
-            {
-                NodeCapability::poor(config.poor_upload_bps, config.poor_extra_loss)
-            } else {
-                default
-            };
-            network.set_capability(NodeId::new(i as u32), cap);
-        }
-
-        // Coalition: every freerider belongs to it when collusion is active.
-        let coalition: Arc<Vec<NodeId>> = Arc::new(
-            (0..n)
-                .filter(|i| config.is_freerider(*i))
-                .map(|i| NodeId::new(i as u32))
-                .collect(),
-        );
-
-        let nodes: Vec<SystemNode> = (0..n)
-            .map(|i| {
-                let id = NodeId::new(i as u32);
-                let is_freerider = config.is_freerider(i);
-                let behavior = if is_freerider {
-                    Behavior::Freerider(config.freeriders.expect("freeriders configured").degree)
-                } else {
-                    Behavior::Honest
-                };
-                let selector = if is_freerider && config.collusion.partner_bias > 0.0 {
-                    PartnerSelector::new(SelectionPolicy::ColludingBias {
-                        colluders: coalition.clone(),
-                        pm: config.collusion.partner_bias,
-                    })
-                } else {
-                    PartnerSelector::uniform()
-                };
-                let collusion = if is_freerider && config.collusion.is_active() {
-                    CollusionConfig::coalition(
-                        coalition.clone(),
-                        config.collusion.cover_up,
-                        config.collusion.man_in_the_middle,
-                    )
-                } else {
-                    CollusionConfig::none()
-                };
-                SystemNode::new(
-                    id,
-                    config.gossip,
-                    behavior,
-                    config.lifting,
-                    collusion,
-                    selector,
-                    derive_rng(seed, 1000 + i as u64),
-                    is_freerider,
-                )
-            })
-            .collect();
-
-        let assignment = ManagerAssignment::new(n, config.lifting.managers, seed);
-        let mut managers = vec![ManagerState::new(); n];
-        // Register every scored node (the source is never scored or expelled).
-        for i in 1..n {
-            let id = NodeId::new(i as u32);
-            for m in assignment.managers_of(id) {
-                managers[m.index()].register(id);
-            }
-        }
-
-        // Per-period compensation of wrongful blames (Equation 5, adapted to
-        // the scenario's loss rate, fanout, request size and pdcc).
-        let pr = config.network.loss.reception_probability();
-        let chunks_per_period = config.stream_rate_bps as f64
-            / (config.chunk_size as f64 * 8.0)
-            * config.gossip.gossip_period.as_secs_f64();
-        let requested = (chunks_per_period / config.gossip.fanout as f64).ceil().max(1.0) as usize;
-        let params = ProtocolParams::new(config.gossip.fanout, requested, pr);
-        let compensation_per_period = if config.lifting.compensate_wrongful_blames {
-            params.expected_blame_direct_verification()
-                + config.lifting.pdcc * params.expected_blame_cross_checking()
-        } else {
-            0.0
-        };
-
-        // Entropy threshold calibrated for this deployment's history size and
-        // population (the paper's 8.95 corresponds to 600 entries / 10,000
-        // nodes; smaller systems need a lower threshold).
-        // The safety margin is generous (0.6 bits): honest histories in small
-        // systems collide a lot, and a wrongful expulsion is far more costly
-        // than a missed audit (freeriders are still caught by their much lower
-        // entropy and by the score-based detection).
-        let entries = config.lifting.history_periods * config.gossip.fanout;
-        let gamma = calibrate_gamma(entries, n.max(2), 60, 0.6, seed ^ 0x5eed)
-            .min(config.lifting.gamma)
-            .max(0.1);
-        let auditor = Auditor::with_threshold(config.lifting, config.gossip.fanout, gamma);
-
-        let source = StreamSource::new(config.stream_rate_bps, config.chunk_size);
-
-        SystemWorld {
-            directory,
-            network,
-            nodes,
-            managers,
-            assignment,
-            auditor,
-            source,
-            emitted_chunks: Vec::new(),
-            compensation_per_period,
-            expulsion_votes: vec![0; n],
-            expelled: vec![false; n],
-            rng: derive_rng(seed, 3),
-            config,
-        }
+        builder::build_world(config)
     }
 
     /// The scenario this world was built from.
@@ -195,9 +66,9 @@ impl SystemWorld {
         &self.network
     }
 
-    /// The nodes of the system.
-    pub fn nodes(&self) -> &[SystemNode] {
-        &self.nodes
+    /// The per-node protocol stacks.
+    pub fn stacks(&self) -> &[NodeStack] {
+        &self.stacks
     }
 
     /// Number of nodes expelled so far.
@@ -212,33 +83,7 @@ impl SystemWorld {
 
     /// Schedules the initial events of a run.
     pub fn initial_events(&self) -> Vec<(SimTime, Event)> {
-        let mut events = vec![(SimTime::ZERO, Event::SourceEmit)];
-        let period = self.config.gossip.gossip_period;
-        let n = self.config.nodes;
-        for i in 0..n {
-            // Stagger gossip phases uniformly over one period, as real
-            // deployments do implicitly (nodes start at different times).
-            let offset = SimDuration::from_micros(period.as_micros() * i as u64 / n as u64);
-            events.push((
-                SimTime::ZERO + offset,
-                Event::GossipTick {
-                    node: NodeId::new(i as u32),
-                },
-            ));
-            if self.config.audits_enabled && i != 0 {
-                let audit_offset = SimDuration::from_micros(
-                    self.config.audit_interval.as_micros() * i as u64 / n as u64,
-                );
-                events.push((
-                    SimTime::ZERO + self.config.audit_interval + audit_offset,
-                    Event::AuditTick {
-                        auditor: NodeId::new(i as u32),
-                    },
-                ));
-            }
-        }
-        events.push((SimTime::ZERO + period, Event::PeriodEnd));
-        events
+        builder::initial_events(&self.config)
     }
 
     fn lifting_on(&self) -> bool {
@@ -251,67 +96,33 @@ impl SystemWorld {
         from: NodeId,
         to: NodeId,
         message: Message,
-        transport: Transport,
         ctx: &mut Context<Event>,
     ) {
-        let outcome = self.network.send(
-            now,
-            from,
-            to,
-            message.wire_size(),
-            transport,
-            message.category(),
-        );
-        if let DeliveryOutcome::Deliver { at } = outcome {
+        let outcome = self
+            .network
+            .send(now, from, to, message.wire_size(), message.category());
+        if let lifting_net::DeliveryOutcome::Deliver { at } = outcome {
             ctx.schedule_at(at, Event::Deliver { from, to, message });
         }
     }
 
-    fn process_actions(
+    /// Executes the downcalls a stack emitted, in order: this is the single
+    /// point where layer traffic reaches the network and the scheduler, so
+    /// the stacks' emission order fully determines the wire order.
+    fn process_downcalls(
         &mut self,
         node: NodeId,
-        actions: Vec<VerifierAction>,
+        downcalls: &mut Vec<Downcall>,
         now: SimTime,
         ctx: &mut Context<Event>,
     ) {
-        for action in actions {
-            match action {
-                VerifierAction::SendAck { to, ack } => {
-                    self.send(
-                        now,
-                        node,
-                        to,
-                        Message::Verification(VerificationMessage::Ack(Box::new(ack))),
-                        Transport::Udp,
-                        ctx,
-                    );
-                }
-                VerifierAction::SendConfirm { to, confirm } => {
-                    self.send(
-                        now,
-                        node,
-                        to,
-                        Message::Verification(VerificationMessage::Confirm(Box::new(confirm))),
-                        Transport::Udp,
-                        ctx,
-                    );
-                }
-                VerifierAction::SendConfirmResponse { to, response } => {
-                    self.send(
-                        now,
-                        node,
-                        to,
-                        Message::Verification(VerificationMessage::ConfirmResponse(response)),
-                        Transport::Udp,
-                        ctx,
-                    );
-                }
-                VerifierAction::Blame(blame) => {
-                    self.route_blame(node, blame, now, ctx);
-                }
-                VerifierAction::StartTimer { timer, deadline } => {
+        for downcall in downcalls.drain(..) {
+            match downcall {
+                Downcall::Send { to, message } => self.send(now, node, to, message, ctx),
+                Downcall::StartTimer { timer, deadline } => {
                     ctx.schedule_at(deadline, Event::Timer { node, timer });
                 }
+                Downcall::Blame(blame) => self.route_blame(node, blame, now, ctx),
             }
         }
     }
@@ -327,7 +138,6 @@ impl SystemWorld {
                 from,
                 manager,
                 Message::Verification(VerificationMessage::Blame(blame)),
-                Transport::Udp,
                 ctx,
             );
         }
@@ -340,143 +150,6 @@ impl SystemWorld {
         self.expelled[node.index()] = true;
         self.network.set_expelled(node, true);
         self.directory.deactivate(node);
-    }
-
-    fn handle_gossip_tick(&mut self, node: NodeId, now: SimTime, ctx: &mut Context<Event>) {
-        let idx = node.index();
-        if self.expelled[idx] {
-            return; // expelled nodes stop participating
-        }
-        // Propose phase.
-        let (round, period) = {
-            let SystemNode {
-                gossip,
-                selector,
-                rng,
-                ..
-            } = &mut self.nodes[idx];
-            let fanout = gossip.desired_fanout(rng);
-            let partners = selector.select(node, fanout, &self.directory, rng);
-            let round = gossip.begin_propose_round(now, partners, rng);
-            (round, gossip.period())
-        };
-        if self.lifting_on() {
-            self.nodes[idx].verifier.begin_period(period);
-        }
-        if let Some(round) = round {
-            if self.lifting_on() {
-                let actions = self.nodes[idx].verifier.on_propose_round(&round, now);
-                self.process_actions(node, actions, now, ctx);
-            }
-            let payload = ProposePayload {
-                period: round.period,
-                chunks: round.chunks.clone(),
-            };
-            for partner in &round.partners {
-                self.send(
-                    now,
-                    node,
-                    *partner,
-                    Message::Gossip(GossipMessage::Propose(payload.clone())),
-                    Transport::Udp,
-                    ctx,
-                );
-            }
-        }
-        ctx.schedule_after(self.config.gossip.gossip_period, Event::GossipTick { node });
-    }
-
-    fn handle_deliver(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        message: Message,
-        now: SimTime,
-        ctx: &mut Context<Event>,
-    ) {
-        if self.expelled[to.index()] {
-            return;
-        }
-        match message {
-            Message::Gossip(GossipMessage::Propose(p)) => {
-                let wanted = {
-                    let n = &mut self.nodes[to.index()];
-                    if self.config.lifting_enabled {
-                        n.verifier.on_propose_received(from, &p.chunks, now);
-                    }
-                    n.gossip.on_propose(from, &p.chunks, now)
-                };
-                if wanted.is_empty() {
-                    return;
-                }
-                if self.lifting_on() {
-                    let actions = self.nodes[to.index()].verifier.on_request_sent(from, &wanted, now);
-                    self.process_actions(to, actions, now, ctx);
-                }
-                self.send(
-                    now,
-                    to,
-                    from,
-                    Message::Gossip(GossipMessage::Request(RequestPayload { chunks: wanted })),
-                    Transport::Udp,
-                    ctx,
-                );
-            }
-            Message::Gossip(GossipMessage::Request(r)) => {
-                let served = {
-                    let SystemNode { gossip, rng, .. } = &mut self.nodes[to.index()];
-                    gossip.on_request(from, &r.chunks, rng)
-                };
-                if served.is_empty() {
-                    return;
-                }
-                let served_ids: Vec<ChunkId> = served.iter().map(|c| c.id).collect();
-                if self.lifting_on() {
-                    let actions =
-                        self.nodes[to.index()].verifier.on_chunks_served(from, &served_ids, now);
-                    self.process_actions(to, actions, now, ctx);
-                }
-                for chunk in served {
-                    self.send(
-                        now,
-                        to,
-                        from,
-                        Message::Gossip(GossipMessage::Serve(ServePayload { chunk })),
-                        Transport::Udp,
-                        ctx,
-                    );
-                }
-            }
-            Message::Gossip(GossipMessage::Serve(s)) => {
-                let n = &mut self.nodes[to.index()];
-                n.gossip.on_serve(from, s.chunk, now);
-                if self.config.lifting_enabled {
-                    n.verifier.on_serve_received(from, s.chunk.id, now);
-                }
-            }
-            Message::Verification(VerificationMessage::Ack(ack)) => {
-                let actions = {
-                    let SystemNode { verifier, rng, .. } = &mut self.nodes[to.index()];
-                    verifier.on_ack(from, *ack, now, rng)
-                };
-                self.process_actions(to, actions, now, ctx);
-            }
-            Message::Verification(VerificationMessage::Confirm(confirm)) => {
-                let actions = self.nodes[to.index()].verifier.on_confirm(from, *confirm, now);
-                self.process_actions(to, actions, now, ctx);
-            }
-            Message::Verification(VerificationMessage::ConfirmResponse(resp)) => {
-                self.nodes[to.index()].verifier.on_confirm_response(from, resp);
-            }
-            Message::Verification(VerificationMessage::Blame(blame)) => {
-                self.managers[to.index()].apply_blame(blame.target, blame.value);
-            }
-            Message::Verification(VerificationMessage::HistoryRequest)
-            | Message::Verification(VerificationMessage::HistoryResponse(_)) => {
-                // Audits are executed synchronously in `handle_audit_tick`;
-                // these messages only exist for traffic accounting.
-            }
-        }
     }
 
     fn handle_period_end(&mut self, _now: SimTime, ctx: &mut Context<Event>) {
@@ -499,12 +172,12 @@ impl SystemWorld {
         if self.lifting_on() {
             let eta = self.config.lifting.eta;
             let min_periods = self.config.lifting.min_periods_before_expulsion;
-            for manager in &mut self.managers {
-                manager.end_period(self.compensation_per_period);
+            for stack in &mut self.stacks {
+                stack.reputation.end_period(self.compensation_per_period);
             }
             let mut newly_voted: Vec<NodeId> = Vec::new();
-            for manager in &mut self.managers {
-                newly_voted.extend(manager.expulsion_votes(eta, min_periods));
+            for stack in &mut self.stacks {
+                newly_voted.extend(stack.reputation.expulsion_votes(eta, min_periods));
             }
             let quorum = (self.config.lifting.expulsion_quorum
                 * self.config.lifting.managers as f64)
@@ -532,139 +205,16 @@ impl SystemWorld {
             .collect();
         if !candidates.is_empty() && self.lifting_on() {
             let target = candidates[self.rng.gen_range(0..candidates.len())];
-            self.perform_audit(auditor, target, now, ctx);
+            let outcome = self
+                .audits
+                .audit(&self.stacks, &mut self.network, auditor, target, now);
+            match outcome {
+                AuditOutcome::Expel => self.expel(target),
+                AuditOutcome::Blame(blame) => self.route_blame(auditor, blame, now, ctx),
+                AuditOutcome::Pass => {}
+            }
         }
         ctx.schedule_after(self.config.audit_interval, Event::AuditTick { auditor });
-    }
-
-    fn perform_audit(
-        &mut self,
-        auditor: NodeId,
-        target: NodeId,
-        now: SimTime,
-        ctx: &mut Context<Event>,
-    ) {
-        // Account the TCP history transfer.
-        let history = self.nodes[target.index()].verifier.history().clone();
-        self.network.send(
-            now,
-            auditor,
-            target,
-            VerificationMessage::HistoryRequest.wire_size(),
-            Transport::Tcp,
-            TrafficCategory::Audit,
-        );
-        self.network.send(
-            now,
-            target,
-            auditor,
-            VerificationMessage::HistoryResponse(Box::new(history.clone())).wire_size(),
-            Transport::Tcp,
-            TrafficCategory::Audit,
-        );
-
-        // Poll the witnesses through the real node states, accounting traffic.
-        let report = {
-            let mut oracle = WorldAuditOracle {
-                nodes: &self.nodes,
-                network: &mut self.network,
-                auditor,
-                now,
-            };
-            self.auditor.audit(&history, &mut oracle)
-        };
-
-        if std::env::var_os("LIFTING_AUDIT_DEBUG").is_some() {
-            eprintln!(
-                "audit of {target}: fanout H={:.2}/thr {:.2} ({} entries), fanin H={:?}/thr {:?}, unconfirmed={}, phases {}/{}, verdict {:?}",
-                report.fanout_entropy,
-                report.applied_fanout_threshold,
-                history.fanout_multiset().len(),
-                report.fanin_entropy.map(|h| (h * 100.0).round() / 100.0),
-                report.applied_fanin_threshold.map(|h| (h * 100.0).round() / 100.0),
-                report.unconfirmed_pushes,
-                report.observed_propose_phases,
-                report.expected_propose_phases,
-                report.verdict
-            );
-        }
-        match report.verdict {
-            AuditVerdict::Expel => self.expel(target),
-            AuditVerdict::Blamed => {
-                let blame = Blame::new(
-                    target,
-                    report.blame,
-                    lifting_core::BlameReason::UnconfirmedHistoryEntry,
-                );
-                self.route_blame(auditor, blame, now, ctx);
-            }
-            AuditVerdict::Pass => {}
-        }
-    }
-
-    /// Reads the current normalized score of every node (min vote over its
-    /// managers) together with its expulsion status.
-    pub fn score_snapshot(&self, at: SimTime) -> ScoreSnapshot {
-        let outcomes = (1..self.config.nodes)
-            .map(|i| {
-                let id = NodeId::new(i as u32);
-                let replies: Vec<f64> = self
-                    .assignment
-                    .managers_of(id)
-                    .iter()
-                    .filter_map(|m| self.managers[m.index()].normalized_score(id))
-                    .collect();
-                NodeOutcome {
-                    node: id,
-                    is_freerider: self.nodes[i].is_freerider,
-                    score: lifting_reputation::aggregate_min(&replies),
-                    expelled: self.expelled[i],
-                }
-            })
-            .collect();
-        ScoreSnapshot { at, outcomes }
-    }
-
-    /// Computes the stream-health curve (Figure 1) over the given lags, using
-    /// only the chunks emitted at least `settle` before `now` so that chunks
-    /// still in flight do not bias the result.
-    pub fn stream_health(&self, now: SimTime, lags: &[SimDuration], settle: SimDuration) -> StreamHealth {
-        let reference: Vec<Chunk> = self
-            .emitted_chunks
-            .iter()
-            .copied()
-            .filter(|c| c.emitted_at + settle <= now)
-            .collect();
-        let buffers: Vec<_> = self
-            .nodes
-            .iter()
-            .skip(1)
-            .map(|n| n.gossip.playout())
-            .collect();
-        StreamHealth::compute(
-            &buffers,
-            &reference,
-            lags,
-            self.config.gossip.clear_stream_threshold,
-        )
-    }
-
-    /// Assembles the final outcome of a run.
-    pub fn run_outcome(
-        &self,
-        now: SimTime,
-        snapshots: Vec<ScoreSnapshot>,
-        lags: &[SimDuration],
-    ) -> RunOutcome {
-        RunOutcome {
-            finals: self.score_snapshot(now),
-            snapshots,
-            traffic: self.network.stats().report(),
-            emitted_chunks: self.emitted_chunks.clone(),
-            stream_health: self.stream_health(now, lags, SimDuration::from_secs(10)),
-            expelled_count: self.expelled_count(),
-            duration: now.saturating_since(SimTime::ZERO),
-        }
     }
 }
 
@@ -676,19 +226,54 @@ impl World for SystemWorld {
             Event::SourceEmit => {
                 let chunk = self.source.emit();
                 self.emitted_chunks.push(chunk);
-                self.nodes[0].gossip.inject_source_chunk(chunk, now);
+                self.stacks[0].gossip.inject_source_chunk(chunk, now);
                 ctx.schedule_at(self.source.next_emission(), Event::SourceEmit);
             }
-            Event::GossipTick { node } => self.handle_gossip_tick(node, now, ctx),
+            Event::GossipTick { node } => {
+                if self.expelled[node.index()] {
+                    return; // expelled nodes stop participating
+                }
+                let mut downcalls = std::mem::take(&mut self.scratch_downcalls);
+                self.stacks[node.index()].on_gossip_tick(
+                    node,
+                    now,
+                    &self.directory,
+                    &mut downcalls,
+                );
+                self.process_downcalls(node, &mut downcalls, now, ctx);
+                self.scratch_downcalls = downcalls;
+                ctx.schedule_after(self.config.gossip.gossip_period, Event::GossipTick { node });
+            }
             Event::Deliver { from, to, message } => {
-                self.handle_deliver(from, to, message, now, ctx)
+                if self.expelled[to.index()] {
+                    return;
+                }
+                let mut downcalls = std::mem::take(&mut self.scratch_downcalls);
+                self.stacks[to.index()].on_message(
+                    to,
+                    from,
+                    message,
+                    now,
+                    &self.directory,
+                    &mut downcalls,
+                );
+                self.process_downcalls(to, &mut downcalls, now, ctx);
+                self.scratch_downcalls = downcalls;
             }
             Event::Timer { node, timer } => {
                 if self.expelled[node.index()] || !self.lifting_on() {
                     return;
                 }
-                let actions = self.nodes[node.index()].verifier.on_timer(timer, now);
-                self.process_actions(node, actions, now, ctx);
+                let mut downcalls = std::mem::take(&mut self.scratch_downcalls);
+                self.stacks[node.index()].on_timer(
+                    node,
+                    timer,
+                    now,
+                    &self.directory,
+                    &mut downcalls,
+                );
+                self.process_downcalls(node, &mut downcalls, now, ctx);
+                self.scratch_downcalls = downcalls;
             }
             Event::PeriodEnd => self.handle_period_end(now, ctx),
             Event::AuditTick { auditor } => self.handle_audit_tick(auditor, now, ctx),
@@ -699,65 +284,9 @@ impl World for SystemWorld {
 impl std::fmt::Debug for SystemWorld {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SystemWorld")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.stacks.len())
             .field("expelled", &self.expelled_count())
             .field("emitted_chunks", &self.emitted_chunks.len())
             .finish()
-    }
-}
-
-/// Audit oracle backed by the live node states; every poll is accounted as
-/// audit traffic over TCP.
-struct WorldAuditOracle<'a> {
-    nodes: &'a [SystemNode],
-    network: &'a mut Network,
-    auditor: NodeId,
-    now: SimTime,
-}
-
-impl AuditOracle for WorldAuditOracle<'_> {
-    fn confirm_proposal(&mut self, witness: NodeId, subject: NodeId, chunks: &[ChunkId]) -> bool {
-        self.network.send(
-            self.now,
-            self.auditor,
-            witness,
-            32 + 8 * chunks.len() as u64,
-            Transport::Tcp,
-            TrafficCategory::Audit,
-        );
-        self.network.send(
-            self.now,
-            witness,
-            self.auditor,
-            24,
-            Transport::Tcp,
-            TrafficCategory::Audit,
-        );
-        self.nodes[witness.index()]
-            .verifier
-            .answer_audit_poll(subject, chunks)
-    }
-
-    fn confirm_askers(&mut self, witness: NodeId, subject: NodeId) -> Vec<NodeId> {
-        self.network.send(
-            self.now,
-            self.auditor,
-            witness,
-            32,
-            Transport::Tcp,
-            TrafficCategory::Audit,
-        );
-        let askers = self.nodes[witness.index()]
-            .verifier
-            .confirm_askers_about(subject);
-        self.network.send(
-            self.now,
-            witness,
-            self.auditor,
-            24 + 6 * askers.len() as u64,
-            Transport::Tcp,
-            TrafficCategory::Audit,
-        );
-        askers
     }
 }

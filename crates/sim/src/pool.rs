@@ -34,7 +34,9 @@ thread_local! {
 /// The number of worker threads that [`run_indexed`] would use for `jobs`
 /// independent jobs.
 pub fn worker_count(jobs: usize) -> usize {
-    let hw = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let configured = std::env::var(WORKERS_ENV)
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())

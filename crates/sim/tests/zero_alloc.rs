@@ -46,7 +46,10 @@ impl World for Relay {
     fn handle_event(&mut self, _now: SimTime, ev: Hop, ctx: &mut Context<Hop>) {
         self.handled += 1;
         if self.handled < self.limit {
-            ctx.schedule_after(SimDuration::from_micros(u64::from(ev.0 % 7) + 1), Hop(ev.0 + 1));
+            ctx.schedule_after(
+                SimDuration::from_micros(u64::from(ev.0 % 7) + 1),
+                Hop(ev.0 + 1),
+            );
         }
     }
 }

@@ -56,8 +56,8 @@ pub mod prelude {
     pub use lifting_net::{LatencyModel, LossModel, Network, NetworkConfig};
     pub use lifting_reputation::{ManagerAssignment, ManagerState};
     pub use lifting_runtime::{
-        run_scenario, run_scenario_with_snapshots, CollusionScenario, FreeriderScenario,
-        RunOutcome, ScenarioConfig,
+        run_scenario, run_scenario_with_snapshots, AdversaryScenario, CollusionScenario,
+        FreeriderScenario, RunOutcome, Scale, ScenarioConfig, ScenarioRegistry,
     };
     pub use lifting_sim::{NodeId, SimDuration, SimTime};
 }

@@ -52,7 +52,10 @@ fn detection_improves_with_the_degree_of_freeriding() {
         );
         last = alpha;
     }
-    assert!(last > 0.95, "strong freeriders must be almost surely caught");
+    assert!(
+        last > 0.95,
+        "strong freeriders must be almost surely caught"
+    );
     assert!(false_positive_rate(&honest, eta) <= 0.011);
 }
 

@@ -51,7 +51,9 @@ fn audits_catch_more_colluders_than_scores_alone() {
         o.finals
             .outcomes
             .iter()
-            .filter(|n| n.is_freerider && (n.expelled || n.score.map(|s| s < -9.75).unwrap_or(false)))
+            .filter(|n| {
+                n.is_freerider && (n.expelled || n.score.map(|s| s < -9.75).unwrap_or(false))
+            })
             .count()
     };
     assert!(
@@ -85,9 +87,7 @@ fn cover_up_without_audits_lets_colluders_linger() {
         .finals
         .outcomes
         .iter()
-        .filter(|n| {
-            n.is_freerider && !n.expelled && n.score.map(|s| s >= -9.75).unwrap_or(true)
-        })
+        .filter(|n| n.is_freerider && !n.expelled && n.score.map(|s| s >= -9.75).unwrap_or(true))
         .count();
     assert!(
         undetected > 0,

@@ -40,12 +40,18 @@ fn parallel_fleet_outcomes_equal_sequential_outcomes() {
 
     assert_eq!(parallel.len(), sequential.len());
     for (p, s) in parallel.iter().zip(&sequential) {
-        assert_eq!(p.finals.outcomes, s.finals.outcomes, "per-node outcomes diverged");
+        assert_eq!(
+            p.finals.outcomes, s.finals.outcomes,
+            "per-node outcomes diverged"
+        );
         assert_eq!(p.expelled_count, s.expelled_count);
         assert_eq!(p.traffic.total_bytes_sent, s.traffic.total_bytes_sent);
         assert_eq!(p.traffic.total_messages_sent, s.traffic.total_messages_sent);
         assert_eq!(p.traffic.overhead_ratio, s.traffic.overhead_ratio);
-        assert_eq!(p.stream_health.fraction_clear, s.stream_health.fraction_clear);
+        assert_eq!(
+            p.stream_health.fraction_clear,
+            s.stream_health.fraction_clear
+        );
         assert_eq!(p.emitted_chunks, s.emitted_chunks);
     }
 }
@@ -63,7 +69,10 @@ fn repeated_runs_are_bit_identical() {
     let b = run_scenario(config);
     assert_eq!(a.finals.outcomes, b.finals.outcomes);
     assert_eq!(a.traffic.total_bytes_sent, b.traffic.total_bytes_sent);
-    assert_eq!(a.stream_health.fraction_clear, b.stream_health.fraction_clear);
+    assert_eq!(
+        a.stream_health.fraction_clear,
+        b.stream_health.fraction_clear
+    );
 }
 
 #[test]

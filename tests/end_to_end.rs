@@ -152,7 +152,10 @@ fn expelled_freeriders_stop_hurting_the_stream() {
     let outcome_on = run_scenario(on);
     let outcome_off = run_scenario(off);
     // With LiFTinG at least some freeriders get expelled.
-    assert!(outcome_on.expelled_count > 0, "LiFTinG should expel someone");
+    assert!(
+        outcome_on.expelled_count > 0,
+        "LiFTinG should expel someone"
+    );
     assert_eq!(outcome_off.expelled_count, 0);
     // Expelled nodes must be mostly freeriders, not honest nodes.
     let expelled_freeriders = outcome_on
