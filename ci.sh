@@ -1,8 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 CI: build, test, then smoke-run the experiment suite twice (parallel
-# and forced-sequential) and require bit-identical figure/table numbers.
+# and forced-sequential), require bit-identical figure/table numbers, and
+# gate on wall-clock regressions against the committed bench snapshot.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Snapshot the committed bench/summary files: the smoke runs below overwrite
+# them in the working tree, and the regression gate needs the committed one.
+cp BENCH_experiments.json /tmp/bench_committed.json
+cp experiments_summary.json /tmp/summary_committed.json
+restore_artifacts() {
+    cp /tmp/bench_committed.json BENCH_experiments.json
+    cp /tmp/summary_committed.json experiments_summary.json
+}
+trap restore_artifacts EXIT
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -23,13 +34,14 @@ mv experiments_summary.json /tmp/summary_parallel.json
 echo "==> run_all_experiments --quick --sequential"
 ./target/release/run_all_experiments --quick --sequential
 mv experiments_summary.json /tmp/summary_sequential.json
+cp BENCH_experiments.json /tmp/bench_sequential.json
 
 echo "==> determinism check (parallel vs sequential)"
 python3 - <<'EOF'
 import json, sys
 a = json.load(open('/tmp/summary_parallel.json'))
 b = json.load(open('/tmp/summary_sequential.json'))
-skip = {'timings_secs', 'total_wall_secs', 'workers'}
+skip = {'timings_secs', 'total_wall_secs', 'workers', 'per_scale_timings', 'speedup_vs_seed'}
 a = {k: v for k, v in a.items() if k not in skip}
 b = {k: v for k, v in b.items() if k not in skip}
 if a != b:
@@ -37,5 +49,31 @@ if a != b:
 print('parallel and sequential outputs are identical')
 EOF
 
-cp /tmp/summary_parallel.json experiments_summary.json
+echo "==> bench smoke (quick wall-clock vs committed baseline)"
+python3 - <<'EOF'
+import json, sys
+
+def quick_total(d):
+    scales = d.get('scales')
+    if isinstance(scales, dict) and 'Quick' in scales:
+        return scales['Quick'].get('total_wall_secs')
+    if d.get('scale') == 'Quick':
+        return d.get('total_wall_secs')
+    return None
+
+committed = quick_total(json.load(open('/tmp/bench_committed.json')))
+fresh = quick_total(json.load(open('/tmp/bench_sequential.json')))
+if committed is None:
+    sys.exit('committed BENCH_experiments.json has no Quick-scale total')
+if fresh is None:
+    sys.exit('fresh bench run produced no Quick-scale total')
+print(f'quick suite total_wall_secs: committed {committed:.2f}s, fresh {fresh:.2f}s')
+# Allow noisy-machine headroom; a >2x slowdown means a real hot-path
+# regression, not scheduling jitter.
+if fresh > 2.0 * committed:
+    sys.exit(f'bench smoke FAILED: fresh quick run {fresh:.2f}s is more than '
+             f'2x the committed baseline {committed:.2f}s')
+print('bench smoke OK')
+EOF
+
 echo "==> OK"

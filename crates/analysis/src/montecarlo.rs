@@ -10,7 +10,7 @@
 
 use lifting_sim::{pool, split_seed};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Bernoulli, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::formulas::{FreeridingDegree, ProtocolParams};
@@ -21,6 +21,20 @@ use crate::stats::Summary;
 pub struct BlameModel {
     params: ProtocolParams,
     pdcc: f64,
+    /// Cached `exp(-f)` for the Poisson verifier-count draw: the exponential
+    /// is invariant across the millions of samples a sweep takes, and it
+    /// dominated the per-sample cost when recomputed inside the loop.
+    poisson_l: f64,
+    /// Precomputed draws for the model-invariant probabilities (each is
+    /// bit-identical to `gen_bool` at the same probability — see
+    /// [`Bernoulli`]): message survival `pr`, both-ways `pr²`, the
+    /// all-serves-plus-ack chain `pr^(|R|+1)`, the per-witness chain `pr³`,
+    /// and the cross-check trigger `pdcc`.
+    draw_pr: Bernoulli,
+    draw_pr_both_ways: Bernoulli,
+    draw_pr_serves_and_ack: Bernoulli,
+    draw_pr_cubed: Bernoulli,
+    draw_pdcc: Bernoulli,
 }
 
 /// Normalized scores sampled for a population of honest nodes and freeriders.
@@ -40,7 +54,16 @@ impl BlameModel {
     /// Panics if `pdcc` is not in `[0, 1]`.
     pub fn new(params: ProtocolParams, pdcc: f64) -> Self {
         assert!((0.0..=1.0).contains(&pdcc), "pdcc = {pdcc} not in [0, 1]");
-        BlameModel { params, pdcc }
+        BlameModel {
+            params,
+            pdcc,
+            poisson_l: (-(params.fanout as f64)).exp(),
+            draw_pr: Bernoulli::new(params.pr),
+            draw_pr_both_ways: Bernoulli::new(params.pr * params.pr),
+            draw_pr_serves_and_ack: Bernoulli::new(params.pr.powi(params.requested as i32 + 1)),
+            draw_pr_cubed: Bernoulli::new(params.pr.powi(3)),
+            draw_pdcc: Bernoulli::new(pdcc),
+        }
     }
 
     /// The protocol parameters of the model.
@@ -69,59 +92,69 @@ impl BlameModel {
         delta: FreeridingDegree,
         rng: &mut R,
     ) -> f64 {
+        // Every probability below is loop-invariant; computing them once per
+        // sample (and the model-level powers/exponentials once per model)
+        // matters because a sweep draws hundreds of millions of these. The
+        // values — and therefore every RNG draw and outcome — are exactly the
+        // ones the inline expressions produced.
         let f = self.params.fanout;
         let r_len = self.params.requested;
-        let pr = self.params.pr;
+        let f_blame = f as f64;
+        let propose_target = (1.0 - delta.delta1) * f_blame;
+        let serve_target = (1.0 - delta.delta3) * r_len as f64;
+        let draw_witness_keep = Bernoulli::new(1.0 - delta.delta1);
+        let draw_drop_source = Bernoulli::new(delta.delta2);
+        let draw_pr = self.draw_pr;
         let mut blame = 0.0;
 
         // --- Direct verification: blames from the partners this node proposed to.
         // Fractional counts (e.g. serving 90 % of 4 chunks) are resolved by
         // randomized rounding so expectations match the closed forms exactly.
-        let fanout_used = sample_count(rng, (1.0 - delta.delta1) * f as f64).min(f);
+        let fanout_used = sample_count(rng, propose_target).min(f);
         for _ in 0..fanout_used {
-            if !rng.gen_bool(pr) {
+            if !draw_pr.sample(rng) {
                 continue; // proposal lost: the partner never expects anything
             }
-            if !rng.gen_bool(pr) {
+            if !draw_pr.sample(rng) {
                 // Request lost: nothing arrives, the partner blames by f.
-                blame += f as f64;
+                blame += f_blame;
                 continue;
             }
-            let served = sample_count(rng, (1.0 - delta.delta3) * r_len as f64).min(r_len);
-            let received = (0..served).filter(|_| rng.gen_bool(pr)).count();
-            blame += f as f64 * (r_len - received) as f64 / r_len as f64;
+            let served = sample_count(rng, serve_target).min(r_len);
+            let received = (0..served).filter(|_| draw_pr.sample(rng)).count();
+            blame += f_blame * (r_len - received) as f64 / r_len as f64;
         }
 
         // --- Direct cross-checking: blames from the nodes that served this
         // node during the previous period. Each other node picks its partners
         // uniformly at random, so the number of verifiers is Poisson(f)
         // distributed around the fanout in steady state.
-        let verifiers = sample_poisson(rng, f as f64);
+        let verifiers = sample_poisson_with(rng, self.poisson_l);
         for _ in 0..verifiers {
             // Partial propose: this verifier's chunks were deliberately dropped.
-            if delta.delta2 > 0.0 && rng.gen_bool(delta.delta2) {
-                blame += f as f64;
+            if delta.delta2 > 0.0 && draw_drop_source.sample(rng) {
+                blame += f_blame;
                 continue;
             }
-            if !rng.gen_bool(self.pdcc) {
+            if !self.draw_pdcc.sample(rng) {
                 continue; // this verifier does not cross-check this time
             }
             // The verifier only holds the node accountable if its own
             // proposal/request exchange with the node succeeded.
-            if !rng.gen_bool(pr * pr) {
+            if !self.draw_pr_both_ways.sample(rng) {
                 continue;
             }
             // All |R| serves plus the ack must arrive for the verifier to see
             // a consistent acknowledgment; otherwise it blames by f.
-            if !rng.gen_bool(pr.powi(r_len as i32 + 1)) {
-                blame += f as f64;
+            if !self.draw_pr_serves_and_ack.sample(rng) {
+                blame += f_blame;
                 continue;
             }
             // Per-witness checks: each of the f expected witnesses yields a
             // blame of 1 if the propose/confirm/response chain breaks or if
             // the node never proposed to it because of its reduced fanout.
             for _ in 0..f {
-                let witness_ok = rng.gen_bool(1.0 - delta.delta1) && rng.gen_bool(pr.powi(3));
+                let witness_ok = draw_witness_keep.sample(rng) && self.draw_pr_cubed.sample(rng);
                 if !witness_ok {
                     blame += 1.0;
                 }
@@ -216,13 +249,14 @@ fn sample_count<R: Rng + ?Sized>(rng: &mut R, x: f64) -> usize {
     count
 }
 
-/// Samples a Poisson(λ) variate with Knuth's product-of-uniforms algorithm
-/// (fine for the small λ ≈ fanout used here).
-fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
-    if lambda <= 0.0 {
+/// Samples a Poisson variate with Knuth's product-of-uniforms algorithm
+/// (fine for the small λ ≈ fanout used here), taking the precomputed
+/// `l = exp(-λ)` so the exponential is paid once per model, not per sample.
+/// `l >= 1` (i.e. λ ≤ 0) degenerates to zero, like the old λ check did.
+fn sample_poisson_with<R: Rng + ?Sized>(rng: &mut R, l: f64) -> usize {
+    if l >= 1.0 {
         return 0;
     }
-    let l = (-lambda).exp();
     let mut k = 0usize;
     let mut p = 1.0;
     loop {

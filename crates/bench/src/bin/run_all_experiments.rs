@@ -1,34 +1,38 @@
 //! Runs every experiment of the paper as a parallel job queue and writes a
 //! JSON summary (with per-experiment wall-clock timings) to
-//! `experiments_summary.json`, plus a timing-only snapshot to
+//! `experiments_summary.json`, plus a timing snapshot to
 //! `BENCH_experiments.json` for the performance trajectory.
 //!
-//! Flags: `--quick` shrinks every experiment for a smoke run; `--sequential`
-//! forces a single worker (`LIFTING_WORKERS=1`), which produces **identical**
-//! figure/table numbers — only the wall-clock changes.
+//! Flags:
+//! * `--quick` shrinks every experiment for a smoke run (the tier tracked by
+//!   the CI bench-smoke step and the speedup-vs-seed section);
+//! * `--paper` runs the paper's own operating point (300 PlanetLab nodes,
+//!   full Monte-Carlo populations) — the default;
+//! * `--both` sweeps Quick then Paper and emits per-scale timings;
+//! * `--sequential` forces a single worker (`LIFTING_WORKERS=1`), which
+//!   produces **identical** figure/table numbers — only the wall-clock
+//!   changes.
 
 use std::time::Instant;
 
 use lifting_bench::experiments::*;
-use lifting_bench::scale_from_args;
 use lifting_runtime::{run_jobs_parallel, ScenarioRegistry};
 use serde_json::{json, to_value, Value};
 
+/// `total_wall_secs` of the seed revision's committed Quick-scale baseline
+/// (PR 1, single worker). The speedup-vs-seed section tracks how far the
+/// per-run hot path has moved since; the CI bench-smoke step separately
+/// guards against regressions relative to the *currently committed* snapshot.
+const SEED_QUICK_TOTAL_WALL_SECS: f64 = 2.3349774930000002;
+
 type Job = (&'static str, Box<dyn Fn() -> Value + Send + Sync>);
 
-fn main() {
-    let scale = scale_from_args();
-    if std::env::args().any(|a| a == "--sequential") {
-        std::env::set_var(lifting_sim::pool::WORKERS_ENV, "1");
-    }
-    let workers = lifting_sim::worker_count(usize::MAX);
-    eprintln!("running all experiments at {scale:?} scale on {workers} worker(s) ...");
-
+fn build_jobs(scale: Scale) -> Vec<Job> {
     // Every experiment is a job; independent scenarios *inside* an experiment
     // fan out further through the same pool (fig01's three cases, fig12's
     // delta sweep, the table grids), and fig14's two pdcc runs are jobs of
     // their own.
-    let jobs: Vec<Job> = vec![
+    vec![
         (
             "fig01",
             Box::new(move || to_value(&fig01_stream_health(scale, 1))),
@@ -76,67 +80,158 @@ fn main() {
             "adversaries",
             Box::new(move || to_value(&adversary_showcase(scale, 21))),
         ),
-    ];
+    ]
+}
 
+/// Results of one full sweep at one scale.
+struct SuiteRun {
+    scale: Scale,
+    /// `(name, figure/table value, seconds)` per experiment, in job order.
+    results: Vec<(&'static str, Value, f64)>,
+    total_secs: f64,
+}
+
+impl SuiteRun {
+    fn by_name(&self, name: &str) -> &Value {
+        &self
+            .results
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .expect("known experiment name")
+            .1
+    }
+
+    fn timings(&self) -> Value {
+        Value::Object(
+            self.results
+                .iter()
+                .map(|(name, _, secs)| (name.to_string(), Value::Float(*secs)))
+                .collect(),
+        )
+    }
+}
+
+fn run_suite(scale: Scale) -> SuiteRun {
+    let jobs = build_jobs(scale);
+    eprintln!("running all experiments at {scale:?} scale ...");
     let wall_start = Instant::now();
     let results: Vec<(Value, f64)> = run_jobs_parallel(jobs.len(), |i| {
         let (name, run) = &jobs[i];
-        eprintln!("[{}/{}] {name} ...", i + 1, jobs.len());
+        eprintln!("[{}/{}] {scale:?}/{name} ...", i + 1, jobs.len());
         let start = Instant::now();
         let value = run();
         let secs = start.elapsed().as_secs_f64();
-        eprintln!("[{}/{}] {name} done in {secs:.2}s", i + 1, jobs.len());
+        eprintln!(
+            "[{}/{}] {scale:?}/{name} done in {secs:.2}s",
+            i + 1,
+            jobs.len()
+        );
         (value, secs)
     });
     let total_secs = wall_start.elapsed().as_secs_f64();
-
-    let by_name =
-        |name: &str| -> &Value { &results[jobs.iter().position(|(n, _)| *n == name).unwrap()].0 };
-    let timings = Value::Object(
-        jobs.iter()
-            .zip(&results)
-            .map(|((name, _), (_, secs))| (name.to_string(), Value::Float(*secs)))
+    SuiteRun {
+        scale,
+        results: jobs
+            .iter()
+            .zip(results)
+            .map(|((name, _), (value, secs))| (*name, value, secs))
             .collect(),
-    );
+        total_secs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--sequential") {
+        std::env::set_var(lifting_sim::pool::WORKERS_ENV, "1");
+    }
+    let both = args.iter().any(|a| a == "--both");
+    let quick_only = args.iter().any(|a| a == "--quick") && !both;
+    let workers = lifting_sim::worker_count(usize::MAX);
+    eprintln!("experiment suite on {workers} worker(s)");
+
+    // Sweep the requested scales; the *primary* run (Quick for smoke runs,
+    // Paper otherwise) provides the figure/table values of the summary.
+    let mut runs: Vec<SuiteRun> = Vec::new();
+    if quick_only || both {
+        runs.push(run_suite(Scale::Quick));
+    }
+    if !quick_only {
+        runs.push(run_suite(Scale::Paper));
+    }
+    let primary = runs.last().expect("at least one scale runs");
 
     let scenario_names: Vec<String> = ScenarioRegistry::builtin()
         .names()
         .iter()
         .map(|n| n.to_string())
         .collect();
+    // One per-scale timing record, shared verbatim by the summary's
+    // `per_scale_timings` and the bench snapshot's `scales` sections.
+    let per_scale_timings = Value::Object(
+        runs.iter()
+            .map(|run| {
+                (
+                    format!("{:?}", run.scale),
+                    json!({
+                        "experiments_secs": run.timings(),
+                        "total_wall_secs": run.total_secs,
+                    }),
+                )
+            })
+            .collect(),
+    );
+    // The speedup-vs-seed section tracks the Quick tier (the one the seed
+    // baseline recorded); it is present whenever that tier ran.
+    let quick_run = runs.iter().find(|r| r.scale == Scale::Quick);
+    let speedup_vs_seed = quick_run.map(|run| {
+        json!({
+            "seed_quick_total_wall_secs": SEED_QUICK_TOTAL_WALL_SECS,
+            "quick_total_wall_secs": run.total_secs,
+            "speedup": SEED_QUICK_TOTAL_WALL_SECS / run.total_secs.max(1e-9),
+        })
+    });
+
     let summary = json!({
-        "scale": format!("{scale:?}"),
+        "scale": format!("{:?}", primary.scale),
         "workers": workers,
         "scenarios": scenario_names,
-        "fig01": by_name("fig01"),
-        "fig10": by_name("fig10"),
-        "fig11": by_name("fig11"),
-        "fig12": by_name("fig12"),
-        "fig13": by_name("fig13"),
-        "fig14": json!({ "pdcc_1": by_name("fig14_pdcc_1"), "pdcc_05": by_name("fig14_pdcc_05") }),
-        "table3": by_name("table3"),
-        "table5": by_name("table5"),
-        "layer_traffic": by_name("layer_traffic"),
-        "adversaries": by_name("adversaries"),
-        "timings_secs": timings,
-        "total_wall_secs": total_secs,
+        "fig01": primary.by_name("fig01"),
+        "fig10": primary.by_name("fig10"),
+        "fig11": primary.by_name("fig11"),
+        "fig12": primary.by_name("fig12"),
+        "fig13": primary.by_name("fig13"),
+        "fig14": json!({
+            "pdcc_1": primary.by_name("fig14_pdcc_1"),
+            "pdcc_05": primary.by_name("fig14_pdcc_05"),
+        }),
+        "table3": primary.by_name("table3"),
+        "table5": primary.by_name("table5"),
+        "layer_traffic": primary.by_name("layer_traffic"),
+        "adversaries": primary.by_name("adversaries"),
+        "timings_secs": primary.timings(),
+        "total_wall_secs": primary.total_secs,
+        "per_scale_timings": per_scale_timings.clone(),
+        "speedup_vs_seed": speedup_vs_seed.clone().unwrap_or(Value::Null),
     });
     let path = "experiments_summary.json";
     std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap()).expect("write summary");
     println!("wrote {path}");
 
-    // Timing-only snapshot: the seed of the perf trajectory across PRs.
-    // With workers > 1 the per-experiment spans overlap and include
-    // descheduled time (their sum exceeds the wall clock); `contended` flags
-    // that, and `total_wall_secs` is the number to track across runs. Use
+    // Timing snapshot: the perf trajectory across PRs. With workers > 1 the
+    // per-experiment spans overlap and include descheduled time (their sum
+    // exceeds the wall clock); `contended` flags that, and the per-scale
+    // `total_wall_secs` are the numbers to track across runs. Use
     // `--sequential` when per-experiment spans themselves must be comparable.
     let bench = json!({
         "suite": "run_all_experiments",
-        "scale": format!("{scale:?}"),
+        "scale": format!("{:?}", primary.scale),
         "workers": workers,
         "contended": workers > 1,
-        "experiments_secs": summary.get("timings_secs").unwrap(),
-        "total_wall_secs": total_secs,
+        "experiments_secs": primary.timings(),
+        "total_wall_secs": primary.total_secs,
+        "scales": per_scale_timings,
+        "speedup_vs_seed": speedup_vs_seed.unwrap_or(Value::Null),
     });
     let bench_path = "BENCH_experiments.json";
     std::fs::write(bench_path, serde_json::to_string_pretty(&bench).unwrap())
@@ -156,10 +251,18 @@ fn main() {
     println!(
         "headlines: fig10 σ = {:.1} (paper 25.6); fig11 detection = {:.2}; \
          fig13 p*m = {:.2} (paper 0.21); fig14 detection@30s = {:.2} (paper 0.86)",
-        pick(by_name("fig10"), &["std_dev"]),
-        pick(by_name("fig11"), &["detection"]),
-        pick(by_name("fig13"), &["max_bias_25_colluders"]),
-        pick(by_name("fig14_pdcc_1"), &["snapshots", "1", "detection"]),
+        pick(primary.by_name("fig10"), &["std_dev"]),
+        pick(primary.by_name("fig11"), &["detection"]),
+        pick(primary.by_name("fig13"), &["max_bias_25_colluders"]),
+        pick(
+            primary.by_name("fig14_pdcc_1"),
+            &["snapshots", "1", "detection"]
+        ),
     );
-    println!("total wall-clock: {total_secs:.2}s on {workers} worker(s)");
+    for run in &runs {
+        println!(
+            "{:?} scale wall-clock: {:.2}s on {workers} worker(s)",
+            run.scale, run.total_secs
+        );
+    }
 }

@@ -73,6 +73,42 @@ fn unit_f64(bits: u64) -> f64 {
     (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// A precomputed Bernoulli(p) draw, bit-identical to [`Rng::gen_bool`]`(p)`
+/// but with the probability folded into an integer threshold once instead of
+/// a float multiply-compare per draw (the Monte-Carlo sweeps draw hundreds of
+/// millions of these with loop-invariant probabilities).
+///
+/// Equivalence: `gen_bool(p)` tests `k · 2⁻⁵³ < p` with `k = bits >> 11`.
+/// Scaling by 2⁵³ is exact in `f64` (pure exponent shift), so the test equals
+/// `k < p · 2⁵³` over the reals, and for integer `k` that is `k < ceil(p·2⁵³)`
+/// (when `p·2⁵³` is an integer, `ceil` is the identity and the strict
+/// comparison matches directly). Verified against `gen_bool` in the tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Bernoulli {
+    threshold: u64,
+}
+
+impl Bernoulli {
+    /// Precomputes the threshold for probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p = {p} not in [0, 1]");
+        Bernoulli {
+            threshold: (p * (1u64 << 53) as f64).ceil() as u64,
+        }
+    }
+
+    /// Draws once: returns `true` with probability `p`, consuming exactly one
+    /// `next_u64` like `gen_bool` does.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        (rng.next_u64() >> 11) < self.threshold
+    }
+}
+
 /// Types samplable by [`Rng::gen`].
 pub trait StandardSample {
     /// Draws one value from `rng`.
@@ -222,6 +258,23 @@ mod tests {
         }
         let mean = sum / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_matches_gen_bool_bit_for_bit() {
+        for (i, p) in [0.0, 1e-9, 0.04, 0.143, 0.5, 0.93, 0.999_999, 1.0]
+            .into_iter()
+            .enumerate()
+        {
+            let b = Bernoulli::new(p);
+            let mut r1 = SmallRng::seed_from_u64(100 + i as u64);
+            let mut r2 = SmallRng::seed_from_u64(100 + i as u64);
+            for _ in 0..50_000 {
+                assert_eq!(b.sample(&mut r1), r2.gen_bool(p), "p = {p}");
+            }
+            // Both consumed the same number of words.
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
     }
 
     #[test]

@@ -6,10 +6,8 @@
 //! reached it within `L` of their emission. Figure 1 plots, for each lag, the
 //! fraction of nodes for which this holds.
 
-use lifting_sim::collections::DetHashMap;
-
 use lifting_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::chunk::{Chunk, ChunkId};
 
@@ -22,10 +20,12 @@ pub struct Receipt {
     pub received_at: SimTime,
 }
 
-/// Per-node record of chunk receptions.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Per-node record of chunk receptions, flat-indexed by the sequential chunk
+/// id (one array store per reception on the hot path, no hashing).
+#[derive(Debug, Clone, Default)]
 pub struct PlayoutBuffer {
-    received: DetHashMap<ChunkId, Receipt>,
+    received: Vec<Option<Receipt>>,
+    len: usize,
 }
 
 impl PlayoutBuffer {
@@ -37,37 +37,43 @@ impl PlayoutBuffer {
     /// Records the reception of `chunk` at `now`. Only the first reception is
     /// kept. Returns true if the chunk was new.
     pub fn record(&mut self, chunk: &Chunk, now: SimTime) -> bool {
-        match self.received.entry(chunk.id) {
-            std::collections::hash_map::Entry::Occupied(_) => false,
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(Receipt {
-                    emitted_at: chunk.emitted_at,
-                    received_at: now,
-                });
-                true
-            }
+        let idx = chunk.id.value() as usize;
+        if idx >= self.received.len() {
+            self.received.resize(idx + 1, None);
         }
+        if self.received[idx].is_some() {
+            return false;
+        }
+        self.received[idx] = Some(Receipt {
+            emitted_at: chunk.emitted_at,
+            received_at: now,
+        });
+        self.len += 1;
+        true
+    }
+
+    fn get(&self, id: ChunkId) -> Option<&Receipt> {
+        self.received.get(id.value() as usize)?.as_ref()
     }
 
     /// True if the chunk has been received.
     pub fn contains(&self, id: ChunkId) -> bool {
-        self.received.contains_key(&id)
+        self.get(id).is_some()
     }
 
     /// Number of distinct chunks received.
     pub fn len(&self) -> usize {
-        self.received.len()
+        self.len
     }
 
     /// True if no chunk has been received yet.
     pub fn is_empty(&self) -> bool {
-        self.received.is_empty()
+        self.len == 0
     }
 
     /// Reception lag of a chunk (reception − emission), if received.
     pub fn lag_of(&self, id: ChunkId) -> Option<SimDuration> {
-        self.received
-            .get(&id)
+        self.get(id)
             .map(|r| r.received_at.saturating_since(r.emitted_at))
     }
 
@@ -79,7 +85,7 @@ impl PlayoutBuffer {
         }
         let delivered = emitted
             .iter()
-            .filter(|c| match self.received.get(&c.id) {
+            .filter(|c| match self.get(c.id) {
                 Some(r) => r.received_at.saturating_since(c.emitted_at) <= lag,
                 None => false,
             })
@@ -94,6 +100,28 @@ impl PlayoutBuffer {
     }
 }
 
+impl Serialize for PlayoutBuffer {
+    fn to_json_value(&self) -> Value {
+        // Same `[[chunk, receipt], ...]` (key-sorted) shape the map rendered.
+        Value::Array(
+            self.received
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| {
+                    r.map(|r| {
+                        Value::Array(vec![
+                            ChunkId::new(i as u64).to_json_value(),
+                            r.to_json_value(),
+                        ])
+                    })
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for PlayoutBuffer {}
+
 /// System-wide stream-health series: Figure 1's y-axis over a grid of lags.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StreamHealth {
@@ -106,6 +134,12 @@ pub struct StreamHealth {
 impl StreamHealth {
     /// Computes the stream-health curve over `lags` for a set of node buffers,
     /// relative to the chunks in `emitted`.
+    ///
+    /// Each node's per-chunk lags are computed once and sorted, so each grid
+    /// point is a binary search instead of a full chunk scan; the delivered
+    /// counts (and therefore every fraction) are identical to the naive
+    /// per-lag [`delivery_ratio_within`](PlayoutBuffer::delivery_ratio_within)
+    /// sweep.
     pub fn compute(
         buffers: &[&PlayoutBuffer],
         emitted: &[Chunk],
@@ -113,19 +147,33 @@ impl StreamHealth {
         threshold: f64,
     ) -> StreamHealth {
         let n = buffers.len().max(1) as f64;
-        let fraction_clear = lags
-            .iter()
-            .map(|lag| {
-                buffers
-                    .iter()
-                    .filter(|b| b.views_clear_stream(emitted, *lag, threshold))
-                    .count() as f64
-                    / n
-            })
-            .collect();
+        let mut clear_counts = vec![0usize; lags.len()];
+        let mut node_lags: Vec<SimDuration> = Vec::new();
+        for buffer in buffers {
+            if emitted.is_empty() {
+                // An empty reference set counts every node as clear.
+                for c in &mut clear_counts {
+                    *c += 1;
+                }
+                continue;
+            }
+            node_lags.clear();
+            node_lags.extend(emitted.iter().filter_map(|c| {
+                buffer
+                    .get(c.id)
+                    .map(|r| r.received_at.saturating_since(c.emitted_at))
+            }));
+            node_lags.sort_unstable();
+            for (i, lag) in lags.iter().enumerate() {
+                let delivered = node_lags.partition_point(|l| l <= lag);
+                if delivered as f64 / emitted.len() as f64 >= threshold {
+                    clear_counts[i] += 1;
+                }
+            }
+        }
         StreamHealth {
             lag_secs: lags.iter().map(|l| l.as_secs_f64()).collect(),
-            fraction_clear,
+            fraction_clear: clear_counts.into_iter().map(|c| c as f64 / n).collect(),
         }
     }
 

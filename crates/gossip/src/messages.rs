@@ -6,6 +6,8 @@
 //! identifier (IPv4 + port, as on PlanetLab) and a small fixed header per
 //! message.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::chunk::{Chunk, ChunkId};
@@ -24,15 +26,17 @@ pub struct ProposePayload {
     /// The proposer's gossip-period counter (used by receivers to order
     /// proposals; not trusted by any verification).
     pub period: u64,
-    /// Chunk ids on offer.
-    pub chunks: Vec<ChunkId>,
+    /// Chunk ids on offer. Shared, not owned: one propose phase sends the
+    /// identical list to `f` partners, each receiver's history keeps it, and
+    /// the proposer's outstanding offers reference it — all one allocation.
+    pub chunks: Arc<[ChunkId]>,
 }
 
 /// A request message: the subset of proposed chunks the receiver needs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RequestPayload {
-    /// Chunk ids requested.
-    pub chunks: Vec<ChunkId>,
+    /// Chunk ids requested (shared with the requester's pending serve check).
+    pub chunks: Arc<[ChunkId]>,
 }
 
 /// A serve message carrying one chunk.
@@ -84,13 +88,13 @@ mod tests {
     fn wire_sizes_scale_with_content() {
         let propose = GossipMessage::Propose(ProposePayload {
             period: 3,
-            chunks: vec![ChunkId::new(1), ChunkId::new(2), ChunkId::new(3)],
+            chunks: vec![ChunkId::new(1), ChunkId::new(2), ChunkId::new(3)].into(),
         });
         assert_eq!(propose.wire_size(), 16 + 3 * 8);
         assert!(!propose.carries_data());
 
         let request = GossipMessage::Request(RequestPayload {
-            chunks: vec![ChunkId::new(1)],
+            chunks: vec![ChunkId::new(1)].into(),
         });
         assert_eq!(request.wire_size(), 16 + 8);
 
@@ -105,7 +109,7 @@ mod tests {
     fn empty_proposal_is_just_a_header() {
         let propose = GossipMessage::Propose(ProposePayload {
             period: 0,
-            chunks: vec![],
+            chunks: vec![].into(),
         });
         assert_eq!(propose.wire_size(), MESSAGE_HEADER_BYTES);
     }

@@ -7,7 +7,9 @@
 //! return the data the runtime must put on the wire; they never perform I/O
 //! themselves, which keeps the protocol unit-testable without a network.
 
-use lifting_sim::collections::{DetHashMap, DetHashSet};
+use std::sync::Arc;
+
+use lifting_sim::collections::DetHashMap;
 
 use lifting_sim::{NodeId, SimDuration, SimTime};
 use rand::Rng;
@@ -22,8 +24,10 @@ use crate::config::GossipConfig;
 pub struct ProposeRound {
     /// The node's gossip-period counter when this round ran.
     pub period: u64,
-    /// Chunk ids included in the proposal (identical for every partner).
-    pub chunks: Vec<ChunkId>,
+    /// Chunk ids included in the proposal (identical for every partner, so
+    /// the list is shared: the wire payloads, the outstanding offers and the
+    /// verification history all reference this one allocation).
+    pub chunks: Arc<[ChunkId]>,
     /// The partners the proposal is sent to.
     pub partners: Vec<NodeId>,
     /// For each node that served us chunks included in this proposal, the
@@ -43,7 +47,64 @@ struct OutstandingOffer {
     /// Period of the proposal; kept for debugging and future pruning policies.
     #[allow(dead_code)]
     period: u64,
-    chunks: Vec<ChunkId>,
+    /// Shared with the round that produced the offer (refcount, not copy).
+    chunks: Arc<[ChunkId]>,
+}
+
+/// Chunk-indexed store: chunk ids are assigned sequentially by the broadcast
+/// source, so a flat `Vec` indexed by id replaces hashing entirely on the
+/// store/duplicate-check path (the hottest lookups of a run).
+#[derive(Debug, Default)]
+struct ChunkStore {
+    slots: Vec<Option<Chunk>>,
+    len: usize,
+}
+
+impl ChunkStore {
+    #[inline]
+    fn contains(&self, id: ChunkId) -> bool {
+        matches!(self.slots.get(id.value() as usize), Some(Some(_)))
+    }
+
+    #[inline]
+    fn get(&self, id: ChunkId) -> Option<Chunk> {
+        self.slots.get(id.value() as usize).copied().flatten()
+    }
+
+    /// Inserts `chunk`, returning true if it was new.
+    fn insert(&mut self, chunk: Chunk) -> bool {
+        let idx = chunk.id.value() as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].is_some() {
+            return false;
+        }
+        self.slots[idx] = Some(chunk);
+        self.len += 1;
+        true
+    }
+}
+
+/// Dense bitset over sequential chunk ids (infect-and-die marker).
+#[derive(Debug, Default)]
+struct ChunkIdSet {
+    words: Vec<u64>,
+}
+
+impl ChunkIdSet {
+    /// Marks `id`, returning true if it was not yet marked.
+    fn insert(&mut self, id: ChunkId) -> bool {
+        let idx = id.value() as usize;
+        let (word, bit) = (idx / 64, idx % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        fresh
+    }
 }
 
 /// The three-phase gossip protocol state of one node.
@@ -52,18 +113,26 @@ pub struct GossipNode {
     id: NodeId,
     config: GossipConfig,
     behavior: Behavior,
-    /// All chunks this node holds, by id.
-    store: DetHashMap<ChunkId, Chunk>,
+    /// All chunks this node holds, flat-indexed by id.
+    store: ChunkStore,
     /// Chunks received since the last propose phase, grouped by serving node.
+    ///
+    /// Deliberately *not* flat-indexed: [`begin_propose_round`] walks this
+    /// map while assembling `by_source`, and that (deterministic) hash order
+    /// feeds the acknowledgment wire order downstream — the golden digests
+    /// pin it bit-for-bit. See the note in `lifting_sim::collections`.
+    ///
+    /// [`begin_propose_round`]: GossipNode::begin_propose_round
     fresh_by_source: DetHashMap<NodeId, Vec<ChunkId>>,
     /// Chunks already proposed (or deliberately skipped): infect-and-die.
-    proposed: DetHashSet<ChunkId>,
-    /// Latest proposal sent to each partner.
-    offers_out: DetHashMap<NodeId, OutstandingOffer>,
-    /// Chunks requested from some proposer and not yet received, with the
-    /// request expiry time (avoids requesting the same chunk from two
-    /// proposers in the same period).
-    requested_pending: DetHashMap<ChunkId, SimTime>,
+    proposed: ChunkIdSet,
+    /// Latest proposal sent to each partner, flat-indexed by partner.
+    offers_out: Vec<Option<OutstandingOffer>>,
+    /// Per-chunk expiry of an outstanding request, flat-indexed by chunk id;
+    /// a chunk counts as requested while its entry is after "now", which
+    /// replaces the old map's insert/expire/remove cycle with plain stores
+    /// (avoids requesting the same chunk from two proposers in one period).
+    requested_until: Vec<SimTime>,
     /// Gossip-period counter (increments every propose phase).
     period: u64,
     /// Playout record for stream-health metrics.
@@ -83,11 +152,11 @@ impl GossipNode {
             id,
             config,
             behavior,
-            store: DetHashMap::default(),
+            store: ChunkStore::default(),
             fresh_by_source: DetHashMap::default(),
-            proposed: DetHashSet::default(),
-            offers_out: DetHashMap::default(),
-            requested_pending: DetHashMap::default(),
+            proposed: ChunkIdSet::default(),
+            offers_out: Vec::new(),
+            requested_until: Vec::new(),
             period: 0,
             playout: PlayoutBuffer::new(),
             chunks_served: 0,
@@ -132,7 +201,7 @@ impl GossipNode {
 
     /// Number of chunks this node holds.
     pub fn stored_chunks(&self) -> usize {
-        self.store.len()
+        self.store.len
     }
 
     /// Number of chunks this node has served so far (its contribution).
@@ -154,10 +223,9 @@ impl GossipNode {
     /// Injects a chunk produced locally (the broadcast source calls this).
     /// The chunk is recorded as served by the node itself.
     pub fn inject_source_chunk(&mut self, chunk: Chunk, now: SimTime) {
-        if self.store.contains_key(&chunk.id) {
+        if !self.store.insert(chunk) {
             return;
         }
-        self.store.insert(chunk.id, chunk);
         self.playout.record(&chunk, now);
         self.fresh_by_source
             .entry(self.id)
@@ -190,11 +258,14 @@ impl GossipNode {
             return None;
         }
 
-        let fresh = std::mem::take(&mut self.fresh_by_source);
         let mut chunks: Vec<ChunkId> = Vec::new();
         let mut by_source: Vec<(NodeId, Vec<ChunkId>)> = Vec::new();
         let mut dropped_sources: Vec<NodeId> = Vec::new();
 
+        // NOTE: this must be `take` (fresh table each period), not `drain`
+        // (retained capacity): a hash table's iteration order depends on its
+        // capacity, and the golden digests pin the order this walk produces.
+        let fresh = std::mem::take(&mut self.fresh_by_source);
         for (source, ids) in fresh {
             // Partial-propose attack: drop every chunk that came from a δ2
             // fraction of the serving nodes (dropping whole sources minimizes
@@ -225,15 +296,17 @@ impl GossipNode {
         }
         chunks.sort_unstable();
         chunks.dedup();
+        let chunks: Arc<[ChunkId]> = chunks.into();
 
         for partner in &partners {
-            self.offers_out.insert(
-                *partner,
-                OutstandingOffer {
-                    period: this_period,
-                    chunks: chunks.clone(),
-                },
-            );
+            let idx = partner.index();
+            if idx >= self.offers_out.len() {
+                self.offers_out.resize_with(idx + 1, || None);
+            }
+            self.offers_out[idx] = Some(OutstandingOffer {
+                period: this_period,
+                chunks: chunks.clone(),
+            });
         }
 
         Some(ProposeRound {
@@ -249,15 +322,19 @@ impl GossipNode {
     /// request (phase 2). Chunks already held or already requested recently
     /// from another proposer are not requested again.
     pub fn on_propose(&mut self, _from: NodeId, chunks: &[ChunkId], now: SimTime) -> Vec<ChunkId> {
-        // Drop expired reservations first.
-        self.requested_pending.retain(|_, expiry| *expiry > now);
         let expiry = now + self.config.gossip_period;
         let mut wanted = Vec::new();
         for id in chunks {
-            if self.store.contains_key(id) || self.requested_pending.contains_key(id) {
+            let idx = id.value() as usize;
+            if idx >= self.requested_until.len() {
+                self.requested_until.resize(idx + 1, SimTime::ZERO);
+            }
+            // An entry after "now" is a live reservation; anything else has
+            // expired (or never existed) and may be requested again.
+            if self.store.contains(*id) || self.requested_until[idx] > now {
                 continue;
             }
-            self.requested_pending.insert(*id, expiry);
+            self.requested_until[idx] = expiry;
             wanted.push(*id);
         }
         wanted
@@ -272,7 +349,7 @@ impl GossipNode {
         requested: &[ChunkId],
         rng: &mut R,
     ) -> Vec<Chunk> {
-        let Some(offer) = self.offers_out.get(&from) else {
+        let Some(offer) = self.offers_out.get(from.index()).and_then(Option::as_ref) else {
             return Vec::new(); // request without a proposal: ignored
         };
         let mut valid: Vec<ChunkId> = requested
@@ -287,10 +364,7 @@ impl GossipNode {
             let idx = rng.gen_range(0..valid.len());
             valid.swap_remove(idx);
         }
-        let served: Vec<Chunk> = valid
-            .iter()
-            .filter_map(|id| self.store.get(id).copied())
-            .collect();
+        let served: Vec<Chunk> = valid.iter().filter_map(|id| self.store.get(*id)).collect();
         self.chunks_served += served.len() as u64;
         served
     }
@@ -298,11 +372,12 @@ impl GossipNode {
     /// Handles an incoming serve of `chunk` from `from`. Returns true if the
     /// chunk was new to this node.
     pub fn on_serve(&mut self, from: NodeId, chunk: Chunk, now: SimTime) -> bool {
-        self.requested_pending.remove(&chunk.id);
-        if self.store.contains_key(&chunk.id) {
+        if let Some(expiry) = self.requested_until.get_mut(chunk.id.value() as usize) {
+            *expiry = SimTime::ZERO; // clear the reservation
+        }
+        if !self.store.insert(chunk) {
             return false;
         }
-        self.store.insert(chunk.id, chunk);
         self.playout.record(&chunk, now);
         self.fresh_by_source.entry(from).or_default().push(chunk.id);
         true
@@ -341,7 +416,7 @@ mod tests {
         let round = a
             .begin_propose_round(SimTime::ZERO, vec![NodeId::new(1)], &mut rng)
             .expect("a has a fresh chunk");
-        assert_eq!(round.chunks, vec![ChunkId::new(7)]);
+        assert_eq!(&round.chunks[..], &[ChunkId::new(7)]);
 
         let wanted = b.on_propose(NodeId::new(0), &round.chunks, SimTime::from_millis(50));
         assert_eq!(wanted, vec![ChunkId::new(7)]);
@@ -363,7 +438,7 @@ mod tests {
         let first = a
             .begin_propose_round(SimTime::ZERO, vec![NodeId::new(1)], &mut rng)
             .unwrap();
-        assert_eq!(first.chunks, vec![ChunkId::new(1)]);
+        assert_eq!(&first.chunks[..], &[ChunkId::new(1)]);
         // No new chunk arrived: the next round proposes nothing.
         assert!(a
             .begin_propose_round(SimTime::from_millis(500), vec![NodeId::new(2)], &mut rng)

@@ -149,7 +149,10 @@ impl Auditor {
             .unwrap_or(false);
 
         // 2. Entropy of the fanin multiset F'h, gathered from the witnesses.
-        let mut witnesses: Vec<NodeId> = fanout_multiset.clone();
+        // The entropy and size of Fh are already taken, so the multiset
+        // buffer itself becomes the deduplicated witness list — no per-audit
+        // clone of the whole multiset.
+        let mut witnesses = fanout_multiset;
         witnesses.sort_unstable();
         witnesses.dedup();
         let mut fanin_multiset: Vec<NodeId> = Vec::new();
@@ -229,18 +232,20 @@ impl Auditor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lifting_sim::collections::DetHashMap;
     use lifting_sim::derive_rng;
     use rand::seq::SliceRandom;
     use rand::Rng;
-    use std::collections::HashMap;
 
-    /// Oracle backed by in-memory tables.
+    /// Oracle backed by in-memory tables. Deterministic maps, like every
+    /// other map in the workspace: `values_mut` walks below must visit
+    /// entries in a reproducible order for the test runs to be repeatable.
     #[derive(Default)]
     struct TableOracle {
         /// (witness, subject) → askers reported.
-        askers: HashMap<(NodeId, NodeId), Vec<NodeId>>,
+        askers: DetHashMap<(NodeId, NodeId), Vec<NodeId>>,
         /// (witness, subject) → whether proposals are confirmed.
-        confirms: HashMap<(NodeId, NodeId), bool>,
+        confirms: DetHashMap<(NodeId, NodeId), bool>,
         default_confirm: bool,
     }
 
@@ -295,7 +300,7 @@ mod tests {
             let mut partners = population.clone();
             partners.shuffle(&mut rng);
             partners.truncate(fanout);
-            h.record_proposal_sent(p, partners.clone(), vec![ChunkId::new(p)]);
+            h.record_proposal_sent(p, &partners, &[ChunkId::new(p)]);
             for w in partners {
                 // The witness reports a uniformly random asker per confirm.
                 let asker = population[rng.gen_range(0..population.len())];
@@ -346,7 +351,7 @@ mod tests {
                     .or_default()
                     .push(NodeId::new(rng.gen_range(100..1000)));
             }
-            h.record_proposal_sent(p, partners, vec![ChunkId::new(p)]);
+            h.record_proposal_sent(p, &partners, &[ChunkId::new(p)]);
         }
         let auditor = auditor();
         let report = auditor.audit(&h, &mut oracle);
@@ -415,7 +420,7 @@ mod tests {
                         .or_default()
                         .push(NodeId::new(rng.gen_range(1..1000)));
                 }
-                h.record_proposal_sent(p, partners, vec![ChunkId::new(p)]);
+                h.record_proposal_sent(p, &partners, &[ChunkId::new(p)]);
             }
         }
         let auditor = auditor();
@@ -435,11 +440,7 @@ mod tests {
             ..Default::default()
         };
         let mut h = NodeHistory::new(NodeId::new(0), 50);
-        h.record_proposal_sent(
-            0,
-            vec![NodeId::new(1), NodeId::new(2)],
-            vec![ChunkId::new(1)],
-        );
+        h.record_proposal_sent(0, &[NodeId::new(1), NodeId::new(2)], &[ChunkId::new(1)]);
         let auditor = auditor();
         let report = auditor.audit(&h, &mut oracle);
         assert_eq!(report.verdict, AuditVerdict::Pass);

@@ -8,20 +8,26 @@
 //! the fanin multiset `F'h` during audits of *other* nodes).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use lifting_gossip::ChunkId;
-use lifting_sim::NodeId;
-use serde::{Deserialize, Serialize};
+use lifting_sim::collections::FastHashMap;
+use lifting_sim::{InlineVec, NodeId};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::messages::{CHUNK_ID_BYTES, NODE_ID_BYTES};
 
 /// One proposal sent during a period.
+///
+/// Partner and chunk lists are inline small vectors: the protocol fanout is
+/// 7, so recording a proposal in the history allocates nothing in the common
+/// case (larger chunk batches spill to the heap transparently).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProposalRecord {
     /// The partners the proposal was sent to.
-    pub partners: Vec<NodeId>,
+    pub partners: InlineVec<NodeId, 8>,
     /// The chunk ids proposed.
-    pub chunks: Vec<ChunkId>,
+    pub chunks: InlineVec<ChunkId, 8>,
 }
 
 /// Everything recorded during one gossip period.
@@ -34,19 +40,57 @@ pub struct PeriodRecord {
     pub proposals_sent: Vec<ProposalRecord>,
     /// Chunks received, with the node that served each.
     pub serves_received: Vec<(NodeId, ChunkId)>,
-    /// Proposals received: `(proposer, chunk ids)`.
-    pub proposals_received: Vec<(NodeId, Vec<ChunkId>)>,
+    /// Proposals received: `(proposer, chunk ids)`. The chunk lists are
+    /// shared with the propose payloads they arrived in.
+    pub proposals_received: Vec<(NodeId, Arc<[ChunkId]>)>,
     /// Confirm requests received: `(asker, subject)`.
     pub confirms_received: Vec<(NodeId, NodeId)>,
 }
 
 /// The bounded history of one node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NodeHistory {
     owner: NodeId,
     capacity_periods: usize,
     periods: VecDeque<PeriodRecord>,
+    /// Live count of each `(proposer, chunk)` pair among the recorded
+    /// `proposals_received`, maintained incrementally as periods are recorded
+    /// and evicted. [`received_proposal_with`] answers from this index in
+    /// O(chunks) — it used to scan every proposal of every period, and that
+    /// scan (run once per confirm request, i.e. per cross-check witness)
+    /// dominated whole-system runs at `pdcc = 1`.
+    ///
+    /// Derived state: deliberately excluded from equality and serialization.
+    ///
+    /// [`received_proposal_with`]: NodeHistory::received_proposal_with
+    received_index: FastHashMap<(NodeId, ChunkId), u32>,
 }
+
+impl PartialEq for NodeHistory {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is derived from `periods`; comparing it would be
+        // redundant (and needlessly order-sensitive).
+        self.owner == other.owner
+            && self.capacity_periods == other.capacity_periods
+            && self.periods == other.periods
+    }
+}
+
+impl Serialize for NodeHistory {
+    fn to_json_value(&self) -> Value {
+        // Same shape the derive produced before the index existed.
+        Value::Object(vec![
+            ("owner".to_string(), self.owner.to_json_value()),
+            (
+                "capacity_periods".to_string(),
+                self.capacity_periods.to_json_value(),
+            ),
+            ("periods".to_string(), self.periods.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for NodeHistory {}
 
 impl NodeHistory {
     /// Creates an empty history covering at most `capacity_periods` gossip
@@ -64,6 +108,7 @@ impl NodeHistory {
             owner,
             capacity_periods,
             periods: VecDeque::new(),
+            received_index: FastHashMap::default(),
         }
     }
 
@@ -98,22 +143,33 @@ impl NodeHistory {
                 ..PeriodRecord::default()
             });
             while self.periods.len() > self.capacity_periods {
-                self.periods.pop_front();
+                if let Some(evicted) = self.periods.pop_front() {
+                    // Keep the received-proposal index in sync with eviction.
+                    for (proposer, ids) in &evicted.proposals_received {
+                        for id in ids.iter() {
+                            if let Some(count) = self.received_index.get_mut(&(*proposer, *id)) {
+                                *count -= 1;
+                                if *count == 0 {
+                                    self.received_index.remove(&(*proposer, *id));
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
         self.periods.back_mut().expect("just pushed")
     }
 
-    /// Records a proposal sent during `period`.
-    pub fn record_proposal_sent(
-        &mut self,
-        period: u64,
-        partners: Vec<NodeId>,
-        chunks: Vec<ChunkId>,
-    ) {
+    /// Records a proposal sent during `period`. The lists are copied into
+    /// inline storage, so callers pass borrowed slices instead of cloning.
+    pub fn record_proposal_sent(&mut self, period: u64, partners: &[NodeId], chunks: &[ChunkId]) {
         self.current_mut(period)
             .proposals_sent
-            .push(ProposalRecord { partners, chunks });
+            .push(ProposalRecord {
+                partners: InlineVec::from_slice(partners),
+                chunks: InlineVec::from_slice(chunks),
+            });
     }
 
     /// Records a chunk served to this node by `source` during `period`.
@@ -128,8 +184,11 @@ impl NodeHistory {
         &mut self,
         period: u64,
         proposer: NodeId,
-        chunks: Vec<ChunkId>,
+        chunks: Arc<[ChunkId]>,
     ) {
+        for id in chunks.iter() {
+            *self.received_index.entry((proposer, *id)).or_insert(0) += 1;
+        }
         self.current_mut(period)
             .proposals_received
             .push((proposer, chunks));
@@ -189,14 +248,14 @@ impl NodeHistory {
     /// True if this node received a proposal from `proposer` containing every
     /// chunk in `chunks` (possibly across several proposals). Used to answer
     /// confirm requests and a-posteriori audit polls.
+    ///
+    /// Answered from the incremental index in O(|chunks|); the set of live
+    /// `(proposer, chunk)` pairs is identical to what a scan over
+    /// `proposals_received` would find.
     pub fn received_proposal_with(&self, proposer: NodeId, chunks: &[ChunkId]) -> bool {
-        chunks.iter().all(|needle| {
-            self.periods.iter().any(|p| {
-                p.proposals_received
-                    .iter()
-                    .any(|(from, ids)| *from == proposer && ids.contains(needle))
-            })
-        })
+        chunks
+            .iter()
+            .all(|needle| self.received_index.contains_key(&(proposer, *needle)))
     }
 
     /// Approximate wire size of the history when uploaded for an audit.
@@ -235,7 +294,7 @@ mod tests {
     fn history_is_bounded_to_nh_periods() {
         let mut h = NodeHistory::new(NodeId::new(0), 3);
         for period in 0..10u64 {
-            h.record_proposal_sent(period, nodes(&[1, 2]), ids(&[period]));
+            h.record_proposal_sent(period, &nodes(&[1, 2]), &ids(&[period]));
         }
         assert_eq!(h.len(), 3);
         let kept: Vec<u64> = h.periods().map(|p| p.period).collect();
@@ -247,8 +306,8 @@ mod tests {
     #[test]
     fn fanout_and_fanin_multisets_have_multiplicity() {
         let mut h = NodeHistory::new(NodeId::new(0), 10);
-        h.record_proposal_sent(0, nodes(&[1, 2, 3]), ids(&[10]));
-        h.record_proposal_sent(1, nodes(&[2, 4]), ids(&[11]));
+        h.record_proposal_sent(0, &nodes(&[1, 2, 3]), &ids(&[10]));
+        h.record_proposal_sent(1, &nodes(&[2, 4]), &ids(&[11]));
         h.record_serve_received(0, NodeId::new(9), ChunkId::new(10));
         h.record_serve_received(1, NodeId::new(9), ChunkId::new(11));
         h.record_serve_received(1, NodeId::new(5), ChunkId::new(12));
@@ -274,8 +333,8 @@ mod tests {
     #[test]
     fn received_proposal_lookup_matches_subsets() {
         let mut h = NodeHistory::new(NodeId::new(3), 10);
-        h.record_proposal_received(4, NodeId::new(7), ids(&[1, 2, 3]));
-        h.record_proposal_received(5, NodeId::new(7), ids(&[4]));
+        h.record_proposal_received(4, NodeId::new(7), ids(&[1, 2, 3]).into());
+        h.record_proposal_received(5, NodeId::new(7), ids(&[4]).into());
         assert!(h.received_proposal_with(NodeId::new(7), &ids(&[1, 3])));
         assert!(h.received_proposal_with(NodeId::new(7), &ids(&[1, 4])));
         assert!(!h.received_proposal_with(NodeId::new(7), &ids(&[9])));
@@ -286,9 +345,9 @@ mod tests {
     #[test]
     fn propose_phase_count_ignores_empty_periods() {
         let mut h = NodeHistory::new(NodeId::new(0), 10);
-        h.record_proposal_sent(0, nodes(&[1]), ids(&[1]));
+        h.record_proposal_sent(0, &nodes(&[1]), &ids(&[1]));
         h.record_serve_received(1, NodeId::new(2), ChunkId::new(5)); // period without proposal
-        h.record_proposal_sent(2, nodes(&[1]), ids(&[2]));
+        h.record_proposal_sent(2, &nodes(&[1]), &ids(&[2]));
         assert_eq!(h.propose_phase_count(), 2);
         assert_eq!(h.len(), 3);
     }
@@ -297,7 +356,7 @@ mod tests {
     fn wire_size_grows_with_content() {
         let mut h = NodeHistory::new(NodeId::new(0), 50);
         let empty = h.wire_size();
-        h.record_proposal_sent(0, nodes(&[1, 2, 3, 4, 5, 6, 7]), ids(&[1, 2, 3]));
+        h.record_proposal_sent(0, &nodes(&[1, 2, 3, 4, 5, 6, 7]), &ids(&[1, 2, 3]));
         let one = h.wire_size();
         assert!(one > empty);
         h.record_serve_received(0, NodeId::new(9), ChunkId::new(1));
@@ -308,5 +367,40 @@ mod tests {
     #[should_panic]
     fn zero_capacity_is_rejected() {
         let _ = NodeHistory::new(NodeId::new(0), 0);
+    }
+
+    /// The incremental received-proposal index must agree with a full scan of
+    /// `proposals_received` at every step, including across period eviction.
+    #[test]
+    fn received_index_matches_a_full_scan_across_eviction() {
+        let mut h = NodeHistory::new(NodeId::new(0), 3);
+        let scan = |h: &NodeHistory, proposer: NodeId, needle: ChunkId| {
+            h.periods().any(|p| {
+                p.proposals_received
+                    .iter()
+                    .any(|(from, ids)| *from == proposer && ids.contains(&needle))
+            })
+        };
+        for period in 0..10u64 {
+            let proposer = NodeId::new((period % 4) as u32 + 1);
+            h.record_proposal_received(period, proposer, ids(&[period, period + 100]).into());
+            // A second proposal repeating an old chunk id from the same
+            // proposer (duplicate index entries must survive one eviction).
+            if period >= 2 {
+                h.record_proposal_received(period, proposer, ids(&[period - 2]).into());
+            }
+            for probe_period in 0..10u64 {
+                for probe_proposer in 1..=4u32 {
+                    for probe in [probe_period, probe_period + 100] {
+                        let (p, c) = (NodeId::new(probe_proposer), ChunkId::new(probe));
+                        assert_eq!(
+                            h.received_proposal_with(p, &[c]),
+                            scan(&h, p, c),
+                            "index and scan disagree on ({p}, {c}) at period {period}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

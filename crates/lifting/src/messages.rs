@@ -6,6 +6,8 @@
 //! audits use TCP (Section 5.3). Sizes feed the overhead accounting of
 //! Table 5.
 
+use std::sync::Arc;
+
 use lifting_gossip::ChunkId;
 use lifting_sim::NodeId;
 use serde::{Deserialize, Serialize};
@@ -28,9 +30,12 @@ pub const BLAME_VALUE_BYTES: u64 = 8;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AckPayload {
     /// The chunks (served by the destination of this ack) that were proposed.
-    pub chunks: Vec<ChunkId>,
-    /// The partners the proposal was sent to.
-    pub partners: Vec<NodeId>,
+    /// Shared, not owned: the verifier forwards the same list into each of
+    /// the `f` confirm requests it derives from this ack.
+    pub chunks: Arc<[ChunkId]>,
+    /// The partners the proposal was sent to (shared across the acks of one
+    /// propose round and with the verifier's pending-confirm witness set).
+    pub partners: Arc<[NodeId]>,
     /// The gossip period of the propose phase that forwarded the chunks.
     pub period: u64,
 }
@@ -41,8 +46,9 @@ pub struct AckPayload {
 pub struct ConfirmPayload {
     /// The node whose forwarding is being verified.
     pub subject: NodeId,
-    /// The chunks the subject acknowledged having proposed.
-    pub chunks: Vec<ChunkId>,
+    /// The chunks the subject acknowledged having proposed (shared with the
+    /// ack they came from and with the other witnesses' confirms).
+    pub chunks: Arc<[ChunkId]>,
     /// Token correlating the responses with the verifier's pending check.
     pub token: u64,
 }
@@ -69,8 +75,9 @@ pub struct ConfirmResponsePayload {
 pub enum VerificationMessage {
     /// Acknowledgment from a receiver to its server (UDP).
     Ack(Box<AckPayload>),
-    /// Confirm request from a verifier to a witness (UDP).
-    Confirm(Box<ConfirmPayload>),
+    /// Confirm request from a verifier to a witness (UDP). One payload is
+    /// shared (refcounted) by all the witnesses of a cross-check round.
+    Confirm(Arc<ConfirmPayload>),
     /// Confirm response from a witness to the verifier (UDP).
     ConfirmResponse(ConfirmResponsePayload),
     /// Blame sent to one of the target's reputation managers (UDP).
@@ -104,8 +111,15 @@ impl VerificationMessage {
                 MESSAGE_HEADER_BYTES + NODE_ID_BYTES + BLAME_VALUE_BYTES
             }
             VerificationMessage::HistoryRequest => MESSAGE_HEADER_BYTES,
-            VerificationMessage::HistoryResponse(h) => MESSAGE_HEADER_BYTES + h.wire_size(),
+            VerificationMessage::HistoryResponse(h) => Self::history_response_wire_size(h),
         }
+    }
+
+    /// Wire size of a [`HistoryResponse`](Self::HistoryResponse) carrying
+    /// `history`, computable from a borrow — audit accounting uses this so it
+    /// never has to clone a whole history just to size the upload.
+    pub fn history_response_wire_size(history: &NodeHistory) -> u64 {
+        MESSAGE_HEADER_BYTES + history.wire_size()
     }
 }
 
@@ -117,8 +131,8 @@ mod tests {
     #[test]
     fn ack_size_scales_with_chunks_and_partners() {
         let ack = VerificationMessage::Ack(Box::new(AckPayload {
-            chunks: vec![ChunkId::new(1), ChunkId::new(2)],
-            partners: vec![NodeId::new(3); 7],
+            chunks: vec![ChunkId::new(1), ChunkId::new(2)].into(),
+            partners: vec![NodeId::new(3); 7].into(),
             period: 1,
         }));
         assert_eq!(ack.wire_size(), 16 + 2 * 8 + 7 * 6);
@@ -126,9 +140,9 @@ mod tests {
 
     #[test]
     fn confirm_and_response_are_small() {
-        let confirm = VerificationMessage::Confirm(Box::new(ConfirmPayload {
+        let confirm = VerificationMessage::Confirm(Arc::new(ConfirmPayload {
             subject: NodeId::new(1),
-            chunks: vec![ChunkId::new(1)],
+            chunks: vec![ChunkId::new(1)].into(),
             token: 9,
         }));
         assert_eq!(confirm.wire_size(), 16 + 6 + 8);

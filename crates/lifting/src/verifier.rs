@@ -19,10 +19,12 @@
 //! man-in-the-middle variant names accomplices instead of its real partners
 //! in its acknowledgments (Figure 8b).
 
-use lifting_sim::collections::{DetHashMap, DetHashSet};
+use std::sync::Arc;
+
+use lifting_sim::collections::FastHashMap;
 
 use lifting_gossip::{ChunkId, ProposeRound};
-use lifting_sim::{NodeId, SimTime};
+use lifting_sim::{InlineVec, NodeId, SimTime};
 use rand::Rng;
 
 use crate::blame::{schedule, Blame, BlameReason};
@@ -65,8 +67,8 @@ pub enum VerifierAction {
     SendConfirm {
         /// Destination witness.
         to: NodeId,
-        /// Confirm content.
-        confirm: ConfirmPayload,
+        /// Confirm content (one allocation shared by the whole round).
+        confirm: Arc<ConfirmPayload>,
     },
     /// Send a confirm response back to a verifier (UDP).
     SendConfirmResponse {
@@ -89,8 +91,11 @@ pub enum VerifierAction {
 #[derive(Debug)]
 struct PendingServe {
     proposer: NodeId,
-    requested: Vec<ChunkId>,
-    received: DetHashSet<ChunkId>,
+    /// Shared with the request message that armed this check.
+    requested: Arc<[ChunkId]>,
+    /// Distinct chunks received so far; at most `|requested|` entries, so an
+    /// inline set replaces a heap-allocated hash set per pending request.
+    received: InlineVec<ChunkId, 8>,
 }
 
 #[derive(Debug)]
@@ -102,8 +107,10 @@ struct PendingAck {
 #[derive(Debug)]
 struct PendingConfirm {
     subject: NodeId,
-    witnesses: Vec<NodeId>,
-    confirmed: DetHashSet<NodeId>,
+    /// Shared with the acknowledgment the check was derived from.
+    witnesses: Arc<[NodeId]>,
+    /// Witnesses that confirmed; bounded by the fanout (≈ 7), kept inline.
+    confirmed: InlineVec<NodeId, 8>,
 }
 
 /// The per-node LiFTinG verification engine.
@@ -115,9 +122,12 @@ pub struct Verifier {
     collusion: CollusionConfig,
     history: NodeHistory,
     current_period: u64,
-    pending_serves: DetHashMap<u64, PendingServe>,
-    pending_acks: DetHashMap<u64, PendingAck>,
-    pending_confirms: DetHashMap<u64, PendingConfirm>,
+    // Token-keyed bookkeeping: iteration only ever mutates or collects
+    // entries content-wise (never feeds wire order), so the fast hasher is
+    // safe here — see `lifting_sim::collections`.
+    pending_serves: FastHashMap<u64, PendingServe>,
+    pending_acks: FastHashMap<u64, PendingAck>,
+    pending_confirms: FastHashMap<u64, PendingConfirm>,
     next_token: u64,
     blames_emitted: u64,
 }
@@ -139,9 +149,9 @@ impl Verifier {
             collusion,
             history,
             current_period: 0,
-            pending_serves: DetHashMap::default(),
-            pending_acks: DetHashMap::default(),
-            pending_confirms: DetHashMap::default(),
+            pending_serves: FastHashMap::default(),
+            pending_acks: FastHashMap::default(),
+            pending_confirms: FastHashMap::default(),
             next_token: 0,
             blames_emitted: 0,
         }
@@ -218,29 +228,45 @@ impl Verifier {
     // ------------------------------------------------------------------
 
     /// Called after sending a request for `requested` chunks to `proposer`.
-    /// Registers the pending check and returns the timer to schedule.
+    /// Registers the pending check (taking ownership of the chunk list — no
+    /// copy) and returns the timer to schedule.
     pub fn on_request_sent(
         &mut self,
         proposer: NodeId,
-        requested: &[ChunkId],
+        requested: Arc<[ChunkId]>,
         now: SimTime,
     ) -> Vec<VerifierAction> {
+        let mut actions = Vec::new();
+        self.on_request_sent_into(proposer, requested, now, &mut actions);
+        actions
+    }
+
+    /// Allocation-free variant of [`on_request_sent`](Self::on_request_sent):
+    /// appends the resulting actions to `actions` (the runtime's recycled
+    /// scratch buffer).
+    pub fn on_request_sent_into(
+        &mut self,
+        proposer: NodeId,
+        requested: Arc<[ChunkId]>,
+        now: SimTime,
+        actions: &mut Vec<VerifierAction>,
+    ) {
         if requested.is_empty() {
-            return Vec::new();
+            return;
         }
         let token = self.token();
         self.pending_serves.insert(
             token,
             PendingServe {
                 proposer,
-                requested: requested.to_vec(),
-                received: DetHashSet::default(),
+                requested,
+                received: InlineVec::new(),
             },
         );
-        vec![VerifierAction::StartTimer {
+        actions.push(VerifierAction::StartTimer {
             timer: VerifierTimer::ServeCheck { token },
             deadline: now + self.config.serve_timeout,
-        }]
+        });
     }
 
     /// Called when a serve of `chunk` from `from` is received. Records the
@@ -250,16 +276,17 @@ impl Verifier {
             .record_serve_received(self.current_period, from, chunk);
         for pending in self.pending_serves.values_mut() {
             if pending.proposer == from && pending.requested.contains(&chunk) {
-                pending.received.insert(chunk);
+                pending.received.insert_unique(chunk);
             }
         }
     }
 
     /// Called when a proposal from `from` is received (needed to answer
-    /// confirm requests and audit polls truthfully).
-    pub fn on_propose_received(&mut self, from: NodeId, chunks: &[ChunkId], _now: SimTime) {
+    /// confirm requests and audit polls truthfully). The shared chunk list
+    /// goes straight into the history — no copy.
+    pub fn on_propose_received(&mut self, from: NodeId, chunks: Arc<[ChunkId]>, _now: SimTime) {
         self.history
-            .record_proposal_received(self.current_period, from, chunks.to_vec());
+            .record_proposal_received(self.current_period, from, chunks);
     }
 
     // ------------------------------------------------------------------
@@ -269,14 +296,26 @@ impl Verifier {
     /// Called right after this node's propose phase. Records the proposal in
     /// the history and produces the acknowledgments owed to the nodes that
     /// served the forwarded chunks (cross-checking, Figure 7).
-    pub fn on_propose_round(&mut self, round: &ProposeRound, _now: SimTime) -> Vec<VerifierAction> {
-        self.current_period = round.period;
-        self.history.record_proposal_sent(
-            round.period,
-            round.partners.clone(),
-            round.chunks.clone(),
-        );
+    pub fn on_propose_round(&mut self, round: &ProposeRound, now: SimTime) -> Vec<VerifierAction> {
         let mut actions = Vec::new();
+        self.on_propose_round_into(round, now, &mut actions);
+        actions
+    }
+
+    /// Allocation-free variant of [`on_propose_round`](Self::on_propose_round).
+    pub fn on_propose_round_into(
+        &mut self,
+        round: &ProposeRound,
+        _now: SimTime,
+        actions: &mut Vec<VerifierAction>,
+    ) {
+        self.current_period = round.period;
+        self.history
+            .record_proposal_sent(round.period, &round.partners, &round.chunks);
+        // The honest partner list is identical in every ack of this round;
+        // share one allocation across them (built lazily: rounds that owe no
+        // ack allocate nothing).
+        let mut real_partners: Option<Arc<[NodeId]>> = None;
         for (source, chunks) in &round.by_source {
             if *source == self.id {
                 continue; // chunks we produced ourselves need no acknowledgment
@@ -284,28 +323,29 @@ impl Verifier {
             // Man-in-the-middle attack (Figure 8b): name accomplices instead
             // of the real partners so the server's confirm requests go to
             // colluders who will vouch for us.
-            let partners =
+            let partners: Arc<[NodeId]> =
                 if self.collusion.man_in_the_middle() && !self.collusion.is_colluder(*source) {
                     let mut accomplices = self.collusion.accomplices(self.id);
                     accomplices.truncate(self.fanout.max(round.partners.len()));
                     if accomplices.is_empty() {
-                        round.partners.clone()
+                        round.partners.as_slice().into()
                     } else {
-                        accomplices
+                        accomplices.into()
                     }
                 } else {
-                    round.partners.clone()
+                    real_partners
+                        .get_or_insert_with(|| round.partners.as_slice().into())
+                        .clone()
                 };
             actions.push(VerifierAction::SendAck {
                 to: *source,
                 ack: AckPayload {
-                    chunks: chunks.clone(),
+                    chunks: Arc::from(chunks.as_slice()),
                     partners,
                     period: round.period,
                 },
             });
         }
-        actions
     }
 
     // ------------------------------------------------------------------
@@ -313,28 +353,42 @@ impl Verifier {
     // ------------------------------------------------------------------
 
     /// Called after serving `chunks` to `to`. Registers the expectation of an
-    /// acknowledgment and returns the timer to schedule.
+    /// acknowledgment (taking ownership of the chunk list — no copy) and
+    /// returns the timer to schedule.
     pub fn on_chunks_served(
         &mut self,
         to: NodeId,
-        chunks: &[ChunkId],
+        chunks: Vec<ChunkId>,
         now: SimTime,
     ) -> Vec<VerifierAction> {
+        let mut actions = Vec::new();
+        self.on_chunks_served_into(to, chunks, now, &mut actions);
+        actions
+    }
+
+    /// Allocation-free variant of [`on_chunks_served`](Self::on_chunks_served).
+    pub fn on_chunks_served_into(
+        &mut self,
+        to: NodeId,
+        chunks: Vec<ChunkId>,
+        now: SimTime,
+        actions: &mut Vec<VerifierAction>,
+    ) {
         if chunks.is_empty() {
-            return Vec::new();
+            return;
         }
         let token = self.token();
         self.pending_acks.insert(
             token,
             PendingAck {
                 receiver: to,
-                chunks: chunks.to_vec(),
+                chunks,
             },
         );
-        vec![VerifierAction::StartTimer {
+        actions.push(VerifierAction::StartTimer {
             timer: VerifierTimer::AckCheck { token },
             deadline: now + self.config.ack_timeout,
-        }]
+        });
     }
 
     /// Called when an acknowledgment arrives from `from`. Clears the matching
@@ -347,21 +401,35 @@ impl Verifier {
         now: SimTime,
         rng: &mut R,
     ) -> Vec<VerifierAction> {
-        // Clear every pending expectation this acknowledgment satisfies.
-        let satisfied: Vec<u64> = self
+        let mut actions = Vec::new();
+        self.on_ack_into(from, ack, now, rng, &mut actions);
+        actions
+    }
+
+    /// Allocation-free variant of [`on_ack`](Self::on_ack).
+    pub fn on_ack_into<R: Rng + ?Sized>(
+        &mut self,
+        from: NodeId,
+        ack: AckPayload,
+        now: SimTime,
+        rng: &mut R,
+        actions: &mut Vec<VerifierAction>,
+    ) {
+        // Clear every pending expectation this acknowledgment satisfies
+        // (collected on the stack: an ack rarely satisfies more than one).
+        let satisfied: InlineVec<u64, 8> = self
             .pending_acks
             .iter()
             .filter(|(_, p)| p.receiver == from && p.chunks.iter().all(|c| ack.chunks.contains(c)))
             .map(|(t, _)| *t)
             .collect();
-        for t in &satisfied {
+        for t in satisfied.iter() {
             self.pending_acks.remove(t);
         }
 
-        let mut actions = Vec::new();
         // A colluding verifier does not check coalition members.
         if self.collusion.covers_up() && self.collusion.is_colluder(from) {
-            return actions;
+            return;
         }
 
         // Quantitative correctness: the receiver must have forwarded to f nodes.
@@ -378,17 +446,18 @@ impl Verifier {
                 PendingConfirm {
                     subject: from,
                     witnesses: ack.partners.clone(),
-                    confirmed: DetHashSet::default(),
+                    confirmed: InlineVec::new(),
                 },
             );
-            for witness in &ack.partners {
+            let confirm = Arc::new(ConfirmPayload {
+                subject: from,
+                chunks: ack.chunks.clone(),
+                token,
+            });
+            for witness in ack.partners.iter() {
                 actions.push(VerifierAction::SendConfirm {
                     to: *witness,
-                    confirm: ConfirmPayload {
-                        subject: from,
-                        chunks: ack.chunks.clone(),
-                        token,
-                    },
+                    confirm: confirm.clone(),
                 });
             }
             actions.push(VerifierAction::StartTimer {
@@ -396,14 +465,13 @@ impl Verifier {
                 deadline: now + self.config.confirm_timeout,
             });
         }
-        actions
     }
 
     /// Called when a confirm response arrives from a witness.
     pub fn on_confirm_response(&mut self, from: NodeId, response: ConfirmResponsePayload) {
         if let Some(pending) = self.pending_confirms.get_mut(&response.token) {
             if response.confirmed && pending.witnesses.contains(&from) {
-                pending.confirmed.insert(from);
+                pending.confirmed.insert_unique(from);
             }
         }
     }
@@ -418,9 +486,22 @@ impl Verifier {
     pub fn on_confirm(
         &mut self,
         from: NodeId,
-        confirm: ConfirmPayload,
-        _now: SimTime,
+        confirm: &ConfirmPayload,
+        now: SimTime,
     ) -> Vec<VerifierAction> {
+        let mut actions = Vec::new();
+        self.on_confirm_into(from, confirm, now, &mut actions);
+        actions
+    }
+
+    /// Allocation-free variant of [`on_confirm`](Self::on_confirm).
+    pub fn on_confirm_into(
+        &mut self,
+        from: NodeId,
+        confirm: &ConfirmPayload,
+        _now: SimTime,
+        actions: &mut Vec<VerifierAction>,
+    ) {
         self.history
             .record_confirm_received(self.current_period, from, confirm.subject);
         let truthful = self
@@ -432,14 +513,14 @@ impl Verifier {
         } else {
             truthful
         };
-        vec![VerifierAction::SendConfirmResponse {
+        actions.push(VerifierAction::SendConfirmResponse {
             to: from,
             response: ConfirmResponsePayload {
                 subject: confirm.subject,
                 token: confirm.token,
                 confirmed,
             },
-        }]
+        });
     }
 
     // ------------------------------------------------------------------
@@ -447,8 +528,19 @@ impl Verifier {
     // ------------------------------------------------------------------
 
     /// Handles an expired timer and returns any blame it produces.
-    pub fn on_timer(&mut self, timer: VerifierTimer, _now: SimTime) -> Vec<VerifierAction> {
+    pub fn on_timer(&mut self, timer: VerifierTimer, now: SimTime) -> Vec<VerifierAction> {
         let mut actions = Vec::new();
+        self.on_timer_into(timer, now, &mut actions);
+        actions
+    }
+
+    /// Allocation-free variant of [`on_timer`](Self::on_timer).
+    pub fn on_timer_into(
+        &mut self,
+        timer: VerifierTimer,
+        _now: SimTime,
+        actions: &mut Vec<VerifierAction>,
+    ) {
         match timer {
             VerifierTimer::ServeCheck { token } => {
                 if let Some(pending) = self.pending_serves.remove(&token) {
@@ -487,7 +579,6 @@ impl Verifier {
                 }
             }
         }
-        actions
     }
 }
 
@@ -534,7 +625,7 @@ mod tests {
     fn direct_verification_blames_partial_serves() {
         let mut v = verifier(1);
         let proposer = NodeId::new(2);
-        let actions = v.on_request_sent(proposer, &ids(&[1, 2, 3, 4]), SimTime::ZERO);
+        let actions = v.on_request_sent(proposer, ids(&[1, 2, 3, 4]).into(), SimTime::ZERO);
         let timer = timers(&actions)[0];
         // Only two of the four requested chunks arrive.
         v.on_serve_received(proposer, ChunkId::new(1), SimTime::from_millis(100));
@@ -552,7 +643,7 @@ mod tests {
     fn full_serves_produce_no_blame() {
         let mut v = verifier(1);
         let proposer = NodeId::new(2);
-        let actions = v.on_request_sent(proposer, &ids(&[1, 2]), SimTime::ZERO);
+        let actions = v.on_request_sent(proposer, ids(&[1, 2]).into(), SimTime::ZERO);
         v.on_serve_received(proposer, ChunkId::new(1), SimTime::from_millis(10));
         v.on_serve_received(proposer, ChunkId::new(2), SimTime::from_millis(20));
         let out = v.on_timer(timers(&actions)[0], SimTime::from_millis(500));
@@ -564,7 +655,7 @@ mod tests {
     fn missing_ack_is_blamed_by_f() {
         let mut v = verifier(1);
         let receiver = NodeId::new(5);
-        let actions = v.on_chunks_served(receiver, &ids(&[1, 2]), SimTime::ZERO);
+        let actions = v.on_chunks_served(receiver, ids(&[1, 2]), SimTime::ZERO);
         let out = v.on_timer(timers(&actions)[0], SimTime::from_secs(2));
         let bs = blames(&out);
         assert_eq!(bs.len(), 1);
@@ -578,12 +669,12 @@ mod tests {
         let mut v = verifier(1);
         let receiver = NodeId::new(5);
         let served = ids(&[1, 2]);
-        let actions = v.on_chunks_served(receiver, &served, SimTime::ZERO);
+        let actions = v.on_chunks_served(receiver, served.clone(), SimTime::ZERO);
         let ack_timer = timers(&actions)[0];
         let witnesses: Vec<NodeId> = (10..17).map(NodeId::new).collect();
         let ack = AckPayload {
-            chunks: served.clone(),
-            partners: witnesses.clone(),
+            chunks: served.clone().into(),
+            partners: witnesses.clone().into(),
             period: 1,
         };
         let out = v.on_ack(receiver, ack, SimTime::from_millis(900), &mut rng);
@@ -603,10 +694,10 @@ mod tests {
         let mut rng = derive_rng(2, 0);
         let mut v = verifier(1);
         let receiver = NodeId::new(5);
-        v.on_chunks_served(receiver, &ids(&[1]), SimTime::ZERO);
+        v.on_chunks_served(receiver, ids(&[1]), SimTime::ZERO);
         let ack = AckPayload {
-            chunks: ids(&[1]),
-            partners: (10..16).map(NodeId::new).collect(), // only 6 of 7
+            chunks: ids(&[1]).into(),
+            partners: (10..16).map(NodeId::new).collect::<Vec<_>>().into(), // only 6 of 7
             period: 1,
         };
         let out = v.on_ack(receiver, ack, SimTime::from_millis(900), &mut rng);
@@ -621,13 +712,13 @@ mod tests {
         let mut rng = derive_rng(3, 0);
         let mut v = verifier(1);
         let receiver = NodeId::new(5);
-        v.on_chunks_served(receiver, &ids(&[1]), SimTime::ZERO);
+        v.on_chunks_served(receiver, ids(&[1]), SimTime::ZERO);
         let witnesses: Vec<NodeId> = (10..17).map(NodeId::new).collect();
         let out = v.on_ack(
             receiver,
             AckPayload {
-                chunks: ids(&[1]),
-                partners: witnesses.clone(),
+                chunks: ids(&[1]).into(),
+                partners: witnesses.clone().into(),
                 period: 1,
             },
             SimTime::from_millis(900),
@@ -664,12 +755,12 @@ mod tests {
         let mut v = verifier(2);
         let subject = NodeId::new(1);
         // The witness received a proposal for chunks 1 and 2 from the subject.
-        v.on_propose_received(subject, &ids(&[1, 2]), SimTime::ZERO);
+        v.on_propose_received(subject, ids(&[1, 2]).into(), SimTime::ZERO);
         let yes = v.on_confirm(
             NodeId::new(0),
-            ConfirmPayload {
+            &ConfirmPayload {
                 subject,
-                chunks: ids(&[1, 2]),
+                chunks: ids(&[1, 2]).into(),
                 token: 7,
             },
             SimTime::from_millis(10),
@@ -684,9 +775,9 @@ mod tests {
         }
         let no = v.on_confirm(
             NodeId::new(0),
-            ConfirmPayload {
+            &ConfirmPayload {
                 subject,
-                chunks: ids(&[9]),
+                chunks: ids(&[9]).into(),
                 token: 8,
             },
             SimTime::from_millis(20),
@@ -714,9 +805,9 @@ mod tests {
         // Never received anything from node 1, yet vouches for it.
         let out = v.on_confirm(
             NodeId::new(0),
-            ConfirmPayload {
+            &ConfirmPayload {
                 subject: NodeId::new(1),
-                chunks: ids(&[5]),
+                chunks: ids(&[5]).into(),
                 token: 1,
             },
             SimTime::ZERO,
@@ -736,7 +827,7 @@ mod tests {
             LiftingConfig::planetlab(),
             CollusionConfig::coalition(coalition, true, false),
         );
-        let actions = v.on_chunks_served(NodeId::new(5), &ids(&[1]), SimTime::ZERO);
+        let actions = v.on_chunks_served(NodeId::new(5), ids(&[1]), SimTime::ZERO);
         // The accomplice never acknowledges, but no blame is emitted.
         let out = v.on_timer(timers(&actions)[0], SimTime::from_secs(2));
         assert!(blames(&out).is_empty());
@@ -754,7 +845,7 @@ mod tests {
         );
         let round = ProposeRound {
             period: 3,
-            chunks: ids(&[1, 2]),
+            chunks: ids(&[1, 2]).into(),
             partners: vec![NodeId::new(20), NodeId::new(21)],
             by_source: vec![(NodeId::new(10), ids(&[1, 2]))],
             dropped_sources: vec![],
@@ -769,7 +860,7 @@ mod tests {
             .expect("an ack is owed to the server");
         assert_eq!(ack.0, NodeId::new(10));
         // The acknowledged partners are the accomplices, not the real targets.
-        assert_eq!(ack.1.partners, vec![NodeId::new(7), NodeId::new(8)]);
+        assert_eq!(&ack.1.partners[..], &[NodeId::new(7), NodeId::new(8)]);
     }
 
     #[test]
@@ -777,7 +868,7 @@ mod tests {
         let mut v = verifier(1);
         let round = ProposeRound {
             period: 2,
-            chunks: ids(&[1, 2, 3]),
+            chunks: ids(&[1, 2, 3]).into(),
             partners: vec![NodeId::new(20), NodeId::new(21)],
             by_source: vec![
                 (NodeId::new(10), ids(&[1])),
@@ -795,7 +886,9 @@ mod tests {
             })
             .collect();
         assert_eq!(acks.len(), 2);
-        assert!(acks.iter().all(|(_, a)| a.partners == round.partners));
+        assert!(acks
+            .iter()
+            .all(|(_, a)| a.partners[..] == round.partners[..]));
         // The proposal went into the history.
         assert_eq!(v.history().fanout_multiset().len(), 2);
     }
@@ -812,12 +905,12 @@ mod tests {
         let mut confirm_rounds = 0;
         for i in 0..200 {
             let receiver = NodeId::new(100 + i);
-            v.on_chunks_served(receiver, &ids(&[i as u64]), SimTime::ZERO);
+            v.on_chunks_served(receiver, ids(&[i as u64]), SimTime::ZERO);
             let out = v.on_ack(
                 receiver,
                 AckPayload {
-                    chunks: ids(&[i as u64]),
-                    partners: (10..17).map(NodeId::new).collect(),
+                    chunks: ids(&[i as u64]).into(),
+                    partners: (10..17).map(NodeId::new).collect::<Vec<_>>().into(),
                     period: 1,
                 },
                 SimTime::from_millis(500),

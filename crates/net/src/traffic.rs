@@ -7,8 +7,6 @@
 //! [`TrafficCategory`] so that this ratio (and Table 3's message counts) can
 //! be measured rather than estimated.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 /// Category of a message, used for overhead accounting.
@@ -63,9 +61,12 @@ pub struct CategoryCounters {
 }
 
 /// Aggregated traffic statistics for a run.
+///
+/// Flat-indexed by category discriminant: accounting happens twice per
+/// message on the hot path, so it must be two array stores, not tree walks.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TrafficStats {
-    counters: BTreeMap<TrafficCategory, CategoryCounters>,
+    counters: [CategoryCounters; TrafficCategory::ALL.len()],
 }
 
 impl TrafficStats {
@@ -76,31 +77,31 @@ impl TrafficStats {
 
     /// Records an attempted send.
     pub fn record_sent(&mut self, category: TrafficCategory, bytes: u64) {
-        let c = self.counters.entry(category).or_default();
+        let c = &mut self.counters[category as usize];
         c.messages_sent += 1;
         c.bytes_sent += bytes;
     }
 
     /// Records a successful delivery.
     pub fn record_delivered(&mut self, category: TrafficCategory, bytes: u64) {
-        let c = self.counters.entry(category).or_default();
+        let c = &mut self.counters[category as usize];
         c.messages_delivered += 1;
         c.bytes_delivered += bytes;
     }
 
     /// Counters for one category.
     pub fn category(&self, category: TrafficCategory) -> CategoryCounters {
-        self.counters.get(&category).copied().unwrap_or_default()
+        self.counters[category as usize]
     }
 
     /// Total bytes sent across all categories.
     pub fn total_bytes_sent(&self) -> u64 {
-        self.counters.values().map(|c| c.bytes_sent).sum()
+        self.counters.iter().map(|c| c.bytes_sent).sum()
     }
 
     /// Total messages sent across all categories.
     pub fn total_messages_sent(&self) -> u64 {
-        self.counters.values().map(|c| c.messages_sent).sum()
+        self.counters.iter().map(|c| c.messages_sent).sum()
     }
 
     /// Bytes sent by the underlying gossip protocol (stream data + control).
@@ -144,8 +145,7 @@ impl TrafficStats {
 
     /// Merges another set of statistics into this one.
     pub fn merge(&mut self, other: &TrafficStats) {
-        for (cat, c) in &other.counters {
-            let e = self.counters.entry(*cat).or_default();
+        for (e, c) in self.counters.iter_mut().zip(&other.counters) {
             e.messages_sent += c.messages_sent;
             e.bytes_sent += c.bytes_sent;
             e.messages_delivered += c.messages_delivered;

@@ -1,9 +1,7 @@
 //! The per-manager score book.
 
-use lifting_sim::collections::DetHashMap;
-
 use lifting_sim::NodeId;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Score record a manager keeps for one managed node.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -31,9 +29,14 @@ impl ScoreRecord {
 }
 
 /// The state a manager node keeps about the nodes it manages.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Stored as a flat `Vec` indexed by dense `NodeId` (no hashing on the blame
+/// hot path); every walk is in ascending node order, which is exactly the
+/// sorted order the hash-map version exposed, so outputs are unchanged.
+#[derive(Debug, Clone, Default)]
 pub struct ManagerState {
-    records: DetHashMap<NodeId, ScoreRecord>,
+    records: Vec<Option<ScoreRecord>>,
+    managed: usize,
 }
 
 impl ManagerState {
@@ -42,19 +45,32 @@ impl ManagerState {
         ManagerState::default()
     }
 
+    fn slot_mut(&mut self, node: NodeId) -> &mut ScoreRecord {
+        let idx = node.index();
+        if idx >= self.records.len() {
+            self.records.resize(idx + 1, None);
+        }
+        let slot = &mut self.records[idx];
+        if slot.is_none() {
+            *slot = Some(ScoreRecord::default());
+            self.managed += 1;
+        }
+        slot.as_mut().expect("just filled")
+    }
+
     /// Registers a node under this manager (idempotent).
     pub fn register(&mut self, node: NodeId) {
-        self.records.entry(node).or_default();
+        let _ = self.slot_mut(node);
     }
 
     /// Number of nodes managed.
     pub fn managed_count(&self) -> usize {
-        self.records.len()
+        self.managed
     }
 
     /// Applies a blame of `value` to `node` (registering it if needed).
     pub fn apply_blame(&mut self, node: NodeId, value: f64) {
-        let r = self.records.entry(node).or_default();
+        let r = self.slot_mut(node);
         r.blame += value.max(0.0);
     }
 
@@ -62,26 +78,27 @@ impl ManagerState {
     /// credits the per-period compensation `b̃` (the expected wrongful blame
     /// computed from the loss rate, Equation 5).
     pub fn end_period(&mut self, compensation_per_period: f64) {
-        for r in self.records.values_mut() {
+        let credit = compensation_per_period.max(0.0);
+        for r in self.records.iter_mut().flatten() {
             r.periods += 1;
-            r.compensation += compensation_per_period.max(0.0);
+            r.compensation += credit;
         }
     }
 
     /// The record for `node`, if managed.
     pub fn record(&self, node: NodeId) -> Option<ScoreRecord> {
-        self.records.get(&node).copied()
+        self.records.get(node.index()).copied().flatten()
     }
 
     /// The normalized score of `node`, if managed.
     pub fn normalized_score(&self, node: NodeId) -> Option<f64> {
-        self.records.get(&node).map(|r| r.normalized_score())
+        self.record(node).map(|r| r.normalized_score())
     }
 
     /// Marks `node` as expelled in this manager's book. Returns true if the
     /// vote changed (i.e. the node was not already marked).
     pub fn mark_expelled(&mut self, node: NodeId) -> bool {
-        let r = self.records.entry(node).or_default();
+        let r = self.slot_mut(node);
         let changed = !r.expelled;
         r.expelled = true;
         changed
@@ -89,7 +106,7 @@ impl ManagerState {
 
     /// True if this manager has voted to expel `node`.
     pub fn has_expelled(&self, node: NodeId) -> bool {
-        self.records.get(&node).map(|r| r.expelled).unwrap_or(false)
+        self.record(node).map(|r| r.expelled).unwrap_or(false)
     }
 
     /// Checks every managed node against the detection threshold `eta` and
@@ -99,21 +116,45 @@ impl ManagerState {
     /// Section 6.2 notes that the score of a joining node is not comparable).
     pub fn expulsion_votes(&mut self, eta: f64, min_periods: u64) -> Vec<NodeId> {
         let mut newly = Vec::new();
-        for (node, r) in self.records.iter_mut() {
-            if !r.expelled && r.periods >= min_periods && r.normalized_score() < eta {
-                r.expelled = true;
-                newly.push(*node);
-            }
-        }
-        newly.sort_unstable();
+        self.expulsion_votes_into(eta, min_periods, &mut newly);
         newly
     }
 
-    /// Iterates over `(node, record)` pairs.
+    /// Allocation-free variant of [`expulsion_votes`](Self::expulsion_votes):
+    /// appends the newly voted nodes (in ascending id order, matching the
+    /// sorted output of the owned variant) to `out`.
+    pub fn expulsion_votes_into(&mut self, eta: f64, min_periods: u64, out: &mut Vec<NodeId>) {
+        for (idx, r) in self.records.iter_mut().enumerate() {
+            let Some(r) = r else { continue };
+            if !r.expelled && r.periods >= min_periods && r.normalized_score() < eta {
+                r.expelled = true;
+                out.push(NodeId::new(idx as u32));
+            }
+        }
+    }
+
+    /// Iterates over `(node, record)` pairs in ascending node order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &ScoreRecord)> + '_ {
-        self.records.iter().map(|(n, r)| (*n, r))
+        self.records
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (NodeId::new(i as u32), r)))
     }
 }
+
+impl Serialize for ManagerState {
+    fn to_json_value(&self) -> Value {
+        // Same shape the hash-map version rendered: `[[node, record], ...]`
+        // sorted by node id (the map serializer sorted by key).
+        Value::Array(
+            self.iter()
+                .map(|(n, r)| Value::Array(vec![n.to_json_value(), r.to_json_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for ManagerState {}
 
 #[cfg(test)]
 mod tests {

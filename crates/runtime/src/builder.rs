@@ -181,6 +181,7 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
         expelled: vec![false; n],
         rng: derive_rng(seed, 3),
         scratch_downcalls: Vec::new(),
+        scratch_nodes: Vec::new(),
         config,
     }
 }

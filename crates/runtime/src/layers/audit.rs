@@ -53,12 +53,10 @@ impl AuditCoordinator {
         target: NodeId,
         now: SimTime,
     ) -> AuditOutcome {
-        // Account the TCP history transfer.
-        let history = stacks[target.index()]
-            .verification
-            .verifier
-            .history()
-            .clone();
+        // Account the TCP history transfer. The history is only read, so the
+        // transfer is sized and the audit run entirely from a borrow — the
+        // old wiring cloned the whole bounded history twice per audit.
+        let history = stacks[target.index()].verification.verifier.history();
         network.send(
             now,
             auditor,
@@ -70,7 +68,7 @@ impl AuditCoordinator {
             now,
             target,
             auditor,
-            VerificationMessage::HistoryResponse(Box::new(history.clone())).wire_size(),
+            VerificationMessage::history_response_wire_size(history),
             TrafficCategory::Audit,
         );
 
@@ -82,7 +80,7 @@ impl AuditCoordinator {
                 auditor,
                 now,
             };
-            self.auditor.audit(&history, &mut oracle)
+            self.auditor.audit(history, &mut oracle)
         };
 
         if std::env::var_os("LIFTING_AUDIT_DEBUG").is_some() {

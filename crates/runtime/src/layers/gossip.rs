@@ -26,15 +26,16 @@ pub enum GossipUpcall {
     ProposeReceived {
         /// The proposer.
         from: NodeId,
-        /// Proposed chunk ids.
-        chunks: Vec<ChunkId>,
+        /// Proposed chunk ids (shared with the wire payload and, once
+        /// recorded, with the verification history — no copy on this path).
+        chunks: std::sync::Arc<[ChunkId]>,
     },
     /// A request for `chunks` was sent to `to` (arms the serve check).
     RequestSent {
         /// The proposer the request goes to.
         to: NodeId,
-        /// Requested chunk ids.
-        chunks: Vec<ChunkId>,
+        /// Requested chunk ids (shared with the wire payload).
+        chunks: std::sync::Arc<[ChunkId]>,
     },
     /// This node served `chunks` to `to` (arms the ack check).
     ChunksServed {
@@ -139,14 +140,19 @@ impl Layer for GossipLayer {
         let taps = env.upcalls_consumed;
         match inbound {
             GossipMessage::Propose(p) => {
+                let wanted = self.node.on_propose(from, &p.chunks, env.now);
                 if taps {
+                    // The payload is owned here, so the upcall takes the
+                    // chunk list by move — no per-propose clone.
                     upcalls.push(GossipUpcall::ProposeReceived {
                         from,
-                        chunks: p.chunks.clone(),
+                        chunks: p.chunks,
                     });
                 }
-                let wanted = self.node.on_propose(from, &p.chunks, env.now);
                 if !wanted.is_empty() {
+                    // One shared list serves the wire payload, the serve
+                    // check and the upcall (refcounts, not copies).
+                    let wanted: std::sync::Arc<[ChunkId]> = wanted.into();
                     if taps {
                         upcalls.push(GossipUpcall::RequestSent {
                             to: from,
@@ -248,7 +254,7 @@ mod tests {
             NodeId::new(0),
             GossipMessage::Propose(ProposePayload {
                 period: 0,
-                chunks: vec![ChunkId::new(9)],
+                chunks: vec![ChunkId::new(9)].into(),
             }),
             &mut out,
             &mut upcalls,
@@ -280,7 +286,7 @@ mod tests {
             NodeId::new(0),
             GossipMessage::Propose(ProposePayload {
                 period: 0,
-                chunks: vec![ChunkId::new(9)],
+                chunks: vec![ChunkId::new(9)].into(),
             }),
             &mut out,
             &mut upcalls,

@@ -39,6 +39,12 @@ impl ReputationLayer {
         self.manager.expulsion_votes(eta, min_periods)
     }
 
+    /// Allocation-free variant of [`expulsion_votes`](Self::expulsion_votes):
+    /// appends the newly voted nodes to `out` in ascending id order.
+    pub fn expulsion_votes_into(&mut self, eta: f64, min_periods: u64, out: &mut Vec<NodeId>) {
+        self.manager.expulsion_votes_into(eta, min_periods, out);
+    }
+
     /// The normalized score this manager holds for `node`, if managed.
     pub fn score(&self, node: NodeId) -> Option<f64> {
         self.manager.normalized_score(node)

@@ -18,12 +18,20 @@ pub struct VerificationLayer {
     /// The LiFTinG verification engine.
     pub verifier: Verifier,
     enabled: bool,
+    /// Recycled staging buffer for verifier actions: handlers append into it
+    /// (via the `*_into` variants) instead of allocating a `Vec` per handled
+    /// message, keeping the verification hot path allocation-free.
+    scratch_actions: Vec<VerifierAction>,
 }
 
 impl VerificationLayer {
     /// Creates the layer; `enabled` mirrors the scenario's `lifting_enabled`.
     pub fn new(verifier: Verifier, enabled: bool) -> Self {
-        VerificationLayer { verifier, enabled }
+        VerificationLayer {
+            verifier,
+            enabled,
+            scratch_actions: Vec::new(),
+        }
     }
 
     /// True if the verification plane is active in this run.
@@ -32,7 +40,7 @@ impl VerificationLayer {
     }
 
     /// Converts verifier actions into downcalls, preserving their order.
-    fn push_actions(actions: Vec<VerifierAction>, out: &mut Vec<Downcall>) {
+    fn push_actions(actions: impl IntoIterator<Item = VerifierAction>, out: &mut Vec<Downcall>) {
         for action in actions {
             out.push(match action {
                 VerifierAction::SendAck { to, ack } => Downcall::Send {
@@ -41,7 +49,7 @@ impl VerificationLayer {
                 },
                 VerifierAction::SendConfirm { to, confirm } => Downcall::Send {
                     to,
-                    message: Message::Verification(VerificationMessage::Confirm(Box::new(confirm))),
+                    message: Message::Verification(VerificationMessage::Confirm(confirm)),
                 },
                 VerifierAction::SendConfirmResponse { to, response } => Downcall::Send {
                     to,
@@ -66,27 +74,31 @@ impl VerificationLayer {
         if !self.enabled {
             return;
         }
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        debug_assert!(actions.is_empty());
         match upcall {
             GossipUpcall::PeriodBegan(period) => self.verifier.begin_period(period),
             GossipUpcall::RoundStarted(round) => {
-                let actions = self.verifier.on_propose_round(&round, env.now);
-                Self::push_actions(actions, out);
+                self.verifier
+                    .on_propose_round_into(&round, env.now, &mut actions);
             }
             GossipUpcall::ProposeReceived { from, chunks } => {
-                self.verifier.on_propose_received(from, &chunks, env.now);
+                self.verifier.on_propose_received(from, chunks, env.now);
             }
             GossipUpcall::RequestSent { to, chunks } => {
-                let actions = self.verifier.on_request_sent(to, &chunks, env.now);
-                Self::push_actions(actions, out);
+                self.verifier
+                    .on_request_sent_into(to, chunks, env.now, &mut actions);
             }
             GossipUpcall::ChunksServed { to, chunks } => {
-                let actions = self.verifier.on_chunks_served(to, &chunks, env.now);
-                Self::push_actions(actions, out);
+                self.verifier
+                    .on_chunks_served_into(to, chunks, env.now, &mut actions);
             }
             GossipUpcall::ServeReceived { from, chunk } => {
                 self.verifier.on_serve_received(from, chunk, env.now);
             }
         }
+        Self::push_actions(actions.drain(..), out);
+        self.scratch_actions = actions;
     }
 
     /// A verifier timer expired.
@@ -96,8 +108,10 @@ impl VerificationLayer {
         timer: VerifierTimer,
         out: &mut Vec<Downcall>,
     ) {
-        let actions = self.verifier.on_timer(timer, env.now);
-        Self::push_actions(actions, out);
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        self.verifier.on_timer_into(timer, env.now, &mut actions);
+        Self::push_actions(actions.drain(..), out);
+        self.scratch_actions = actions;
     }
 }
 
@@ -122,12 +136,18 @@ impl Layer for VerificationLayer {
     ) {
         match inbound {
             VerificationMessage::Ack(ack) => {
-                let actions = self.verifier.on_ack(from, *ack, env.now, env.rng);
-                Self::push_actions(actions, out);
+                let mut actions = std::mem::take(&mut self.scratch_actions);
+                self.verifier
+                    .on_ack_into(from, *ack, env.now, env.rng, &mut actions);
+                Self::push_actions(actions.drain(..), out);
+                self.scratch_actions = actions;
             }
             VerificationMessage::Confirm(confirm) => {
-                let actions = self.verifier.on_confirm(from, *confirm, env.now);
-                Self::push_actions(actions, out);
+                let mut actions = std::mem::take(&mut self.scratch_actions);
+                self.verifier
+                    .on_confirm_into(from, &confirm, env.now, &mut actions);
+                Self::push_actions(actions.drain(..), out);
+                self.scratch_actions = actions;
             }
             VerificationMessage::ConfirmResponse(response) => {
                 self.verifier.on_confirm_response(from, response);
@@ -173,7 +193,7 @@ mod tests {
             &mut env,
             GossipUpcall::RequestSent {
                 to: NodeId::new(2),
-                chunks: vec![lifting_gossip::ChunkId::new(1)],
+                chunks: vec![lifting_gossip::ChunkId::new(1)].into(),
             },
             &mut out,
         );
@@ -204,7 +224,7 @@ mod tests {
             &mut env,
             GossipUpcall::RequestSent {
                 to: NodeId::new(2),
-                chunks: vec![lifting_gossip::ChunkId::new(1)],
+                chunks: vec![lifting_gossip::ChunkId::new(1)].into(),
             },
             &mut out,
         );

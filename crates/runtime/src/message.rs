@@ -89,7 +89,7 @@ mod tests {
         assert_eq!(serve.category(), TrafficCategory::StreamData);
         let propose = Message::Gossip(GossipMessage::Propose(ProposePayload {
             period: 0,
-            chunks: vec![ChunkId::new(1)],
+            chunks: vec![ChunkId::new(1)].into(),
         }));
         assert_eq!(propose.category(), TrafficCategory::GossipControl);
         let blame = Message::Verification(VerificationMessage::Blame(Blame::new(

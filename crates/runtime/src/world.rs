@@ -11,7 +11,7 @@ use lifting_gossip::{Chunk, StreamSource};
 use lifting_membership::Directory;
 use lifting_net::Network;
 use lifting_reputation::ManagerAssignment;
-use lifting_sim::{Context, NodeId, SimTime, World};
+use lifting_sim::{Context, InlineVec, NodeId, SimTime, World};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -38,6 +38,9 @@ pub struct SystemWorld {
     pub(crate) rng: SmallRng,
     /// Recycled scratch buffer for stack downcalls (allocation-free loop).
     pub(crate) scratch_downcalls: Vec<Downcall>,
+    /// Recycled scratch for audit-target candidates and expulsion votes, so
+    /// the periodic events allocate nothing at steady state either.
+    pub(crate) scratch_nodes: Vec<NodeId>,
 }
 
 impl SystemWorld {
@@ -131,12 +134,15 @@ impl SystemWorld {
         if !self.lifting_on() || blame.target == NodeId::new(0) {
             return; // the source is not scored
         }
-        let managers: Vec<NodeId> = self.assignment.managers_of(blame.target).to_vec();
-        for manager in managers {
+        // Copy the manager list to the stack (M ≈ 25 fits inline) so `send`
+        // can borrow the world mutably without a heap allocation per blame.
+        let managers: InlineVec<NodeId, 32> =
+            InlineVec::from_slice(self.assignment.managers_of(blame.target));
+        for manager in managers.iter() {
             self.send(
                 now,
                 from,
-                manager,
+                *manager,
                 Message::Verification(VerificationMessage::Blame(blame)),
                 ctx,
             );
@@ -175,20 +181,24 @@ impl SystemWorld {
             for stack in &mut self.stacks {
                 stack.reputation.end_period(self.compensation_per_period);
             }
-            let mut newly_voted: Vec<NodeId> = Vec::new();
+            let mut newly_voted = std::mem::take(&mut self.scratch_nodes);
+            newly_voted.clear();
             for stack in &mut self.stacks {
-                newly_voted.extend(stack.reputation.expulsion_votes(eta, min_periods));
+                stack
+                    .reputation
+                    .expulsion_votes_into(eta, min_periods, &mut newly_voted);
             }
             let quorum = (self.config.lifting.expulsion_quorum
                 * self.config.lifting.managers as f64)
                 .ceil()
                 .max(1.0) as usize;
-            for target in newly_voted {
+            for target in newly_voted.drain(..) {
                 self.expulsion_votes[target.index()] += 1;
                 if self.expulsion_votes[target.index()] >= quorum {
                     self.expel(target);
                 }
             }
+            self.scratch_nodes = newly_voted;
         }
         ctx.schedule_after(self.config.gossip.gossip_period, Event::PeriodEnd);
     }
@@ -197,12 +207,16 @@ impl SystemWorld {
         if !self.config.audits_enabled || self.expelled[auditor.index()] {
             return;
         }
-        // Pick a random active target (never the source, never self).
-        let candidates: Vec<NodeId> = self
-            .directory
-            .active_nodes()
-            .filter(|c| *c != auditor && *c != NodeId::new(0))
-            .collect();
+        // Pick a random active target (never the source, never self). The
+        // candidate list is staged in a recycled buffer: audit ticks fire for
+        // every node every interval, so this path must not allocate.
+        let mut candidates = std::mem::take(&mut self.scratch_nodes);
+        candidates.clear();
+        candidates.extend(
+            self.directory
+                .active_nodes()
+                .filter(|c| *c != auditor && *c != NodeId::new(0)),
+        );
         if !candidates.is_empty() && self.lifting_on() {
             let target = candidates[self.rng.gen_range(0..candidates.len())];
             let outcome = self
@@ -214,6 +228,7 @@ impl SystemWorld {
                 AuditOutcome::Pass => {}
             }
         }
+        self.scratch_nodes = candidates;
         ctx.schedule_after(self.config.audit_interval, Event::AuditTick { auditor });
     }
 }

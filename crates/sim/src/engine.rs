@@ -135,15 +135,13 @@ impl<W: World> Engine<W> {
     pub fn run_until(&mut self, deadline: SimTime) -> RunReport {
         let mut report = RunReport::default();
         loop {
-            match self.queue.peek_time() {
-                None => {
-                    report.drained = true;
-                    break;
-                }
-                Some(t) if t > deadline => break,
-                Some(_) => {}
-            }
-            let (time, event) = self.queue.pop().expect("peeked event must exist");
+            // Fast path: one queue probe decides both "is there an event" and
+            // "is it due" (see `EventQueue::pop_due`); an undue event stays
+            // queued without ever being materialized here.
+            let Some((time, event)) = self.queue.pop_due(deadline) else {
+                report.drained = self.queue.is_empty();
+                break;
+            };
             self.clock = time;
             let mut ctx = Context::new(time, &mut self.scratch);
             self.world.handle_event(time, event, &mut ctx);

@@ -49,6 +49,7 @@ pub mod pool;
 pub mod rng;
 pub mod time;
 
+pub use collections::InlineVec;
 pub use engine::{Context, Engine, RunReport, World};
 pub use event::EventQueue;
 pub use id::NodeId;

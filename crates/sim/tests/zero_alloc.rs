@@ -63,12 +63,15 @@ fn steady_state_event_loop_does_not_allocate() {
     for i in 0..16 {
         engine.schedule(SimTime::from_micros(i), Hop(i as u32));
     }
-    // Warm up: let the scratch buffer and the heap reach their final capacity.
-    engine.run_until(SimTime::from_millis(10));
+    // Warm up: let the scratch buffer, the front heap and every bucket of the
+    // time wheel reach their final capacity. The level-0 ring spans ~262 ms
+    // of simulated time, so one full rotation (plus slack) touches every ring
+    // index at its steady-state occupancy.
+    engine.run_until(SimTime::from_millis(600));
     assert!(engine.events_processed() > 1_000);
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    let report = engine.run_until(SimTime::from_millis(20));
+    let report = engine.run_until(SimTime::from_millis(900));
     let after = ALLOCATIONS.load(Ordering::Relaxed);
 
     assert!(report.events_processed > 1_000);
