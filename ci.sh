@@ -7,13 +7,21 @@ cd "$(dirname "$0")"
 
 # Snapshot the committed bench/summary files: the smoke runs below overwrite
 # them in the working tree, and the regression gate needs the committed one.
+# The restore runs from a trap so that *any* exit — success, a failed smoke
+# run, or an interrupt — puts the committed artifacts back and never leaves
+# the worktree dirty. INT/TERM/HUP are trapped explicitly because bash does
+# not run the EXIT trap when killed by an untrapped signal.
 cp BENCH_experiments.json /tmp/bench_committed.json
 cp experiments_summary.json /tmp/summary_committed.json
 restore_artifacts() {
-    cp /tmp/bench_committed.json BENCH_experiments.json
-    cp /tmp/summary_committed.json experiments_summary.json
+    [ -f /tmp/bench_committed.json ] && cp /tmp/bench_committed.json BENCH_experiments.json
+    [ -f /tmp/summary_committed.json ] && cp /tmp/summary_committed.json experiments_summary.json
+    return 0
 }
 trap restore_artifacts EXIT
+trap 'restore_artifacts; trap - INT; kill -INT $$' INT
+trap 'restore_artifacts; trap - TERM; kill -TERM $$' TERM
+trap 'restore_artifacts; trap - HUP; kill -HUP $$' HUP
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -46,7 +54,11 @@ a = {k: v for k, v in a.items() if k not in skip}
 b = {k: v for k, v in b.items() if k not in skip}
 if a != b:
     sys.exit('parallel and sequential experiment outputs differ')
-print('parallel and sequential outputs are identical')
+# The churn sweep must be part of the gated suite (dynamic membership has its
+# own RNG streams; losing the section would silently un-gate them).
+if 'churn' not in a or not a['churn']:
+    sys.exit('summary is missing the churn sweep')
+print('parallel and sequential outputs are identical (churn sweep included)')
 EOF
 
 echo "==> bench smoke (quick wall-clock vs committed baseline)"

@@ -6,8 +6,6 @@
 //! probability `β`, and calibrate `η` for a target `β` (the paper picks
 //! `η = −9.75` so that `β < 1 %`).
 
-use crate::stats::quantile;
-
 /// Fraction of freerider scores strictly below the detection threshold `eta`
 /// (the detection probability `α`). Returns 0 for an empty sample.
 pub fn detection_rate(freerider_scores: &[f64], eta: f64) -> f64 {
@@ -20,6 +18,9 @@ pub fn false_positive_rate(honest_scores: &[f64], eta: f64) -> f64 {
     rate_below(honest_scores, eta)
 }
 
+/// The detection convention, shared by every rate and by the calibration:
+/// a node is flagged when its score **drops strictly below** `η` (the paper's
+/// "score drops below η"); a score sitting exactly on `η` is never flagged.
 fn rate_below(scores: &[f64], eta: f64) -> f64 {
     if scores.is_empty() {
         return 0.0;
@@ -28,21 +29,33 @@ fn rate_below(scores: &[f64], eta: f64) -> f64 {
 }
 
 /// Calibrates the detection threshold `η` so that at most a fraction
-/// `target_beta` of the given honest scores fall below it.
+/// `target_beta` of the given honest scores fall **strictly below** it —
+/// the same convention [`false_positive_rate`] applies, so the calibrated
+/// threshold always satisfies `false_positive_rate(honest, η) ≤ target_beta`,
+/// ties included. Returns `None` if the sample is empty.
 ///
-/// Returns the `target_beta`-quantile of the honest scores, i.e. the largest
-/// threshold meeting the false-positive budget. Returns `None` if the sample
-/// is empty.
+/// `η` is the `(⌊target_beta·n⌋ + 1)`-th smallest honest score: at most
+/// `⌊target_beta·n⌋` scores lie strictly below it, and any larger threshold
+/// would flag at least one more score and bust the budget. This replaces an
+/// interpolated quantile, which could land *between* order statistics and —
+/// with small samples or duplicated scores at the boundary — either violate
+/// the β budget or silently exclude the boundary scores from detection.
 ///
 /// # Panics
 ///
-/// Panics if `target_beta` is outside `[0, 1]`.
+/// Panics if `target_beta` is outside `[0, 1]` or a score is NaN.
 pub fn calibrate_threshold(honest_scores: &[f64], target_beta: f64) -> Option<f64> {
     assert!(
         (0.0..=1.0).contains(&target_beta),
         "target β = {target_beta} not in [0, 1]"
     );
-    quantile(honest_scores, target_beta)
+    if honest_scores.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = honest_scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let budget = (target_beta * sorted.len() as f64).floor() as usize;
+    Some(sorted[budget.min(sorted.len() - 1)])
 }
 
 #[cfg(test)]
@@ -74,6 +87,45 @@ mod tests {
     #[test]
     fn calibration_of_empty_sample_is_none() {
         assert_eq!(calibrate_threshold(&[], 0.01), None);
+    }
+
+    #[test]
+    fn calibration_with_tied_boundary_scores_respects_the_budget() {
+        // Regression: the interpolated-quantile calibration could land between
+        // order statistics, flagging more than target_beta of the honest
+        // population. With heavy ties at the boundary the order-statistic
+        // calibration must (a) keep β within budget and (b) leave the tied
+        // boundary scores unflagged (strict `<`, the paper's convention).
+        let honest = [-12.0, -12.0, -12.0, -12.0, -3.0, -2.0, -1.0, 0.0, 0.0, 1.0];
+        let eta = calibrate_threshold(&honest, 0.10).unwrap();
+        assert_eq!(eta, -12.0, "η sits on the tied boundary score");
+        let beta = false_positive_rate(&honest, eta);
+        assert!(beta <= 0.10, "β = {beta} busts the 10% budget");
+        assert_eq!(beta, 0.0, "ties at η are never flagged");
+        // A small sample where interpolation used to bust the budget: with
+        // n = 10 and β = 1 %, *no* honest score may be flagged, so η must not
+        // exceed the smallest honest score.
+        let small = [-20.0, -10.0, -5.0, -4.0, -3.0, -2.5, -2.0, -1.5, -1.0, 0.0];
+        let eta = calibrate_threshold(&small, 0.01).unwrap();
+        assert_eq!(eta, -20.0);
+        assert_eq!(false_positive_rate(&small, eta), 0.0);
+        // Freeriders tied exactly on η are not detected (documented: strict).
+        assert_eq!(detection_rate(&[-20.0, -30.0], eta), 0.5);
+    }
+
+    #[test]
+    fn calibration_is_the_largest_budget_respecting_threshold() {
+        let honest: Vec<f64> = (0..100).map(|i| -(i as f64)).collect();
+        let eta = calibrate_threshold(&honest, 0.05).unwrap();
+        assert!(false_positive_rate(&honest, eta) <= 0.05);
+        // Any strictly larger threshold (up to the next distinct score)
+        // flags more than the budget allows.
+        let next = honest
+            .iter()
+            .copied()
+            .filter(|s| *s > eta)
+            .fold(f64::INFINITY, f64::min);
+        assert!(false_positive_rate(&honest, next) > 0.05);
     }
 
     #[test]

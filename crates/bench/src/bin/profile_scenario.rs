@@ -82,12 +82,13 @@ fn per_event_kind_attribution(base: &ScenarioConfig) {
     use lifting_runtime::{Event, Message, SystemWorld};
     use lifting_sim::{Context, Engine, SimTime, World};
 
-    const NAMES: [&str; 12] = [
+    const NAMES: [&str; 13] = [
         "SourceEmit",
         "GossipTick",
         "PeriodEnd",
         "AuditTick",
         "Timer",
+        "Churn",
         "Propose",
         "Request",
         "Serve",
@@ -99,7 +100,7 @@ fn per_event_kind_attribution(base: &ScenarioConfig) {
 
     struct TimedWorld {
         inner: SystemWorld,
-        buckets: [(f64, u64); 12],
+        buckets: [(f64, u64); 13],
     }
     impl TimedWorld {
         fn kind(ev: &Event) -> usize {
@@ -109,17 +110,18 @@ fn per_event_kind_attribution(base: &ScenarioConfig) {
                 Event::PeriodEnd => 2,
                 Event::AuditTick { .. } => 3,
                 Event::Timer { .. } => 4,
+                Event::Churn { .. } => 5,
                 Event::Deliver { message, .. } => match message {
                     Message::Gossip(g) => match g {
-                        lifting_gossip::GossipMessage::Propose(_) => 5,
-                        lifting_gossip::GossipMessage::Request(_) => 6,
-                        lifting_gossip::GossipMessage::Serve(_) => 7,
+                        lifting_gossip::GossipMessage::Propose(_) => 6,
+                        lifting_gossip::GossipMessage::Request(_) => 7,
+                        lifting_gossip::GossipMessage::Serve(_) => 8,
                     },
                     Message::Verification(v) => match v {
-                        lifting_core::VerificationMessage::Ack(_) => 8,
-                        lifting_core::VerificationMessage::Confirm(_) => 9,
-                        lifting_core::VerificationMessage::ConfirmResponse(_) => 10,
-                        _ => 11,
+                        lifting_core::VerificationMessage::Ack(_) => 9,
+                        lifting_core::VerificationMessage::Confirm(_) => 10,
+                        lifting_core::VerificationMessage::ConfirmResponse(_) => 11,
+                        _ => 12,
                     },
                 },
             }
@@ -140,7 +142,7 @@ fn per_event_kind_attribution(base: &ScenarioConfig) {
     let events = world.initial_events();
     let mut engine = Engine::new(TimedWorld {
         inner: world,
-        buckets: [(0.0, 0); 12],
+        buckets: [(0.0, 0); 13],
     });
     for (t, e) in events {
         engine.schedule(t, e);

@@ -80,6 +80,7 @@ fn build_jobs(scale: Scale) -> Vec<Job> {
             "adversaries",
             Box::new(move || to_value(&adversary_showcase(scale, 21))),
         ),
+        ("churn", Box::new(move || to_value(&churn_sweep(scale, 33)))),
     ]
 }
 
@@ -209,6 +210,7 @@ fn main() {
         "table5": primary.by_name("table5"),
         "layer_traffic": primary.by_name("layer_traffic"),
         "adversaries": primary.by_name("adversaries"),
+        "churn": primary.by_name("churn"),
         "timings_secs": primary.timings(),
         "total_wall_secs": primary.total_secs,
         "per_scale_timings": per_scale_timings.clone(),

@@ -488,6 +488,79 @@ pub struct AdversaryShowcaseResult {
     pub honest_mean: f64,
 }
 
+// ---------------------------------------------------------------------------
+// Churn sweep: dynamic membership (PlanetLab-style joins/crashes/rejoins).
+// ---------------------------------------------------------------------------
+
+/// The registered `churn/*` scenarios the sweep runs, in registry order.
+pub const CHURN_SCENARIOS: [&str; 5] = [
+    "churn/steady-slow",
+    "churn/steady-fast",
+    "churn/catastrophe",
+    "churn/flash-crowd",
+    "churn/freeriders",
+];
+
+/// Outcome of one churn scenario: detection quality (α/β at η = −9.75) plus
+/// the membership dynamics observed during the run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnScenarioResult {
+    /// The registered scenario that was run.
+    pub scenario: String,
+    /// Detection probability at η = −9.75 (score below η or expelled).
+    pub detection: f64,
+    /// False-positive probability at η = −9.75.
+    pub false_positives: f64,
+    /// Nodes expelled during the run.
+    pub expelled: usize,
+    /// Online sessions begun (initially online nodes plus rejoins).
+    pub sessions: u64,
+    /// Departures executed (steady churn plus catastrophe crashes).
+    pub departures: u64,
+    /// Rejoins executed (steady churn plus the flash-crowd wave).
+    pub rejoins: u64,
+    /// Audits abandoned because a witness had departed.
+    pub audits_aborted_by_departure: u64,
+    /// Nodes offline (departed, not expelled) when the run ended.
+    pub offline_at_end: usize,
+    /// Fraction of nodes viewing a clear stream at the largest lag.
+    pub final_clear_fraction: f64,
+}
+
+/// Runs the `churn/*` scenario family — steady churn at two rates, a
+/// catastrophic 30 % failure, a flash crowd and churn × freeriders — and
+/// reports detection quality plus the churn metrics of each run.
+pub fn churn_sweep(scale: Scale, seed: u64) -> Vec<ChurnScenarioResult> {
+    let registry = ScenarioRegistry::builtin();
+    let configs: Vec<ScenarioConfig> = CHURN_SCENARIOS
+        .iter()
+        .map(|name| registry.build(name, scale, seed))
+        .collect();
+    let outcomes = run_scenarios_parallel(configs);
+    let eta = -9.75;
+    CHURN_SCENARIOS
+        .iter()
+        .zip(outcomes)
+        .map(|(scenario, outcome)| ChurnScenarioResult {
+            scenario: scenario.to_string(),
+            detection: outcome.detection_rate(eta),
+            false_positives: outcome.false_positive_rate(eta),
+            expelled: outcome.expelled_count,
+            sessions: outcome.churn.sessions,
+            departures: outcome.churn.departures,
+            rejoins: outcome.churn.rejoins,
+            audits_aborted_by_departure: outcome.churn.audits_aborted_by_departure,
+            offline_at_end: outcome.churn.offline_at_end,
+            final_clear_fraction: outcome
+                .stream_health
+                .fraction_clear
+                .last()
+                .copied()
+                .unwrap_or(0.0),
+        })
+        .collect()
+}
+
 /// Runs the pluggable-adversary scenarios (attacks the pre-refactor wiring
 /// could not express: on-off freeriders and blame spammers) and reports how
 /// the detector fares against each.
@@ -542,6 +615,39 @@ mod tests {
         assert!(fig13.fanout.mean > 9.0);
         assert!((fig13.max_bias_25_colluders - 0.21).abs() < 0.03);
         assert!(fig13.biased_entropy_example < fig13.calibrated_gamma);
+    }
+
+    #[test]
+    fn quick_scale_churn_sweep_exercises_every_dynamic() {
+        let results = churn_sweep(Scale::Quick, 9);
+        assert_eq!(results.len(), CHURN_SCENARIOS.len());
+        let by_name = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.scenario == name)
+                .unwrap_or_else(|| panic!("missing churn result {name}"))
+        };
+        // Steady churn cycles sessions both ways.
+        let steady = by_name("churn/steady-fast");
+        assert!(steady.departures > 0 && steady.rejoins > 0);
+        assert_eq!(steady.sessions, steady.rejoins + 79, "80-node quick run");
+        // The catastrophe is permanent; the flash crowd joins exactly once.
+        let cat = by_name("churn/catastrophe");
+        assert!(cat.departures > 0);
+        assert_eq!(cat.rejoins, 0);
+        let flash = by_name("churn/flash-crowd");
+        assert!(flash.rejoins > 0);
+        assert_eq!(flash.departures, 0);
+        assert_eq!(flash.offline_at_end, 0);
+        // Dissemination survives every dynamic.
+        for r in &results {
+            assert!(
+                r.final_clear_fraction > 0.2,
+                "{}: stream collapsed ({})",
+                r.scenario,
+                r.final_clear_fraction
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! re-run with `LIFTING_PRINT_GOLDEN=1` and update the constants; silent
 //! drift is the thing this file exists to catch.
 
-use lifting_bench::experiments::{fig01_stream_health, fig12_detection_vs_delta, Scale};
+use lifting_bench::experiments::{
+    churn_sweep, fig01_stream_health, fig12_detection_vs_delta, Scale,
+};
 
 /// FNV-1a over a stream of 64-bit words.
 fn fnv1a(words: impl Iterator<Item = u64>) -> u64 {
@@ -29,7 +31,8 @@ fn maybe_print(name: &str, digest: u64) {
 }
 
 const FIG01_DIGEST: u64 = 0x784bcd7f34320fdf;
-const FIG12_DIGEST: u64 = 0x91eaf63d92631f2e;
+const FIG12_DIGEST: u64 = 0x0aef8a93dd7e5a93;
+const CHURN_DIGEST: u64 = 0xa50071d0866d834b;
 
 #[test]
 fn fig01_quick_scale_run_outcome_is_pinned() {
@@ -48,6 +51,36 @@ fn fig01_quick_scale_run_outcome_is_pinned() {
     assert_eq!(
         digest, FIG01_DIGEST,
         "fig01 quick-scale output drifted; if intentional, update FIG01_DIGEST \
+         (run with LIFTING_PRINT_GOLDEN=1 to print the new digest)"
+    );
+}
+
+#[test]
+fn churn_sweep_quick_scale_is_pinned() {
+    // Determinism must hold with dynamic populations too: the digest covers
+    // every churn scenario's detection numbers and membership counters, so a
+    // reordered RNG draw anywhere in the churn engine (plan expansion,
+    // duration draws, stack rebuilds) fails this test.
+    let results = churn_sweep(Scale::Quick, 33);
+    assert_eq!(results.len(), 5);
+    let words = results.iter().flat_map(|r| {
+        [
+            r.detection.to_bits(),
+            r.false_positives.to_bits(),
+            r.expelled as u64,
+            r.sessions,
+            r.departures,
+            r.rejoins,
+            r.audits_aborted_by_departure,
+            r.offline_at_end as u64,
+            r.final_clear_fraction.to_bits(),
+        ]
+    });
+    let digest = fnv1a(words);
+    maybe_print("CHURN_DIGEST", digest);
+    assert_eq!(
+        digest, CHURN_DIGEST,
+        "churn quick-scale output drifted; if intentional, update CHURN_DIGEST \
          (run with LIFTING_PRINT_GOLDEN=1 to print the new digest)"
     );
 }

@@ -1,0 +1,282 @@
+//! Deterministic churn schedules: per-node session/offline durations plus
+//! catastrophic-failure and flash-crowd waves.
+//!
+//! The paper's evaluation runs LiFTinG under realistic PlanetLab conditions —
+//! nodes join, crash and rejoin mid-stream while blame propagation and
+//! score-based expulsion keep working. A [`ChurnSchedule`] describes that
+//! dynamism declaratively; [`ChurnPlan::generate`] expands it into the
+//! per-node membership decisions (who churns, who starts offline, who dies in
+//! the catastrophe wave) from a seeded RNG, and the runtime draws the actual
+//! session/offline durations from the schedule as the run progresses. All
+//! draws are seeded, so churn scenarios stay bit-for-bit deterministic and
+//! parallel == sequential like every other scenario.
+
+use lifting_sim::{NodeId, SimDuration};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One synchronized membership wave: at instant `at`, a `fraction` of the
+/// (non-source) population changes state together — all failing at once
+/// (catastrophe) or all joining at once (flash crowd).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnWave {
+    /// When the wave hits, relative to the start of the run.
+    pub at: SimDuration,
+    /// Fraction of the non-source population in the wave.
+    pub fraction: f64,
+}
+
+/// Declarative description of a run's membership dynamics.
+///
+/// Steady churn: a `churn_fraction` of the non-source nodes cycle between
+/// online sessions (exponentially distributed with mean `mean_session`) and
+/// offline spells (mean `mean_offline`), with no departure before `warmup`.
+/// On top of that, an optional catastrophic-failure wave takes a fraction of
+/// the population down at one instant, and an optional flash-crowd wave holds
+/// a fraction of the population *offline from the start* and joins them all
+/// at one instant. The broadcast source (node 0) never churns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSchedule {
+    /// Fraction of non-source nodes subject to steady session/offline cycling
+    /// (0 disables steady churn; waves still apply).
+    pub churn_fraction: f64,
+    /// Mean online-session length of a churning node.
+    pub mean_session: SimDuration,
+    /// Mean offline spell before a churning node rejoins.
+    pub mean_offline: SimDuration,
+    /// No steady-churn departure happens before this instant (lets the
+    /// dissemination warm up, as real deployments do).
+    pub warmup: SimDuration,
+    /// Catastrophic failure: a fraction of the population crashes at once.
+    /// Members that are not steady churners never come back.
+    pub catastrophe: Option<ChurnWave>,
+    /// Flash crowd: a fraction of the population starts offline and joins at
+    /// the wave instant.
+    pub flash_crowd: Option<ChurnWave>,
+}
+
+impl ChurnSchedule {
+    /// A steady-churn schedule with no waves.
+    pub fn steady(
+        churn_fraction: f64,
+        mean_session: SimDuration,
+        mean_offline: SimDuration,
+        warmup: SimDuration,
+    ) -> Self {
+        ChurnSchedule {
+            churn_fraction,
+            mean_session,
+            mean_offline,
+            warmup,
+            catastrophe: None,
+            flash_crowd: None,
+        }
+    }
+
+    /// Validates the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fraction is out of `[0, 1]`, a mean duration is zero while
+    /// steady churn is enabled, or a wave is scheduled at instant zero.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.churn_fraction),
+            "churn fraction out of range"
+        );
+        if self.churn_fraction > 0.0 {
+            assert!(
+                !self.mean_session.is_zero() && !self.mean_offline.is_zero(),
+                "steady churn needs positive session/offline means"
+            );
+        }
+        for wave in [self.catastrophe, self.flash_crowd].into_iter().flatten() {
+            assert!(
+                (0.0..=1.0).contains(&wave.fraction),
+                "wave fraction out of range"
+            );
+            assert!(!wave.at.is_zero(), "a wave cannot hit at instant zero");
+        }
+    }
+
+    /// Draws one online-session length (exponential, mean `mean_session`,
+    /// floored at 10 ms so a session always covers at least a few events).
+    pub fn session_length<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        exponential(self.mean_session, rng)
+    }
+
+    /// Draws one offline-spell length (exponential, mean `mean_offline`).
+    pub fn offline_length<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        exponential(self.mean_offline, rng)
+    }
+}
+
+/// Exponentially distributed duration with the given mean, floored at 10 ms.
+fn exponential<R: Rng + ?Sized>(mean: SimDuration, rng: &mut R) -> SimDuration {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let secs = -mean.as_secs_f64() * (1.0 - u).ln();
+    SimDuration::from_secs_f64(secs.max(0.010))
+}
+
+/// The per-node membership decisions expanded from a [`ChurnSchedule`].
+///
+/// Generated from a seeded RNG in one fixed draw order, so the runtime's
+/// world builder and its initial-event scheduler (two separate code paths)
+/// expand the same schedule to the identical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnPlan {
+    /// Per node: subject to steady session/offline cycling.
+    pub churners: Vec<bool>,
+    /// Per node: held offline until the flash-crowd wave joins it.
+    pub starts_offline: Vec<bool>,
+    /// Per node: crashes in the catastrophe wave.
+    pub catastrophe_members: Vec<bool>,
+}
+
+impl ChurnPlan {
+    /// Expands `schedule` over a population of `nodes` identifiers using the
+    /// given (already seeded) RNG. Node 0 — the broadcast source — is never
+    /// selected for anything.
+    pub fn generate<R: Rng + ?Sized>(
+        schedule: &ChurnSchedule,
+        nodes: usize,
+        rng: &mut R,
+    ) -> ChurnPlan {
+        let mut churners = vec![false; nodes];
+        let mut starts_offline = vec![false; nodes];
+        let mut catastrophe_members = vec![false; nodes];
+        for flag in churners.iter_mut().take(nodes).skip(1) {
+            *flag = schedule.churn_fraction > 0.0 && rng.gen_bool(schedule.churn_fraction);
+        }
+        if let Some(wave) = schedule.flash_crowd {
+            for flag in starts_offline.iter_mut().take(nodes).skip(1) {
+                *flag = wave.fraction > 0.0 && rng.gen_bool(wave.fraction);
+            }
+        }
+        if let Some(wave) = schedule.catastrophe {
+            for (flag, held_offline) in catastrophe_members
+                .iter_mut()
+                .zip(&starts_offline)
+                .take(nodes)
+                .skip(1)
+            {
+                // The waves are disjoint: a flash-crowd member is offline
+                // until its wave joins it, so it cannot also be a catastrophe
+                // victim (a departure fired while it is still held offline
+                // would no-op and the later join would resurrect a node that
+                // was supposed to crash for good). The RNG draw happens
+                // unconditionally so the plan stream stays stable.
+                let hit = wave.fraction > 0.0 && rng.gen_bool(wave.fraction);
+                *flag = hit && !held_offline;
+            }
+        }
+        ChurnPlan {
+            churners,
+            starts_offline,
+            catastrophe_members,
+        }
+    }
+
+    /// True if `node` is subject to steady churn.
+    pub fn is_churner(&self, node: NodeId) -> bool {
+        self.churners.get(node.index()).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifting_sim::derive_rng;
+
+    fn schedule() -> ChurnSchedule {
+        ChurnSchedule {
+            churn_fraction: 0.4,
+            mean_session: SimDuration::from_secs(10),
+            mean_offline: SimDuration::from_secs(3),
+            warmup: SimDuration::from_secs(2),
+            catastrophe: Some(ChurnWave {
+                at: SimDuration::from_secs(15),
+                fraction: 0.3,
+            }),
+            flash_crowd: Some(ChurnWave {
+                at: SimDuration::from_secs(5),
+                fraction: 0.2,
+            }),
+        }
+    }
+
+    #[test]
+    fn plan_generation_is_deterministic_and_spares_the_source() {
+        let s = schedule();
+        s.validate();
+        let a = ChurnPlan::generate(&s, 200, &mut derive_rng(9, 5));
+        let b = ChurnPlan::generate(&s, 200, &mut derive_rng(9, 5));
+        assert_eq!(a, b);
+        assert!(!a.churners[0] && !a.starts_offline[0] && !a.catastrophe_members[0]);
+        let churners = a.churners.iter().filter(|c| **c).count();
+        assert!((40..=120).contains(&churners), "got {churners} churners");
+        assert!(a.starts_offline.iter().any(|c| *c));
+        assert!(a.catastrophe_members.iter().any(|c| *c));
+    }
+
+    #[test]
+    fn flash_crowd_and_catastrophe_memberships_are_disjoint() {
+        let mut s = schedule();
+        s.flash_crowd = Some(ChurnWave {
+            at: SimDuration::from_secs(5),
+            fraction: 0.6,
+        });
+        s.catastrophe = Some(ChurnWave {
+            at: SimDuration::from_secs(3), // before the flash join, the nasty case
+            fraction: 0.6,
+        });
+        let plan = ChurnPlan::generate(&s, 500, &mut derive_rng(4, 5));
+        assert!(plan.starts_offline.iter().any(|c| *c));
+        assert!(plan.catastrophe_members.iter().any(|c| *c));
+        for i in 0..500 {
+            assert!(
+                !(plan.starts_offline[i] && plan.catastrophe_members[i]),
+                "node {i} is in both waves"
+            );
+        }
+    }
+
+    #[test]
+    fn durations_are_positive_and_roughly_exponential() {
+        let s = schedule();
+        let mut rng = derive_rng(1, 0);
+        let mut total = 0.0;
+        for _ in 0..2_000 {
+            let d = s.session_length(&mut rng);
+            assert!(!d.is_zero());
+            total += d.as_secs_f64();
+        }
+        let mean = total / 2_000.0;
+        assert!((mean - 10.0).abs() < 1.0, "mean session {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "wave cannot hit at instant zero")]
+    fn zero_instant_wave_is_rejected() {
+        let mut s = schedule();
+        s.catastrophe = Some(ChurnWave {
+            at: SimDuration::ZERO,
+            fraction: 0.1,
+        });
+        s.validate();
+    }
+
+    #[test]
+    fn zero_fraction_schedule_plans_nothing() {
+        let s = ChurnSchedule::steady(
+            0.0,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+            SimDuration::ZERO,
+        );
+        s.validate();
+        let plan = ChurnPlan::generate(&s, 50, &mut derive_rng(3, 5));
+        assert!(plan.churners.iter().all(|c| !*c));
+        assert!(!plan.is_churner(NodeId::new(7)));
+    }
+}

@@ -89,18 +89,38 @@ impl Directory {
         count: usize,
         exclude: NodeId,
     ) -> Vec<NodeId> {
-        let available: usize = self.active_count - usize::from(self.is_active(exclude));
+        let mut picked = Vec::with_capacity(count);
+        self.sample_uniform_into(rng, count, exclude, &mut picked);
+        picked
+    }
+
+    /// Like [`sample_uniform`](Self::sample_uniform), but appends to `picked`
+    /// and never selects a node already present in it (nor `exclude`). The
+    /// round-robin colluder selector uses this to top a too-small coalition up
+    /// to the full fanout without handing out duplicates. With an empty
+    /// `picked`, the RNG draw sequence is identical to `sample_uniform`.
+    pub fn sample_uniform_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        count: usize,
+        exclude: NodeId,
+        picked: &mut Vec<NodeId>,
+    ) {
+        let already = picked.len();
+        let excluded_active: usize =
+            usize::from(self.is_active(exclude) && !picked.contains(&exclude))
+                + picked.iter().filter(|p| self.is_active(**p)).count();
+        let available = self.active_count.saturating_sub(excluded_active);
         let target = count.min(available);
-        let mut picked = Vec::with_capacity(target);
         if target == 0 {
-            return picked;
+            return;
         }
         // Rejection sampling: cheap because fanout << n in all experiments.
         // Falls back to a full scan if the active fraction is tiny.
         let n = self.active.len();
         let mut attempts = 0usize;
         let max_attempts = 50 * count.max(1) + 100;
-        while picked.len() < target && attempts < max_attempts {
+        while picked.len() - already < target && attempts < max_attempts {
             attempts += 1;
             let candidate = NodeId::new(rng.gen_range(0..n as u32));
             if candidate == exclude || !self.is_active(candidate) || picked.contains(&candidate) {
@@ -108,21 +128,20 @@ impl Directory {
             }
             picked.push(candidate);
         }
-        if picked.len() < target {
+        if picked.len() - already < target {
             // Dense fallback: enumerate remaining active nodes and fill up.
             let mut rest: Vec<NodeId> = self
                 .active_nodes()
                 .filter(|c| *c != exclude && !picked.contains(c))
                 .collect();
             // Fisher–Yates partial shuffle.
-            let need = target - picked.len();
+            let need = target - (picked.len() - already);
             for i in 0..need.min(rest.len()) {
                 let j = rng.gen_range(i..rest.len());
                 rest.swap(i, j);
                 picked.push(rest[i]);
             }
         }
-        picked
     }
 }
 
@@ -190,6 +209,34 @@ mod tests {
             );
         }
         assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn sample_into_never_duplicates_prior_picks() {
+        let dir = Directory::new(20);
+        let mut rng = derive_rng(9, 0);
+        for _ in 0..100 {
+            let mut picked = vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+            dir.sample_uniform_into(&mut rng, 10, NodeId::new(0), &mut picked);
+            assert_eq!(picked.len(), 13);
+            let unique: HashSet<_> = picked.iter().collect();
+            assert_eq!(unique.len(), 13, "prior picks must not be re-selected");
+            assert!(!picked.contains(&NodeId::new(0)));
+        }
+    }
+
+    #[test]
+    fn sample_into_with_empty_prefix_matches_sample_uniform() {
+        let mut dir = Directory::new(40);
+        dir.deactivate(NodeId::new(7));
+        let mut a = derive_rng(11, 0);
+        let mut b = derive_rng(11, 0);
+        for _ in 0..50 {
+            let direct = dir.sample_uniform(&mut a, 6, NodeId::new(2));
+            let mut appended = Vec::new();
+            dir.sample_uniform_into(&mut b, 6, NodeId::new(2), &mut appended);
+            assert_eq!(direct, appended, "draw sequences must be identical");
+        }
     }
 
     #[test]

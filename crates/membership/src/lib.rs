@@ -6,18 +6,23 @@
 //!
 //! * a [`Directory`] of the nodes currently in the system (supporting joins
 //!   and the expulsions decided by the reputation managers),
-//! * uniform partner selection over that directory (what honest nodes do), and
+//! * uniform partner selection over that directory (what honest nodes do),
 //! * the **biased** selection policies used by freeriders in Section 4.1(iii):
 //!   colluders that favour each other with probability `pm`, and the
 //!   round-robin colluder selection that the entropy check of Section 6.3.2 is
-//!   designed to defeat.
+//!   designed to defeat, and
+//! * deterministic **churn schedules** ([`ChurnSchedule`]): per-node
+//!   session/offline cycling plus catastrophic-failure and flash-crowd waves,
+//!   expanded into per-node plans by [`ChurnPlan`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod directory;
 pub mod selector;
 
+pub use churn::{ChurnPlan, ChurnSchedule, ChurnWave};
 pub use directory::Directory;
 pub use selector::{PartnerSelector, SelectionPolicy};
 

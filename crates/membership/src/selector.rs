@@ -102,19 +102,33 @@ impl PartnerSelector {
                 picked
             }
             SelectionPolicy::RoundRobinColluders { colluders } => {
-                let active: Vec<NodeId> = colluders
-                    .iter()
-                    .copied()
-                    .filter(|c| *c != me && directory.is_active(*c))
-                    .collect();
-                if active.is_empty() {
-                    return directory.sample_uniform(rng, fanout, me);
-                }
+                // The cursor walks the *full* coalition list (a stable order)
+                // and skips departed/expelled members in place. Indexing a
+                // filtered snapshot instead — as this selector once did —
+                // shifts every position when a member leaves, silently
+                // skipping or double-counting the survivors.
                 let mut picked = Vec::with_capacity(fanout);
-                for _ in 0..fanout.min(active.len()) {
-                    let idx = self.round_robin_cursor % active.len();
-                    self.round_robin_cursor += 1;
-                    picked.push(active[idx]);
+                if !colluders.is_empty() {
+                    let total = colluders.len();
+                    let mut scanned = 0;
+                    while picked.len() < fanout && scanned < total {
+                        let candidate = colluders[self.round_robin_cursor % total];
+                        self.round_robin_cursor = self.round_robin_cursor.wrapping_add(1);
+                        scanned += 1;
+                        if candidate != me
+                            && directory.is_active(candidate)
+                            && !picked.contains(&candidate)
+                        {
+                            picked.push(candidate);
+                        }
+                    }
+                }
+                // A coalition smaller than the fanout must not silently shrink
+                // the node's fanout (that alone would flag it): top up with
+                // uniformly sampled non-coalition partners, duplicates barred.
+                if picked.len() < fanout {
+                    let need = fanout - picked.len();
+                    directory.sample_uniform_into(rng, need, me, &mut picked);
                 }
                 picked
             }
@@ -190,6 +204,59 @@ mod tests {
         let second = sel.select(NodeId::new(10), 2, &dir, &mut rng);
         assert_eq!(first, vec![NodeId::new(11), NodeId::new(12)]);
         assert_eq!(second, vec![NodeId::new(13), NodeId::new(14)]);
+    }
+
+    #[test]
+    fn round_robin_cursor_survives_member_departure() {
+        // Regression: the cursor used to index a *filtered* snapshot of the
+        // coalition, so a departure shifted every position — skipping some
+        // members and double-counting others. It now walks the stable
+        // coalition list and skips inactive members in place.
+        let mut dir = Directory::new(100);
+        let coalition = coalition(&[10, 11, 12, 13, 14]);
+        let mut sel = PartnerSelector::new(SelectionPolicy::RoundRobinColluders {
+            colluders: coalition,
+        });
+        let mut rng = derive_rng(7, 0);
+        let first = sel.select(NodeId::new(10), 2, &dir, &mut rng);
+        assert_eq!(first, vec![NodeId::new(11), NodeId::new(12)]);
+        // Member 13 departs mid-cycle: the rotation resumes at 14 without
+        // re-serving 11/12 and without skipping anyone else.
+        dir.deactivate(NodeId::new(13));
+        let second = sel.select(NodeId::new(10), 1, &dir, &mut rng);
+        assert_eq!(second, vec![NodeId::new(14)]);
+        // 13 rejoins: the next full cycle serves every member exactly once.
+        dir.activate(NodeId::new(13));
+        let third = sel.select(NodeId::new(10), 4, &dir, &mut rng);
+        assert_eq!(
+            third,
+            vec![
+                NodeId::new(11),
+                NodeId::new(12),
+                NodeId::new(13),
+                NodeId::new(14)
+            ]
+        );
+    }
+
+    #[test]
+    fn round_robin_small_coalition_still_yields_full_fanout() {
+        // A coalition smaller than the fanout must not silently shrink the
+        // node's fanout: the selector tops up with distinct uniform picks.
+        let dir = Directory::new(100);
+        let mut sel = PartnerSelector::new(SelectionPolicy::RoundRobinColluders {
+            colluders: coalition(&[1, 2, 3]),
+        });
+        let mut rng = derive_rng(8, 0);
+        for _ in 0..50 {
+            let partners = sel.select(NodeId::new(1), 7, &dir, &mut rng);
+            assert_eq!(partners.len(), 7, "fanout must not silently shrink");
+            let unique: std::collections::HashSet<_> = partners.iter().collect();
+            assert_eq!(unique.len(), 7, "partners must be distinct");
+            assert!(!partners.contains(&NodeId::new(1)));
+            assert!(partners.contains(&NodeId::new(2)));
+            assert!(partners.contains(&NodeId::new(3)));
+        }
     }
 
     #[test]

@@ -147,6 +147,19 @@ impl Network {
         self.expelled[node.index()] = expelled;
     }
 
+    /// Cuts a node off the network (or reconnects it): all traffic from and
+    /// to it is dropped while cut off. Same mechanism as an expulsion, but
+    /// reversible — the churn engine uses it for departed nodes, which may
+    /// later rejoin.
+    pub fn set_cut_off(&mut self, node: NodeId, cut_off: bool) {
+        self.expelled[node.index()] = cut_off;
+    }
+
+    /// True if the node is currently cut off (departed or expelled).
+    pub fn is_cut_off(&self, node: NodeId) -> bool {
+        self.expelled[node.index()]
+    }
+
     /// True if the node has been expelled from the system.
     pub fn is_expelled(&self, node: NodeId) -> bool {
         self.expelled[node.index()]

@@ -78,8 +78,27 @@ impl ManagerState {
     /// credits the per-period compensation `b̃` (the expected wrongful blame
     /// computed from the loss rate, Equation 5).
     pub fn end_period(&mut self, compensation_per_period: f64) {
+        self.end_period_filtered(compensation_per_period, |_| true);
+    }
+
+    /// Churn-aware variant of [`end_period`](Self::end_period): only the
+    /// records for which `observed` returns true age. The runtime passes the
+    /// membership view here so a node that departed mid-stream neither accrues
+    /// observation periods nor collects compensation while offline — without
+    /// this, a freerider could launder its score simply by leaving (frozen `r`
+    /// with per-period credit would drift the normalized score of Equation 6
+    /// toward zero).
+    pub fn end_period_filtered(
+        &mut self,
+        compensation_per_period: f64,
+        observed: impl Fn(NodeId) -> bool,
+    ) {
         let credit = compensation_per_period.max(0.0);
-        for r in self.records.iter_mut().flatten() {
+        for (idx, r) in self.records.iter_mut().enumerate() {
+            let Some(r) = r else { continue };
+            if !observed(NodeId::new(idx as u32)) {
+                continue;
+            }
             r.periods += 1;
             r.compensation += credit;
         }
@@ -229,6 +248,24 @@ mod tests {
         assert!(!m.has_expelled(young));
         // Votes are not emitted twice.
         assert!(m.expulsion_votes(-9.75, 5).is_empty());
+    }
+
+    #[test]
+    fn filtered_period_end_freezes_departed_records() {
+        let mut m = ManagerState::new();
+        let online = NodeId::new(1);
+        let departed = NodeId::new(2);
+        m.register(online);
+        m.register(departed);
+        for _ in 0..10 {
+            m.end_period_filtered(5.0, |n| n == online);
+        }
+        assert_eq!(m.record(online).unwrap().periods, 10);
+        assert_eq!(m.record(departed).unwrap().periods, 0);
+        assert_eq!(m.record(departed).unwrap().compensation, 0.0);
+        // The unfiltered variant behaves exactly like an always-true filter.
+        m.end_period(5.0);
+        assert_eq!(m.record(departed).unwrap().periods, 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use lifting_analysis::entropy::calibrate_gamma;
 use lifting_analysis::ProtocolParams;
 use lifting_core::Auditor;
 use lifting_gossip::StreamSource;
-use lifting_membership::Directory;
+use lifting_membership::{ChurnPlan, Directory};
 use lifting_net::{Network, NodeCapability};
 use lifting_reputation::ManagerAssignment;
 use lifting_sim::{derive_rng, NodeId, SimDuration, SimTime};
@@ -22,9 +22,30 @@ use crate::layers::{
     Adversary, AuditCoordinator, BlameSpammer, Colluder, Freerider, Honest, NodeStack,
     OnOffFreerider,
 };
-use crate::message::Event;
+use crate::message::{Event, CHURN_EPOCH_ANY};
 use crate::scenario::{AdversaryScenario, ScenarioConfig};
-use crate::world::SystemWorld;
+use crate::world::{ChurnRuntime, SystemWorld};
+
+/// Deterministic RNG stream indices of the churn engine. The plan stream is
+/// consumed independently by [`build_world`] and [`initial_events`] (both
+/// expand the same schedule to the identical plan); the schedule stream
+/// drives the first-departure draws; the world stream feeds the live
+/// session/offline draws as the run progresses.
+const CHURN_PLAN_STREAM: u64 = 5;
+const CHURN_SCHEDULE_STREAM: u64 = 6;
+const CHURN_WORLD_STREAM: u64 = 7;
+
+/// Expands the scenario's churn schedule into its per-node plan, identically
+/// wherever it is called from (the draw order is fixed by the plan stream).
+pub(crate) fn churn_plan(config: &ScenarioConfig) -> Option<ChurnPlan> {
+    config.churn.as_ref().map(|schedule| {
+        ChurnPlan::generate(
+            schedule,
+            config.nodes,
+            &mut derive_rng(config.seed, CHURN_PLAN_STREAM),
+        )
+    })
+}
 
 /// The adversary node `index` plays under `config`.
 ///
@@ -168,6 +189,29 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
 
     let source = StreamSource::new(config.stream_rate_bps, config.chunk_size);
 
+    // Membership dynamics: flash-crowd members are held offline from the
+    // start (the directory is the single source of truth for activity, and
+    // the network drops traffic of cut-off nodes); the per-node plan and the
+    // live RNG stream move into the world, which executes the schedule.
+    let mut directory = directory;
+    let mut initial_sessions = 0u64;
+    let churn = churn_plan(&config).map(|plan| {
+        for i in 1..n {
+            if plan.starts_offline[i] {
+                let node = NodeId::new(i as u32);
+                directory.deactivate(node);
+                network.set_cut_off(node, true);
+            }
+        }
+        // Every non-source node that starts online opens a session; rejoins
+        // add to the count as the run progresses.
+        initial_sessions = directory.active_count() as u64 - 1;
+        ChurnRuntime {
+            churners: plan.churners,
+            rng: derive_rng(seed, CHURN_WORLD_STREAM),
+        }
+    });
+
     SystemWorld {
         directory,
         network,
@@ -177,18 +221,27 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
         source,
         emitted_chunks: Vec::new(),
         compensation_per_period,
-        expulsion_votes: vec![0; n],
+        expulsion_voters: vec![Vec::new(); n],
         expelled: vec![false; n],
+        tick_epochs: vec![0; n],
+        churn,
+        churn_departures: 0,
+        churn_rejoins: 0,
+        churn_sessions: initial_sessions,
+        audits_aborted_by_departure: 0,
+        coalition,
         rng: derive_rng(seed, 3),
         scratch_downcalls: Vec::new(),
         scratch_nodes: Vec::new(),
+        scratch_votes: Vec::new(),
         config,
     }
 }
 
 /// The initial events of a run under `config`: the first source emission,
-/// staggered gossip ticks, staggered audit ticks (when enabled) and the
-/// first period end.
+/// staggered gossip ticks, staggered audit ticks (when enabled), the first
+/// period end and — when the scenario churns — the membership transitions of
+/// the schedule (first departures, flash-crowd joins, the catastrophe wave).
 pub fn initial_events(config: &ScenarioConfig) -> Vec<(SimTime, Event)> {
     let mut events = vec![(SimTime::ZERO, Event::SourceEmit)];
     let period = config.gossip.gossip_period;
@@ -201,6 +254,7 @@ pub fn initial_events(config: &ScenarioConfig) -> Vec<(SimTime, Event)> {
             SimTime::ZERO + offset,
             Event::GossipTick {
                 node: NodeId::new(i as u32),
+                epoch: 0,
             },
         ));
         if config.audits_enabled && i != 0 {
@@ -210,11 +264,52 @@ pub fn initial_events(config: &ScenarioConfig) -> Vec<(SimTime, Event)> {
                 SimTime::ZERO + config.audit_interval + audit_offset,
                 Event::AuditTick {
                     auditor: NodeId::new(i as u32),
+                    epoch: 0,
                 },
             ));
         }
     }
     events.push((SimTime::ZERO + period, Event::PeriodEnd));
+    if let (Some(schedule), Some(plan)) = (&config.churn, churn_plan(config)) {
+        let mut schedule_rng = derive_rng(config.seed, CHURN_SCHEDULE_STREAM);
+        for i in 1..n {
+            let node = NodeId::new(i as u32);
+            if plan.starts_offline[i] {
+                // Flash-crowd member: held offline by the builder, joins at
+                // the wave instant (its steady churn, if any, starts there).
+                let wave = schedule.flash_crowd.expect("plan implies a wave");
+                events.push((
+                    SimTime::ZERO + wave.at,
+                    Event::Churn {
+                        node,
+                        up: true,
+                        epoch: CHURN_EPOCH_ANY,
+                    },
+                ));
+            } else if plan.churners[i] {
+                let at = schedule.warmup + schedule.session_length(&mut schedule_rng);
+                events.push((
+                    SimTime::ZERO + at,
+                    Event::Churn {
+                        node,
+                        up: false,
+                        epoch: 0,
+                    },
+                ));
+            }
+            if plan.catastrophe_members[i] {
+                let wave = schedule.catastrophe.expect("plan implies a wave");
+                events.push((
+                    SimTime::ZERO + wave.at,
+                    Event::Churn {
+                        node,
+                        up: false,
+                        epoch: CHURN_EPOCH_ANY,
+                    },
+                ));
+            }
+        }
+    }
     events
 }
 

@@ -5,9 +5,18 @@
 //! polls *other* nodes (the witnesses) to cross-check it. The
 //! [`AuditCoordinator`] therefore operates over the whole stack array and
 //! the network, and hands the runtime a typed [`AuditOutcome`] to apply.
+//!
+//! The membership directory gates every witness poll: an expelled or
+//! departed node is never contacted (it would be handed a witness slot
+//! otherwise — the invariant `runtime/tests/churn_invariants.rs` pins), and
+//! a negative verdict that relied on such a missing witness is downgraded to
+//! [`AuditOutcome::Aborted`] — the silence of a node that left is
+//! indistinguishable from misbehaviour, so the audit times out rather than
+//! wedging the cross-check into a wrongful blame or expulsion.
 
 use lifting_core::{AuditOracle, AuditVerdict, Auditor, Blame, BlameReason, VerificationMessage};
 use lifting_gossip::ChunkId;
+use lifting_membership::Directory;
 use lifting_net::{Network, TrafficCategory};
 use lifting_sim::{NodeId, SimTime};
 
@@ -22,6 +31,11 @@ pub enum AuditOutcome {
     Blame(Blame),
     /// Entropy or phase-count checks failed hard: expel the target.
     Expel,
+    /// A witness named in the history departed before it could be polled and
+    /// the remaining evidence pointed at a negative verdict: the audit is
+    /// abandoned without consequence (it would otherwise convert churn into
+    /// blame). Counted per run as `audits_aborted_by_departure`.
+    Aborted,
 }
 
 /// Runs a-posteriori audits over the node stacks.
@@ -43,12 +57,14 @@ impl AuditCoordinator {
 
     /// Audits `target` on behalf of `auditor`: transfers the history over the
     /// network (accounted as audit traffic), polls the witnesses through the
-    /// live node states, runs the entropy and cross-checks, and returns the
+    /// live node states — skipping any witness the `directory` no longer
+    /// lists as active — runs the entropy and cross-checks, and returns the
     /// outcome for the runtime to apply.
     pub fn audit(
         &self,
         stacks: &[NodeStack],
         network: &mut Network,
+        directory: &Directory,
         auditor: NodeId,
         target: NodeId,
         now: SimTime,
@@ -73,19 +89,22 @@ impl AuditCoordinator {
         );
 
         // Poll the witnesses through the real node states, accounting traffic.
-        let report = {
+        let (report, missing_witness) = {
             let mut oracle = StackAuditOracle {
                 stacks,
                 network,
+                directory,
                 auditor,
                 now,
+                missing_witness: false,
             };
-            self.auditor.audit(history, &mut oracle)
+            let report = self.auditor.audit(history, &mut oracle);
+            (report, oracle.missing_witness)
         };
 
         if std::env::var_os("LIFTING_AUDIT_DEBUG").is_some() {
             eprintln!(
-                "audit of {target}: fanout H={:.2}/thr {:.2} ({} entries), fanin H={:?}/thr {:?}, unconfirmed={}, phases {}/{}, verdict {:?}",
+                "audit of {target}: fanout H={:.2}/thr {:.2} ({} entries), fanin H={:?}/thr {:?}, unconfirmed={}, phases {}/{}, verdict {:?}, missing witness {missing_witness}",
                 report.fanout_entropy,
                 report.applied_fanout_threshold,
                 history.fanout_multiset().len(),
@@ -98,6 +117,11 @@ impl AuditCoordinator {
             );
         }
         match report.verdict {
+            // Missing witnesses weaken the evidence (unconfirmed pushes, a
+            // thinner fanin multiset): give the target the benefit of the
+            // doubt rather than converting someone else's departure into a
+            // blame or an expulsion. A clean pass stands either way.
+            AuditVerdict::Expel | AuditVerdict::Blamed if missing_witness => AuditOutcome::Aborted,
             AuditVerdict::Expel => AuditOutcome::Expel,
             AuditVerdict::Blamed => AuditOutcome::Blame(Blame::new(
                 target,
@@ -110,16 +134,23 @@ impl AuditCoordinator {
 }
 
 /// Audit oracle backed by the live node stacks; every poll is accounted as
-/// audit traffic (TCP under the paper's transport policy).
+/// audit traffic (TCP under the paper's transport policy). Inactive witnesses
+/// are never contacted: no traffic, no answer, `missing_witness` raised.
 struct StackAuditOracle<'a> {
     stacks: &'a [NodeStack],
     network: &'a mut Network,
+    directory: &'a Directory,
     auditor: NodeId,
     now: SimTime,
+    missing_witness: bool,
 }
 
 impl AuditOracle for StackAuditOracle<'_> {
     fn confirm_proposal(&mut self, witness: NodeId, subject: NodeId, chunks: &[ChunkId]) -> bool {
+        if !self.directory.is_active(witness) {
+            self.missing_witness = true;
+            return false;
+        }
         self.network.send(
             self.now,
             self.auditor,
@@ -136,6 +167,10 @@ impl AuditOracle for StackAuditOracle<'_> {
     }
 
     fn confirm_askers(&mut self, witness: NodeId, subject: NodeId) -> Vec<NodeId> {
+        if !self.directory.is_active(witness) {
+            self.missing_witness = true;
+            return Vec::new();
+        }
         self.network
             .send(self.now, self.auditor, witness, 32, TrafficCategory::Audit);
         let askers = self.stacks[witness.index()]

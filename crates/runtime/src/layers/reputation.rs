@@ -34,6 +34,18 @@ impl ReputationLayer {
         self.manager.end_period(compensation_per_period);
     }
 
+    /// Churn-aware period end: only the managed nodes for which `observed`
+    /// returns true age (departed nodes' scores freeze while they are
+    /// offline; see [`lifting_reputation::ManagerState::end_period_filtered`]).
+    pub fn end_period_filtered(
+        &mut self,
+        compensation_per_period: f64,
+        observed: impl Fn(NodeId) -> bool,
+    ) {
+        self.manager
+            .end_period_filtered(compensation_per_period, observed);
+    }
+
     /// Nodes newly voted for expulsion at the current scores (Equation 6).
     pub fn expulsion_votes(&mut self, eta: f64, min_periods: u64) -> Vec<NodeId> {
         self.manager.expulsion_votes(eta, min_periods)

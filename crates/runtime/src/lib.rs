@@ -38,7 +38,7 @@ pub mod world;
 
 pub use layers::{Adversary, NodeStack};
 pub use message::{Event, Message};
-pub use metrics::{LayerTraffic, NodeOutcome, RunOutcome, ScoreSnapshot, StackLayer};
+pub use metrics::{ChurnStats, LayerTraffic, NodeOutcome, RunOutcome, ScoreSnapshot, StackLayer};
 pub use registry::{
     fig14_scenario_name, table03_scenario_name, table05_scenario_name, Scale, ScenarioRegistry,
     FIG14_PDCCS, TABLE03_PDCCS, TABLE05_PDCCS, TABLE05_STREAM_KBPS,
@@ -47,5 +47,8 @@ pub use runner::{
     build_engine, run_jobs_parallel, run_scenario, run_scenario_with_snapshots,
     run_scenarios_parallel, run_scenarios_parallel_with_snapshots,
 };
-pub use scenario::{AdversaryScenario, CollusionScenario, FreeriderScenario, ScenarioConfig};
+pub use scenario::{
+    AdversaryScenario, ChurnSchedule, ChurnWave, CollusionScenario, FreeriderScenario,
+    ScenarioConfig,
+};
 pub use world::SystemWorld;

@@ -39,6 +39,13 @@ impl Message {
 }
 
 /// A simulation event.
+///
+/// Per-node recurring events (gossip ticks, audit ticks, verifier timers)
+/// carry the node's **session epoch**: churn tears a node's stack down and
+/// rebuilds it on rejoin, bumping the epoch, so events scheduled for an
+/// earlier session are dropped instead of double-driving the rebuilt stack
+/// (or colliding with the fresh verifier's reissued timer tokens). In a
+/// static population every epoch is 0 and the field is inert.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// The broadcast source emits its next chunk.
@@ -47,6 +54,8 @@ pub enum Event {
     GossipTick {
         /// The node whose gossip period elapsed.
         node: NodeId,
+        /// The node's session epoch when the tick was scheduled.
+        epoch: u32,
     },
     /// A message reaches its destination.
     Deliver {
@@ -63,6 +72,8 @@ pub enum Event {
         node: NodeId,
         /// The timer.
         timer: VerifierTimer,
+        /// The node's session epoch when the timer was armed.
+        epoch: u32,
     },
     /// End of a global gossip period: managers apply compensation and check
     /// expulsion thresholds.
@@ -71,8 +82,29 @@ pub enum Event {
     AuditTick {
         /// The auditing node.
         auditor: NodeId,
+        /// The auditor's session epoch when the tick was scheduled.
+        epoch: u32,
+    },
+    /// A churn transition: the node departs (`up = false`) or (re)joins
+    /// (`up = true`). Emitted by the [`crate::scenario::ScenarioConfig`]'s
+    /// churn schedule through the regular event queue.
+    Churn {
+        /// The node changing membership state.
+        node: NodeId,
+        /// True for a join/rejoin, false for a departure.
+        up: bool,
+        /// For a session-end departure: the node's session epoch when the
+        /// departure was drawn, so a departure outlived by a wave-induced
+        /// depart/rejoin cycle is dropped instead of spawning a second churn
+        /// chain. Wave transitions and rejoins use [`CHURN_EPOCH_ANY`]
+        /// (joins are idempotent, waves apply to whatever session is live).
+        epoch: u32,
     },
 }
+
+/// Epoch wildcard for [`Event::Churn`]: the transition applies regardless of
+/// the node's current session epoch.
+pub const CHURN_EPOCH_ANY: u32 = u32::MAX;
 
 #[cfg(test)]
 mod tests {

@@ -157,6 +157,24 @@ impl ScoreSnapshot {
     }
 }
 
+/// Membership dynamics observed during one run. All counters are zero for a
+/// static population (`ScenarioConfig::churn = None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChurnStats {
+    /// Online sessions begun: nodes that started online plus every rejoin.
+    pub sessions: u64,
+    /// Departures executed (steady churn plus catastrophe-wave crashes).
+    pub departures: u64,
+    /// Rejoins executed (steady churn plus the flash-crowd wave).
+    pub rejoins: u64,
+    /// Audits abandoned because a witness named in the audited history had
+    /// departed before it could be polled (see
+    /// [`crate::layers::AuditOutcome::Aborted`]).
+    pub audits_aborted_by_departure: u64,
+    /// Nodes offline (departed, not expelled) when the run ended.
+    pub offline_at_end: usize,
+}
+
 /// Everything measured during one run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunOutcome {
@@ -176,6 +194,8 @@ pub struct RunOutcome {
     pub stream_health: StreamHealth,
     /// Number of nodes expelled during the run.
     pub expelled_count: usize,
+    /// Membership dynamics (sessions, rejoins, aborted audits).
+    pub churn: ChurnStats,
     /// Simulated duration of the run.
     pub duration: SimDuration,
 }

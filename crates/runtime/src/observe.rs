@@ -7,7 +7,7 @@
 use lifting_gossip::{Chunk, StreamHealth};
 use lifting_sim::{NodeId, SimDuration, SimTime};
 
-use crate::metrics::{layer_breakdown, NodeOutcome, RunOutcome, ScoreSnapshot};
+use crate::metrics::{layer_breakdown, ChurnStats, NodeOutcome, RunOutcome, ScoreSnapshot};
 use crate::world::SystemWorld;
 
 impl SystemWorld {
@@ -63,6 +63,18 @@ impl SystemWorld {
         )
     }
 
+    /// Membership dynamics observed so far (all zero in a static population).
+    pub fn churn_stats(&self) -> ChurnStats {
+        let expelled = self.expelled_count();
+        ChurnStats {
+            sessions: self.churn_sessions,
+            departures: self.churn_departures,
+            rejoins: self.churn_rejoins,
+            audits_aborted_by_departure: self.audits_aborted_by_departure,
+            offline_at_end: self.directory.len() - self.directory.active_count() - expelled,
+        }
+    }
+
     /// Assembles the final outcome of a run.
     pub fn run_outcome(
         &self,
@@ -79,6 +91,7 @@ impl SystemWorld {
             emitted_chunks: self.emitted_chunks.clone(),
             stream_health: self.stream_health(now, lags, SimDuration::from_secs(10)),
             expelled_count: self.expelled_count(),
+            churn: self.churn_stats(),
             duration: now.saturating_since(SimTime::ZERO),
         }
     }

@@ -13,7 +13,7 @@ use lifting_gossip::FreeriderConfig;
 use lifting_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
-use crate::scenario::{AdversaryScenario, ScenarioConfig};
+use crate::scenario::{AdversaryScenario, ChurnSchedule, ChurnWave, ScenarioConfig};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -341,6 +341,112 @@ fn register_builtin(registry: &mut ScenarioRegistry) {
     );
 
     // ------------------------------------------------------------------
+    // Churn: dynamic membership under the PlanetLab deployment. The paper's
+    // evaluation runs on PlanetLab, where nodes join, crash and rejoin
+    // mid-stream; these scenarios exercise blame propagation, audit
+    // timeouts and score-based expulsion under that dynamism.
+    // ------------------------------------------------------------------
+    let planetlab_churn = |nodes_paper: usize, duration: (u64, u64), freeriders: f64| {
+        move |scale: Scale, seed: u64| {
+            let mut config = ScenarioConfig::planetlab_baseline(seed);
+            config.nodes = scale.pick(nodes_paper, 80);
+            shrink_below_planetlab(&mut config);
+            if freeriders > 0.0 {
+                config = config.with_planetlab_freeriders(freeriders);
+            }
+            config.duration = scale.secs(duration.0, duration.1);
+            config
+        }
+    };
+    registry.register(
+        "churn/steady-slow",
+        "Steady churn, honest population: 25% of the nodes cycle 12s-mean sessions with 3s offline spells",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_churn(300, (40, 20), 0.0)(scale, seed);
+            config.churn = Some(ChurnSchedule::steady(
+                0.25,
+                SimDuration::from_secs(12),
+                SimDuration::from_secs(3),
+                SimDuration::from_secs(3),
+            ));
+            config
+        },
+    );
+    registry.register(
+        "churn/steady-fast",
+        "Aggressive churn with 10% freeriders and audits on: 40% of the nodes cycle 5s-mean sessions with 2s offline spells",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_churn(300, (40, 20), 0.1)(scale, seed);
+            config.churn = Some(ChurnSchedule::steady(
+                0.4,
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(2),
+            ));
+            // A-posteriori audits run here so the departed-witness timeout
+            // path (audits aborted, not wedged into wrongful blame) is
+            // exercised at system scale.
+            config.audits_enabled = true;
+            config.audit_interval = SimDuration::from_secs(4);
+            config
+        },
+    );
+    registry.register(
+        "churn/catastrophe",
+        "Catastrophic failure: 30% of the nodes (10% freeriders present) crash at mid-run and never return",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_churn(300, (40, 20), 0.1)(scale, seed);
+            let mut schedule = ChurnSchedule::steady(
+                0.0,
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(3),
+                SimDuration::ZERO,
+            );
+            schedule.catastrophe = Some(ChurnWave {
+                at: SimDuration::from_micros(config.duration.as_micros() / 2),
+                fraction: 0.3,
+            });
+            config.churn = Some(schedule);
+            config
+        },
+    );
+    registry.register(
+        "churn/flash-crowd",
+        "Flash crowd: 30% of the nodes start offline and all join a quarter into the stream",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_churn(300, (40, 20), 0.0)(scale, seed);
+            let mut schedule = ChurnSchedule::steady(
+                0.0,
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(3),
+                SimDuration::ZERO,
+            );
+            schedule.flash_crowd = Some(ChurnWave {
+                at: SimDuration::from_micros(config.duration.as_micros() / 4),
+                fraction: 0.3,
+            });
+            config.churn = Some(schedule);
+            config
+        },
+    );
+    registry.register(
+        "churn/freeriders",
+        "Churn x freeriders with audits on: 20% freeriders while 35% of the nodes cycle 8s-mean sessions",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_churn(300, (40, 20), 0.2)(scale, seed);
+            config.churn = Some(ChurnSchedule::steady(
+                0.35,
+                SimDuration::from_secs(8),
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(2),
+            ));
+            config.audits_enabled = true;
+            config.audit_interval = SimDuration::from_secs(5);
+            config
+        },
+    );
+
+    // ------------------------------------------------------------------
     // A small smoke scenario for tests and quick sanity checks.
     // ------------------------------------------------------------------
     registry.register(
@@ -377,12 +483,17 @@ mod tests {
             "headline/planetlab",
             "adversary/on-off-freeriders",
             "adversary/blame-spam",
+            "churn/steady-slow",
+            "churn/steady-fast",
+            "churn/catastrophe",
+            "churn/flash-crowd",
+            "churn/freeriders",
             "smoke/small",
         ] {
             assert!(registry.contains(name), "missing scenario {name}");
             assert!(registry.description(name).is_some());
         }
-        assert_eq!(registry.len(), 22);
+        assert_eq!(registry.len(), 27);
     }
 
     #[test]

@@ -6,6 +6,8 @@ use lifting_net::NetworkConfig;
 use lifting_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
+pub use lifting_membership::{ChurnSchedule, ChurnWave};
+
 /// Freerider population and behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FreeriderScenario {
@@ -129,6 +131,10 @@ pub struct ScenarioConfig {
     /// The adversary the misbehaving population plays (see
     /// [`AdversaryScenario`]); `Baseline` reproduces the paper's wiring.
     pub adversary: AdversaryScenario,
+    /// Membership dynamics: steady session/offline churn plus optional
+    /// catastrophic-failure and flash-crowd waves. `None` keeps the
+    /// population static (the paper's controlled experiments).
+    pub churn: Option<ChurnSchedule>,
     /// Fraction of honest nodes with poor connectivity (low uplink and extra
     /// loss) — the paper attributes most false positives to such nodes.
     pub poor_node_fraction: f64,
@@ -163,6 +169,7 @@ impl ScenarioConfig {
             freeriders: None,
             collusion: CollusionScenario::none(),
             adversary: AdversaryScenario::Baseline,
+            churn: None,
             poor_node_fraction: 0.1,
             default_upload_bps: Some(5_000_000),
             poor_upload_bps: 800_000,
@@ -205,6 +212,7 @@ impl ScenarioConfig {
             freeriders: None,
             collusion: CollusionScenario::none(),
             adversary: AdversaryScenario::Baseline,
+            churn: None,
             poor_node_fraction: 0.0,
             default_upload_bps: None,
             poor_upload_bps: 500_000,
@@ -260,6 +268,20 @@ impl ScenarioConfig {
         );
         assert!(!self.duration.is_zero(), "duration must be positive");
         self.adversary.validate();
+        if let Some(churn) = &self.churn {
+            churn.validate();
+            // Waves must leave enough of the population standing for gossip
+            // to mean anything (and for the validate() invariants above).
+            let wave_max = [churn.catastrophe, churn.flash_crowd]
+                .into_iter()
+                .flatten()
+                .map(|w| w.fraction)
+                .fold(0.0f64, f64::max);
+            assert!(
+                wave_max <= 0.9,
+                "a churn wave may cover at most 90% of the population"
+            );
+        }
         if !matches!(self.adversary, AdversaryScenario::Baseline) {
             assert!(
                 self.freerider_count() > 0,

@@ -1,19 +1,28 @@
 //! The simulated system: the node stacks, the network, the audit plane and
-//! the world-level glue (event dispatch, blame routing, expulsions).
+//! the world-level glue (event dispatch, blame routing, expulsions, churn).
 //!
 //! All node-local protocol logic lives in [`crate::layers`]; the world only
 //! routes events into the right [`NodeStack`], executes the [`Downcall`]s the
-//! stacks emit, coordinates cross-node concerns (audits, expulsion quorums)
-//! and reads out the metrics.
+//! stacks emit, coordinates cross-node concerns (audits, expulsion quorums,
+//! membership transitions) and reads out the metrics.
+//!
+//! **Membership invariant**: the [`Directory`] is the single source of truth
+//! for who participates. Every selection site — gossip partners, audit
+//! targets, audit witnesses — samples from the directory's active set, every
+//! event dispatch gates on it, and the network cuts inactive nodes off, so an
+//! expelled or departed node can never be handed a partner or witness slot
+//! nor receive traffic. `expelled` only records *why* a node is inactive
+//! (expulsion is permanent; departure is reversible).
 
 use lifting_core::Blame;
 use lifting_gossip::{Chunk, StreamSource};
 use lifting_membership::Directory;
 use lifting_net::Network;
 use lifting_reputation::ManagerAssignment;
-use lifting_sim::{Context, InlineVec, NodeId, SimTime, World};
+use lifting_sim::{derive_rng, Context, InlineVec, NodeId, SimTime, World};
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::sync::Arc;
 
 use lifting_core::VerificationMessage;
 
@@ -21,6 +30,16 @@ use crate::builder;
 use crate::layers::{AuditCoordinator, AuditOutcome, Downcall, NodeStack};
 use crate::message::{Event, Message};
 use crate::scenario::ScenarioConfig;
+
+/// Live churn state: which nodes cycle on/off and the RNG stream feeding the
+/// session/offline duration draws as the run progresses.
+pub(crate) struct ChurnRuntime {
+    /// Per node: subject to steady session/offline cycling.
+    pub(crate) churners: Vec<bool>,
+    /// The world's churn draw stream (separate from the protocol RNGs so a
+    /// static-population run consumes exactly the streams it always did).
+    pub(crate) rng: SmallRng,
+}
 
 /// The whole simulated system.
 pub struct SystemWorld {
@@ -33,14 +52,36 @@ pub struct SystemWorld {
     pub(crate) source: StreamSource,
     pub(crate) emitted_chunks: Vec<Chunk>,
     pub(crate) compensation_per_period: f64,
-    pub(crate) expulsion_votes: Vec<usize>,
+    /// Per target: the distinct managers that have voted to expel it. A set
+    /// of voters, not a bare counter: a manager whose stack was rebuilt
+    /// after a rejoin starts from a blank book and may re-derive the same
+    /// vote, which must not count twice toward the quorum.
+    pub(crate) expulsion_voters: Vec<Vec<NodeId>>,
     pub(crate) expelled: Vec<bool>,
+    /// Per-node session epoch: bumped when churn rebuilds the node's stack,
+    /// so events scheduled for an earlier session are dropped (see
+    /// [`Event`]).
+    pub(crate) tick_epochs: Vec<u32>,
+    /// Live churn state (`None` for a static population).
+    pub(crate) churn: Option<ChurnRuntime>,
+    pub(crate) churn_departures: u64,
+    pub(crate) churn_rejoins: u64,
+    /// Online sessions begun (nodes that started online plus every rejoin).
+    pub(crate) churn_sessions: u64,
+    /// Audits whose negative verdict was discarded because a witness named in
+    /// the audited history had departed (benefit of the doubt: absence of a
+    /// confirmation is indistinguishable from churn).
+    pub(crate) audits_aborted_by_departure: u64,
+    /// The freerider coalition (kept for stack rebuilds after a rejoin).
+    pub(crate) coalition: Arc<Vec<NodeId>>,
     pub(crate) rng: SmallRng,
     /// Recycled scratch buffer for stack downcalls (allocation-free loop).
     pub(crate) scratch_downcalls: Vec<Downcall>,
     /// Recycled scratch for audit-target candidates and expulsion votes, so
     /// the periodic events allocate nothing at steady state either.
     pub(crate) scratch_nodes: Vec<NodeId>,
+    /// Recycled scratch for per-period `(manager, target)` expulsion votes.
+    pub(crate) scratch_votes: Vec<(NodeId, NodeId)>,
 }
 
 impl SystemWorld {
@@ -74,6 +115,12 @@ impl SystemWorld {
         &self.stacks
     }
 
+    /// The membership directory — the single source of truth for which nodes
+    /// currently participate (neither expelled nor departed).
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
     /// Number of nodes expelled so far.
     pub fn expelled_count(&self) -> usize {
         self.expelled.iter().filter(|e| **e).count()
@@ -82,6 +129,24 @@ impl SystemWorld {
     /// True if `node` has been expelled.
     pub fn is_expelled(&self, node: NodeId) -> bool {
         self.expelled[node.index()]
+    }
+
+    /// True if `node` is offline due to churn (departed but not expelled).
+    pub fn is_departed(&self, node: NodeId) -> bool {
+        !self.directory.is_active(node) && !self.expelled[node.index()]
+    }
+
+    /// Forcibly removes `node` from the system mid-run, as a churn departure
+    /// would (deactivated in the directory, cut off the network, stack left
+    /// to be torn down on a later rejoin). Exposed for fault injection
+    /// between engine segments and for invariant tests.
+    pub fn force_depart(&mut self, node: NodeId) {
+        if node == NodeId::new(0) || !self.directory.is_active(node) {
+            return;
+        }
+        self.directory.deactivate(node);
+        self.network.set_cut_off(node, true);
+        self.churn_departures += 1;
     }
 
     /// Schedules the initial events of a run.
@@ -119,11 +184,12 @@ impl SystemWorld {
         now: SimTime,
         ctx: &mut Context<Event>,
     ) {
+        let epoch = self.tick_epochs[node.index()];
         for downcall in downcalls.drain(..) {
             match downcall {
                 Downcall::Send { to, message } => self.send(now, node, to, message, ctx),
                 Downcall::StartTimer { timer, deadline } => {
-                    ctx.schedule_at(deadline, Event::Timer { node, timer });
+                    ctx.schedule_at(deadline, Event::Timer { node, timer, epoch });
                 }
                 Downcall::Blame(blame) => self.route_blame(node, blame, now, ctx),
             }
@@ -158,6 +224,123 @@ impl SystemWorld {
         self.directory.deactivate(node);
     }
 
+    /// Tears the node's protocol stack down and rebuilds it from scratch, as
+    /// a crash-rejoin does: empty chunk store, fresh verification history,
+    /// blank manager book (re-registered below) and a new session RNG stream.
+    fn rebuild_stack(&mut self, node: NodeId) {
+        let i = node.index();
+        let session = self.tick_epochs[i] as u64;
+        // A distinct, collision-free stream per (node, session): sessions ≥ 1
+        // land past the builder's `1000 + i` block.
+        let rng = derive_rng(self.config.seed, 1_000_000 + i as u64 + session * 1_000_003);
+        let mut stack = NodeStack::new(
+            node,
+            self.config.gossip,
+            self.config.lifting,
+            self.config.lifting_enabled,
+            builder::adversary_for(&self.config, i, &self.coalition),
+            rng,
+        );
+        // A crash loses the manager book; re-register this manager's charges
+        // (their records restart — the other replicas of the min-vote still
+        // hold the accumulated scores).
+        for j in 1..self.config.nodes {
+            let id = NodeId::new(j as u32);
+            if self.assignment.managers_of(id).contains(&node) {
+                stack.reputation.register(id);
+            }
+        }
+        self.stacks[i] = stack;
+    }
+
+    /// Executes one membership transition of the churn schedule.
+    fn handle_churn(
+        &mut self,
+        node: NodeId,
+        up: bool,
+        epoch: u32,
+        now: SimTime,
+        ctx: &mut Context<Event>,
+    ) {
+        if node == NodeId::new(0) {
+            return; // the broadcast source never churns
+        }
+        if !up
+            && epoch != crate::message::CHURN_EPOCH_ANY
+            && epoch != self.tick_epochs[node.index()]
+        {
+            // A session-end departure from a previous session: a wave already
+            // took this node down and a rejoin opened a new session in the
+            // meantime. Firing it would fork a second departure/rejoin chain.
+            return;
+        }
+        if up {
+            if self.expelled[node.index()] || self.directory.is_active(node) {
+                return; // expulsion is permanent; double joins are no-ops
+            }
+            self.directory.activate(node);
+            self.network.set_cut_off(node, false);
+            self.tick_epochs[node.index()] += 1;
+            self.rebuild_stack(node);
+            self.churn_rejoins += 1;
+            self.churn_sessions += 1;
+            let epoch = self.tick_epochs[node.index()];
+            ctx.schedule_at(now, Event::GossipTick { node, epoch });
+            if self.config.audits_enabled {
+                ctx.schedule_after(
+                    self.config.audit_interval,
+                    Event::AuditTick {
+                        auditor: node,
+                        epoch,
+                    },
+                );
+            }
+            if let Some(churn) = &mut self.churn {
+                if churn.churners[node.index()] {
+                    let schedule = self
+                        .config
+                        .churn
+                        .as_ref()
+                        .expect("churn runtime has config");
+                    let session = schedule.session_length(&mut churn.rng);
+                    ctx.schedule_after(
+                        session,
+                        Event::Churn {
+                            node,
+                            up: false,
+                            epoch,
+                        },
+                    );
+                }
+            }
+        } else {
+            if self.expelled[node.index()] || !self.directory.is_active(node) {
+                return; // already gone (expelled, or a wave hit a churned node)
+            }
+            self.directory.deactivate(node);
+            self.network.set_cut_off(node, true);
+            self.churn_departures += 1;
+            if let Some(churn) = &mut self.churn {
+                if churn.churners[node.index()] {
+                    let schedule = self
+                        .config
+                        .churn
+                        .as_ref()
+                        .expect("churn runtime has config");
+                    let offline = schedule.offline_length(&mut churn.rng);
+                    ctx.schedule_after(
+                        offline,
+                        Event::Churn {
+                            node,
+                            up: true,
+                            epoch: crate::message::CHURN_EPOCH_ANY,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
     fn handle_period_end(&mut self, _now: SimTime, ctx: &mut Context<Event>) {
         if std::env::var_os("LIFTING_AUDIT_DEBUG").is_some() {
             let snap = self.score_snapshot(_now);
@@ -178,34 +361,77 @@ impl SystemWorld {
         if self.lifting_on() {
             let eta = self.config.lifting.eta;
             let min_periods = self.config.lifting.min_periods_before_expulsion;
-            for stack in &mut self.stacks {
-                stack.reputation.end_period(self.compensation_per_period);
+            // Score aging is churn-aware: a departed node is not being
+            // observed, so it neither accrues periods nor collects the
+            // per-period compensation while offline (otherwise leaving would
+            // launder a bad score); departed managers' books freeze wholesale.
+            // Expelled nodes keep aging, exactly as in a static population.
+            let directory = &self.directory;
+            let expelled = &self.expelled;
+            let observed = |n: NodeId| directory.is_active(n) || expelled[n.index()];
+            for (i, stack) in self.stacks.iter_mut().enumerate() {
+                let manager = NodeId::new(i as u32);
+                if !directory.is_active(manager) && !expelled[i] {
+                    continue; // departed manager: book frozen until rejoin
+                }
+                stack
+                    .reputation
+                    .end_period_filtered(self.compensation_per_period, observed);
             }
+            // Expulsion votes, attributed per manager. Departed managers are
+            // skipped (a node that left cannot cast votes, mirroring the
+            // frozen books above), and each (manager, target) pair counts at
+            // most once toward the quorum even if the manager's rebuilt book
+            // re-derives the vote after a rejoin.
+            let mut votes = std::mem::take(&mut self.scratch_votes);
+            votes.clear();
             let mut newly_voted = std::mem::take(&mut self.scratch_nodes);
-            newly_voted.clear();
-            for stack in &mut self.stacks {
+            for (i, stack) in self.stacks.iter_mut().enumerate() {
+                let manager = NodeId::new(i as u32);
+                if !directory.is_active(manager) && !expelled[i] {
+                    continue; // departed manager: no votes while offline
+                }
+                newly_voted.clear();
                 stack
                     .reputation
                     .expulsion_votes_into(eta, min_periods, &mut newly_voted);
+                votes.extend(newly_voted.drain(..).map(|target| (manager, target)));
             }
+            self.scratch_nodes = newly_voted;
             let quorum = (self.config.lifting.expulsion_quorum
                 * self.config.lifting.managers as f64)
                 .ceil()
                 .max(1.0) as usize;
-            for target in newly_voted.drain(..) {
-                self.expulsion_votes[target.index()] += 1;
-                if self.expulsion_votes[target.index()] >= quorum {
+            for (manager, target) in votes.drain(..) {
+                let reached_quorum = {
+                    let voters = &mut self.expulsion_voters[target.index()];
+                    if voters.contains(&manager) {
+                        continue; // a rejoined manager's re-vote does not stack
+                    }
+                    voters.push(manager);
+                    voters.len() >= quorum
+                };
+                if reached_quorum {
                     self.expel(target);
                 }
             }
-            self.scratch_nodes = newly_voted;
+            self.scratch_votes = votes;
         }
         ctx.schedule_after(self.config.gossip.gossip_period, Event::PeriodEnd);
     }
 
-    fn handle_audit_tick(&mut self, auditor: NodeId, now: SimTime, ctx: &mut Context<Event>) {
-        if !self.config.audits_enabled || self.expelled[auditor.index()] {
-            return;
+    fn handle_audit_tick(
+        &mut self,
+        auditor: NodeId,
+        epoch: u32,
+        now: SimTime,
+        ctx: &mut Context<Event>,
+    ) {
+        if epoch != self.tick_epochs[auditor.index()]
+            || !self.config.audits_enabled
+            || !self.directory.is_active(auditor)
+        {
+            return; // stale session, or the auditor left: the chain dies
         }
         // Pick a random active target (never the source, never self). The
         // candidate list is staged in a recycled buffer: audit ticks fire for
@@ -219,17 +445,26 @@ impl SystemWorld {
         );
         if !candidates.is_empty() && self.lifting_on() {
             let target = candidates[self.rng.gen_range(0..candidates.len())];
-            let outcome = self
-                .audits
-                .audit(&self.stacks, &mut self.network, auditor, target, now);
+            let outcome = self.audits.audit(
+                &self.stacks,
+                &mut self.network,
+                &self.directory,
+                auditor,
+                target,
+                now,
+            );
             match outcome {
                 AuditOutcome::Expel => self.expel(target),
                 AuditOutcome::Blame(blame) => self.route_blame(auditor, blame, now, ctx),
                 AuditOutcome::Pass => {}
+                AuditOutcome::Aborted => self.audits_aborted_by_departure += 1,
             }
         }
         self.scratch_nodes = candidates;
-        ctx.schedule_after(self.config.audit_interval, Event::AuditTick { auditor });
+        ctx.schedule_after(
+            self.config.audit_interval,
+            Event::AuditTick { auditor, epoch },
+        );
     }
 }
 
@@ -244,9 +479,9 @@ impl World for SystemWorld {
                 self.stacks[0].gossip.inject_source_chunk(chunk, now);
                 ctx.schedule_at(self.source.next_emission(), Event::SourceEmit);
             }
-            Event::GossipTick { node } => {
-                if self.expelled[node.index()] {
-                    return; // expelled nodes stop participating
+            Event::GossipTick { node, epoch } => {
+                if epoch != self.tick_epochs[node.index()] || !self.directory.is_active(node) {
+                    return; // stale session, or expelled/departed: chain dies
                 }
                 let mut downcalls = std::mem::take(&mut self.scratch_downcalls);
                 self.stacks[node.index()].on_gossip_tick(
@@ -257,11 +492,14 @@ impl World for SystemWorld {
                 );
                 self.process_downcalls(node, &mut downcalls, now, ctx);
                 self.scratch_downcalls = downcalls;
-                ctx.schedule_after(self.config.gossip.gossip_period, Event::GossipTick { node });
+                ctx.schedule_after(
+                    self.config.gossip.gossip_period,
+                    Event::GossipTick { node, epoch },
+                );
             }
             Event::Deliver { from, to, message } => {
-                if self.expelled[to.index()] {
-                    return;
+                if !self.directory.is_active(to) {
+                    return; // receiver expelled or departed while in flight
                 }
                 let mut downcalls = std::mem::take(&mut self.scratch_downcalls);
                 self.stacks[to.index()].on_message(
@@ -275,8 +513,14 @@ impl World for SystemWorld {
                 self.process_downcalls(to, &mut downcalls, now, ctx);
                 self.scratch_downcalls = downcalls;
             }
-            Event::Timer { node, timer } => {
-                if self.expelled[node.index()] || !self.lifting_on() {
+            Event::Timer { node, timer, epoch } => {
+                if epoch != self.tick_epochs[node.index()]
+                    || !self.directory.is_active(node)
+                    || !self.lifting_on()
+                {
+                    // Stale timers must not fire into a rebuilt stack: the
+                    // fresh verifier reissues tokens from zero, so a previous
+                    // session's timer would collide with a live check.
                     return;
                 }
                 let mut downcalls = std::mem::take(&mut self.scratch_downcalls);
@@ -291,7 +535,8 @@ impl World for SystemWorld {
                 self.scratch_downcalls = downcalls;
             }
             Event::PeriodEnd => self.handle_period_end(now, ctx),
-            Event::AuditTick { auditor } => self.handle_audit_tick(auditor, now, ctx),
+            Event::AuditTick { auditor, epoch } => self.handle_audit_tick(auditor, epoch, now, ctx),
+            Event::Churn { node, up, epoch } => self.handle_churn(node, up, epoch, now, ctx),
         }
     }
 }
@@ -300,6 +545,7 @@ impl std::fmt::Debug for SystemWorld {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SystemWorld")
             .field("nodes", &self.stacks.len())
+            .field("active", &self.directory.active_count())
             .field("expelled", &self.expelled_count())
             .field("emitted_chunks", &self.emitted_chunks.len())
             .finish()

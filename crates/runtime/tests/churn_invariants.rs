@@ -1,0 +1,284 @@
+//! Membership invariants under churn and expulsion.
+//!
+//! The directory is the single source of truth for who participates: an
+//! expelled or departed node must never be handed a partner or witness slot,
+//! must never receive traffic, and audits that depended on a departed
+//! witness must abort instead of converting churn into blame.
+
+use lifting_core::{Auditor, LiftingConfig};
+use lifting_gossip::{ChunkId, GossipConfig, ProposeRound};
+use lifting_membership::Directory;
+use lifting_net::{Network, NetworkConfig, TrafficCategory};
+use lifting_runtime::layers::{AuditCoordinator, AuditOutcome, Honest, NodeStack};
+use lifting_runtime::{
+    build_engine, run_scenario, run_scenarios_parallel, Scale, ScenarioRegistry,
+};
+use lifting_sim::{derive_rng, NodeId, SimDuration, SimTime};
+
+fn stack(id: u32) -> NodeStack {
+    NodeStack::new(
+        NodeId::new(id),
+        GossipConfig::planetlab(),
+        LiftingConfig::planetlab(),
+        true,
+        Box::new(Honest),
+        derive_rng(1, id as u64),
+    )
+}
+
+fn audit_traffic(network: &Network) -> (u64, u64) {
+    network
+        .stats()
+        .report()
+        .per_category
+        .iter()
+        .find(|(c, _)| *c == TrafficCategory::Audit)
+        .map(|(_, counters)| (counters.messages_sent, counters.bytes_sent))
+        .unwrap_or((0, 0))
+}
+
+/// Runs one audit of node 1 (which logged proposals to witnesses 2 and 3 that
+/// the witnesses never saw) and returns the outcome plus the audit traffic.
+fn audit_with(directory: &Directory) -> (AuditOutcome, u64) {
+    let mut stacks: Vec<NodeStack> = (0..4).map(stack).collect();
+    let target = NodeId::new(1);
+    let witnesses = vec![NodeId::new(2), NodeId::new(3)];
+    // The target claims it proposed chunks to both witnesses; neither ever
+    // received them, so every push is unconfirmed and the verdict is Blamed.
+    let round = ProposeRound {
+        period: 0,
+        chunks: vec![ChunkId::new(1), ChunkId::new(2)].into(),
+        partners: witnesses,
+        by_source: vec![],
+        dropped_sources: vec![],
+    };
+    stacks[1]
+        .verification
+        .verifier
+        .on_propose_round(&round, SimTime::ZERO);
+    let mut network = Network::new(4, NetworkConfig::ideal(), derive_rng(2, 0));
+    // Mirror directory state onto the network, as the runtime does.
+    for i in 0..4u32 {
+        let node = NodeId::new(i);
+        network.set_cut_off(node, !directory.is_active(node));
+    }
+    let coordinator =
+        AuditCoordinator::new(Auditor::with_threshold(LiftingConfig::planetlab(), 7, 0.5));
+    let outcome = coordinator.audit(
+        &stacks,
+        &mut network,
+        directory,
+        NodeId::new(0),
+        target,
+        SimTime::from_secs(1),
+    );
+    let (messages, _bytes) = audit_traffic(&network);
+    (outcome, messages)
+}
+
+#[test]
+fn expelled_witness_is_never_polled_and_aborts_negative_audits() {
+    // Baseline: every witness active — the unconfirmed pushes are blamed and
+    // both witnesses are polled.
+    let directory = Directory::new(4);
+    let (outcome, messages_all) = audit_with(&directory);
+    assert!(
+        matches!(outcome, AuditOutcome::Blame(_)),
+        "unconfirmed pushes must be blamed in a static population, got {outcome:?}"
+    );
+
+    // Witness 2 is expelled (or departed): it must not be handed the witness
+    // slot — no polls reach it — and the now witness-starved negative verdict
+    // is abandoned instead of blaming the target for someone else's absence.
+    let mut directory = Directory::new(4);
+    directory.deactivate(NodeId::new(2));
+    let (outcome, messages_partial) = audit_with(&directory);
+    assert_eq!(
+        outcome,
+        AuditOutcome::Aborted,
+        "a negative audit relying on a departed witness must abort"
+    );
+    assert!(
+        messages_partial < messages_all,
+        "polls to the inactive witness must not be sent \
+         ({messages_partial} vs {messages_all} audit messages)"
+    );
+}
+
+#[test]
+fn departed_node_stops_receiving_traffic_and_partner_slots() {
+    let registry = ScenarioRegistry::builtin();
+    let mut config = registry.build("smoke/small", Scale::Quick, 42);
+    config.duration = SimDuration::from_secs(8);
+    let victim = NodeId::new(5);
+
+    let mut engine = build_engine(config);
+    engine.run_until(SimTime::from_secs(3));
+    let before = engine.world().stacks()[victim.index()]
+        .gossip
+        .node
+        .stored_chunks();
+    assert!(before > 0, "the node must participate before departing");
+
+    engine.world_mut().force_depart(victim);
+    assert!(!engine.world().directory().is_active(victim));
+    assert!(engine.world().network().is_cut_off(victim));
+
+    engine.run_until(SimTime::from_secs(8));
+    let after = engine.world().stacks()[victim.index()]
+        .gossip
+        .node
+        .stored_chunks();
+    assert_eq!(
+        before, after,
+        "a departed node must not receive a single chunk"
+    );
+    assert!(!engine.world().directory().is_active(victim));
+}
+
+#[test]
+fn steady_churn_runs_and_its_metrics_add_up() {
+    let registry = ScenarioRegistry::builtin();
+    let config = registry.build("churn/steady-fast", Scale::Quick, 7);
+    let initial_online = config.nodes as u64 - 1; // nobody starts offline here
+    let outcome = run_scenario(config);
+    let churn = outcome.churn;
+    assert!(churn.departures > 0, "steady churn must produce departures");
+    assert!(churn.rejoins > 0, "steady churn must produce rejoins");
+    assert_eq!(
+        churn.sessions,
+        initial_online + churn.rejoins,
+        "every rejoin opens a session"
+    );
+    assert!(
+        churn.offline_at_end + outcome.expelled_count
+            <= churn.departures as usize + outcome.expelled_count,
+        "offline nodes are a subset of the departed ones"
+    );
+    // The population still disseminates: most nodes see most of the stream.
+    let last = *outcome.stream_health.fraction_clear.last().unwrap();
+    assert!(last > 0.3, "stream collapsed under churn: {last}");
+}
+
+#[test]
+fn flash_crowd_joins_once_and_catastrophe_never_returns() {
+    let registry = ScenarioRegistry::builtin();
+
+    let flash = run_scenario(registry.build("churn/flash-crowd", Scale::Quick, 11));
+    assert!(flash.churn.rejoins > 0, "the flash crowd must join");
+    assert_eq!(flash.churn.departures, 0);
+    assert_eq!(
+        flash.churn.offline_at_end, 0,
+        "every flash-crowd member stays after joining"
+    );
+
+    let cat = run_scenario(registry.build("churn/catastrophe", Scale::Quick, 11));
+    assert!(cat.churn.departures > 0, "the catastrophe wave must hit");
+    assert_eq!(cat.churn.rejoins, 0, "catastrophe victims never return");
+    assert!(cat.churn.offline_at_end > 0);
+}
+
+#[test]
+fn churn_scenarios_run_parallel_eq_sequential_bit_for_bit() {
+    // Belt and braces on top of the registry-wide proptest: the churn family
+    // explicitly, full quick duration.
+    let registry = ScenarioRegistry::builtin();
+    for name in ["churn/steady-fast", "churn/freeriders"] {
+        let config = registry.build(name, Scale::Quick, 3);
+        std::env::set_var(lifting_sim::pool::WORKERS_ENV, "3");
+        let parallel = run_scenarios_parallel(vec![config.clone()]);
+        std::env::set_var(lifting_sim::pool::WORKERS_ENV, "1");
+        let sequential = run_scenario(config);
+        std::env::remove_var(lifting_sim::pool::WORKERS_ENV);
+        assert_eq!(parallel[0].finals.outcomes, sequential.finals.outcomes);
+        assert_eq!(parallel[0].churn, sequential.churn, "{name}: churn stats");
+        assert_eq!(
+            parallel[0].traffic.total_bytes_sent,
+            sequential.traffic.total_bytes_sent
+        );
+        assert_eq!(
+            parallel[0].stream_health.fraction_clear,
+            sequential.stream_health.fraction_clear
+        );
+    }
+}
+
+#[test]
+fn combined_waves_and_steady_churn_compose() {
+    // Steady churners, a catastrophe wave and a flash crowd in one schedule:
+    // the nasty interleavings (a wave taking down a churner whose session-end
+    // departure is still queued; wave membership overlaps) must neither fork
+    // duplicate churn chains nor resurrect catastrophe victims, and the run
+    // must stay bit-for-bit deterministic.
+    let registry = ScenarioRegistry::builtin();
+    let mut config = registry.build("churn/steady-fast", Scale::Quick, 17);
+    let mut schedule = config.churn.unwrap();
+    schedule.catastrophe = Some(lifting_runtime::ChurnWave {
+        at: SimDuration::from_secs(6),
+        fraction: 0.2,
+    });
+    schedule.flash_crowd = Some(lifting_runtime::ChurnWave {
+        at: SimDuration::from_secs(9), // after the catastrophe: worst ordering
+        fraction: 0.2,
+    });
+    config.churn = Some(schedule);
+    config.validate();
+
+    std::env::set_var(lifting_sim::pool::WORKERS_ENV, "3");
+    let parallel = run_scenarios_parallel(vec![config.clone()]);
+    std::env::set_var(lifting_sim::pool::WORKERS_ENV, "1");
+    let sequential = run_scenario(config.clone());
+    std::env::remove_var(lifting_sim::pool::WORKERS_ENV);
+    assert_eq!(parallel[0].churn, sequential.churn);
+    assert_eq!(parallel[0].finals.outcomes, sequential.finals.outcomes);
+
+    let churn = sequential.churn;
+    assert!(churn.departures > 0 && churn.rejoins > 0);
+    // Session accounting survives the interleavings: every rejoin (steady or
+    // flash) opens exactly one session on top of the initially online nodes.
+    let plan_offline = config.nodes as u64 - 1 - (churn.sessions - churn.rejoins);
+    assert!(
+        plan_offline > 0,
+        "the flash crowd must hold some nodes offline initially"
+    );
+    // Catastrophe victims are not steady churners nor flash members, so they
+    // stay down: the run ends with at least one node offline.
+    assert!(churn.offline_at_end > 0);
+}
+
+#[test]
+fn expelled_nodes_stay_out_under_churn() {
+    // Heavy freeriding plus churn: whoever gets expelled must still be
+    // inactive at the end (a rejoin event for an expelled node is refused).
+    // Start from the fig01 "wise freerider" population and disable the
+    // wrongful-blame compensation so the blame actually drives scores below
+    // η within a quick run — expulsions demonstrably happen here.
+    let registry = ScenarioRegistry::builtin();
+    let mut config = registry.build("fig01/freeriders-lifting", Scale::Quick, 21);
+    config.lifting.compensate_wrongful_blames = false;
+    config.churn = Some(lifting_runtime::ChurnSchedule::steady(
+        0.25,
+        SimDuration::from_secs(8),
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(2),
+    ));
+    config.duration = SimDuration::from_secs(20);
+    let mut engine = build_engine(config.clone());
+    engine.run_until(SimTime::ZERO + config.duration);
+    let world = engine.world();
+    let mut expelled_seen = 0;
+    for i in 1..config.nodes {
+        let node = NodeId::new(i as u32);
+        if world.is_expelled(node) {
+            expelled_seen += 1;
+            assert!(
+                !world.directory().is_active(node),
+                "expelled node {node} is active in the directory"
+            );
+            assert!(world.network().is_cut_off(node));
+        }
+    }
+    // The scenario is tuned so expulsions actually happen; if this starts
+    // failing after a parameter change, pick a seed/duration that expels.
+    assert!(expelled_seen > 0, "no expulsion happened; weak test");
+}

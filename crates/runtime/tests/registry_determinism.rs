@@ -2,11 +2,16 @@
 //! bit-for-bit.
 //!
 //! The worker pool must never change results — only wall-clock time. The
-//! property samples (scenario, seed) pairs from the builtin registry, runs
+//! property samples (scenario, seed) pairs from the builtin registry —
+//! including the dynamic-membership `churn/*` family, whose schedule draws,
+//! stack rebuilds and epoch bookkeeping must be just as deterministic — runs
 //! the scenario through the parallel fleet and through plain sequential
 //! calls, and compares every number down to the bit pattern. Durations are
 //! truncated so the property stays fast; the truncation does not weaken the
 //! property (determinism must hold at every prefix of a run).
+//! (`churn_invariants.rs` additionally pins two churn scenarios at full quick
+//! duration, so the family is covered even when this property's sampler
+//! happens not to draw it.)
 
 use lifting_runtime::{run_scenario, run_scenarios_parallel, RunOutcome, Scale, ScenarioRegistry};
 use lifting_sim::SimDuration;
