@@ -35,6 +35,14 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> examples smoke (quick scale)"
+# Clippy only *compiles* the examples; actually execute the two entry-point
+# walkthroughs so a broken prelude or a panicking scenario is caught here.
+cargo build --release --examples
+LIFTING_EXAMPLE_QUICK=1 ./target/release/examples/quickstart > /dev/null
+LIFTING_EXAMPLE_QUICK=1 ./target/release/examples/streaming_freeriders > /dev/null
+echo "examples smoke OK"
+
 echo "==> run_all_experiments --quick (parallel)"
 ./target/release/run_all_experiments --quick
 mv experiments_summary.json /tmp/summary_parallel.json
@@ -58,7 +66,12 @@ if a != b:
 # own RNG streams; losing the section would silently un-gate them).
 if 'churn' not in a or not a['churn']:
     sys.exit('summary is missing the churn sweep')
-print('parallel and sequential outputs are identical (churn sweep included)')
+# Likewise the multistream sweep: multi-channel runs add per-stream planes,
+# subscription-aware sampling and a dedicated RNG stream, all of which must
+# stay bit-deterministic under the worker pool.
+if 'multistream' not in a or not a['multistream']:
+    sys.exit('summary is missing the multistream sweep')
+print('parallel and sequential outputs are identical (churn and multistream sweeps included)')
 EOF
 
 echo "==> bench smoke (quick wall-clock vs committed baseline)"

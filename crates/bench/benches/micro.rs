@@ -102,7 +102,7 @@ fn bench_verifier_confirm(c: &mut Criterion) {
                 for i in 0..200u64 {
                     v.on_propose_received(
                         NodeId::new((i % 50) as u32 + 2),
-                        vec![ChunkId::new(i), ChunkId::new(i + 1)].into(),
+                        vec![ChunkId::primary(i), ChunkId::primary(i + 1)].into(),
                         SimTime::from_millis(i),
                     );
                 }
@@ -113,7 +113,7 @@ fn bench_verifier_confirm(c: &mut Criterion) {
                     NodeId::new(99),
                     &ConfirmPayload {
                         subject: NodeId::new(10),
-                        chunks: vec![ChunkId::new(8), ChunkId::new(9)].into(),
+                        chunks: vec![ChunkId::primary(8), ChunkId::primary(9)].into(),
                         token: 1,
                     },
                     SimTime::from_secs(1),
@@ -141,7 +141,11 @@ fn bench_audit(c: &mut Criterion) {
         let partners: Vec<NodeId> = (0..7)
             .map(|_| NodeId::new(rng.gen_range(1..10_000)))
             .collect();
-        history.record_proposal_sent(p, &partners, &[ChunkId::new(p), ChunkId::new(p + 1)]);
+        history.record_proposal_sent(
+            p,
+            &partners,
+            &[ChunkId::primary(p), ChunkId::primary(p + 1)],
+        );
     }
     let auditor = Auditor::with_threshold(LiftingConfig::planetlab(), 7, 7.5);
     c.bench_function("audit_full_history_50_periods", |b| {

@@ -105,7 +105,7 @@ fn per_event_kind_attribution(base: &ScenarioConfig) {
     impl TimedWorld {
         fn kind(ev: &Event) -> usize {
             match ev {
-                Event::SourceEmit => 0,
+                Event::SourceEmit { .. } => 0,
                 Event::GossipTick { .. } => 1,
                 Event::PeriodEnd => 2,
                 Event::AuditTick { .. } => 3,
@@ -270,7 +270,7 @@ fn component_micro_timings() {
                 v.on_propose_received(
                     NodeId::new(10 + s),
                     (0..5)
-                        .map(|k| ChunkId::new(p * 5 + k))
+                        .map(|k| ChunkId::primary(p * 5 + k))
                         .collect::<Vec<_>>()
                         .into(),
                     SimTime::from_millis(p),
@@ -285,7 +285,7 @@ fn component_micro_timings() {
                 NodeId::new((i % 50) as u32 + 100),
                 &ConfirmPayload {
                     subject: NodeId::new(10 + (i % 7) as u32),
-                    chunks: vec![ChunkId::new((i % 245) + 1)].into(),
+                    chunks: vec![ChunkId::primary((i % 245) + 1)].into(),
                     token: i,
                 },
                 SimTime::from_secs(25),

@@ -11,7 +11,11 @@
 //! * `--both` sweeps Quick then Paper and emits per-scale timings;
 //! * `--sequential` forces a single worker (`LIFTING_WORKERS=1`), which
 //!   produces **identical** figure/table numbers — only the wall-clock
-//!   changes.
+//!   changes;
+//! * `--filter <substring>` runs only the jobs whose name contains the
+//!   substring (e.g. `--filter multistream`) and writes a partial summary
+//!   marked `"filtered": true` — a development loop need not pay for the
+//!   full suite.
 
 use std::time::Instant;
 
@@ -81,6 +85,10 @@ fn build_jobs(scale: Scale) -> Vec<Job> {
             Box::new(move || to_value(&adversary_showcase(scale, 21))),
         ),
         ("churn", Box::new(move || to_value(&churn_sweep(scale, 33)))),
+        (
+            "multistream",
+            Box::new(move || to_value(&multistream_sweep(scale, 44))),
+        ),
     ]
 }
 
@@ -112,8 +120,19 @@ impl SuiteRun {
     }
 }
 
-fn run_suite(scale: Scale) -> SuiteRun {
-    let jobs = build_jobs(scale);
+fn run_suite(scale: Scale, filter: Option<&str>) -> SuiteRun {
+    let mut jobs = build_jobs(scale);
+    if let Some(needle) = filter {
+        jobs.retain(|(name, _)| name.contains(needle));
+        assert!(
+            !jobs.is_empty(),
+            "--filter {needle:?} matches no experiment; known jobs: {:?}",
+            build_jobs(scale)
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+        );
+    }
     eprintln!("running all experiments at {scale:?} scale ...");
     let wall_start = Instant::now();
     let results: Vec<(Value, f64)> = run_jobs_parallel(jobs.len(), |i| {
@@ -148,6 +167,10 @@ fn main() {
     }
     let both = args.iter().any(|a| a == "--both");
     let quick_only = args.iter().any(|a| a == "--quick") && !both;
+    let filter: Option<String> = args
+        .iter()
+        .position(|a| a == "--filter")
+        .map(|i| args.get(i + 1).expect("--filter needs a substring").clone());
     let workers = lifting_sim::worker_count(usize::MAX);
     eprintln!("experiment suite on {workers} worker(s)");
 
@@ -155,10 +178,10 @@ fn main() {
     // Paper otherwise) provides the figure/table values of the summary.
     let mut runs: Vec<SuiteRun> = Vec::new();
     if quick_only || both {
-        runs.push(run_suite(Scale::Quick));
+        runs.push(run_suite(Scale::Quick, filter.as_deref()));
     }
     if !quick_only {
-        runs.push(run_suite(Scale::Paper));
+        runs.push(run_suite(Scale::Paper, filter.as_deref()));
     }
     let primary = runs.last().expect("at least one scale runs");
 
@@ -193,29 +216,48 @@ fn main() {
         })
     });
 
-    let summary = json!({
-        "scale": format!("{:?}", primary.scale),
-        "workers": workers,
-        "scenarios": scenario_names,
-        "fig01": primary.by_name("fig01"),
-        "fig10": primary.by_name("fig10"),
-        "fig11": primary.by_name("fig11"),
-        "fig12": primary.by_name("fig12"),
-        "fig13": primary.by_name("fig13"),
-        "fig14": json!({
-            "pdcc_1": primary.by_name("fig14_pdcc_1"),
-            "pdcc_05": primary.by_name("fig14_pdcc_05"),
-        }),
-        "table3": primary.by_name("table3"),
-        "table5": primary.by_name("table5"),
-        "layer_traffic": primary.by_name("layer_traffic"),
-        "adversaries": primary.by_name("adversaries"),
-        "churn": primary.by_name("churn"),
-        "timings_secs": primary.timings(),
-        "total_wall_secs": primary.total_secs,
-        "per_scale_timings": per_scale_timings.clone(),
-        "speedup_vs_seed": speedup_vs_seed.clone().unwrap_or(Value::Null),
-    });
+    let summary = if filter.is_some() {
+        // Partial development summary: just the filtered jobs, flagged so it
+        // is never mistaken for (or committed as) the full suite's output.
+        let mut sections: Vec<(String, Value)> = vec![
+            ("filtered".to_string(), Value::Bool(true)),
+            (
+                "scale".to_string(),
+                Value::String(format!("{:?}", primary.scale)),
+            ),
+            ("workers".to_string(), to_value(&workers)),
+        ];
+        for (name, value, _) in &primary.results {
+            sections.push((name.to_string(), value.clone()));
+        }
+        sections.push(("timings_secs".to_string(), primary.timings()));
+        Value::Object(sections)
+    } else {
+        json!({
+            "scale": format!("{:?}", primary.scale),
+            "workers": workers,
+            "scenarios": scenario_names,
+            "fig01": primary.by_name("fig01"),
+            "fig10": primary.by_name("fig10"),
+            "fig11": primary.by_name("fig11"),
+            "fig12": primary.by_name("fig12"),
+            "fig13": primary.by_name("fig13"),
+            "fig14": json!({
+                "pdcc_1": primary.by_name("fig14_pdcc_1"),
+                "pdcc_05": primary.by_name("fig14_pdcc_05"),
+            }),
+            "table3": primary.by_name("table3"),
+            "table5": primary.by_name("table5"),
+            "layer_traffic": primary.by_name("layer_traffic"),
+            "adversaries": primary.by_name("adversaries"),
+            "churn": primary.by_name("churn"),
+            "multistream": primary.by_name("multistream"),
+            "timings_secs": primary.timings(),
+            "total_wall_secs": primary.total_secs,
+            "per_scale_timings": per_scale_timings.clone(),
+            "speedup_vs_seed": speedup_vs_seed.clone().unwrap_or(Value::Null),
+        })
+    };
     let path = "experiments_summary.json";
     std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap()).expect("write summary");
     println!("wrote {path}");
@@ -250,17 +292,19 @@ fn main() {
         }
         cur.as_f64().unwrap_or(0.0)
     };
-    println!(
-        "headlines: fig10 σ = {:.1} (paper 25.6); fig11 detection = {:.2}; \
-         fig13 p*m = {:.2} (paper 0.21); fig14 detection@30s = {:.2} (paper 0.86)",
-        pick(primary.by_name("fig10"), &["std_dev"]),
-        pick(primary.by_name("fig11"), &["detection"]),
-        pick(primary.by_name("fig13"), &["max_bias_25_colluders"]),
-        pick(
-            primary.by_name("fig14_pdcc_1"),
-            &["snapshots", "1", "detection"]
-        ),
-    );
+    if filter.is_none() {
+        println!(
+            "headlines: fig10 σ = {:.1} (paper 25.6); fig11 detection = {:.2}; \
+             fig13 p*m = {:.2} (paper 0.21); fig14 detection@30s = {:.2} (paper 0.86)",
+            pick(primary.by_name("fig10"), &["std_dev"]),
+            pick(primary.by_name("fig11"), &["detection"]),
+            pick(primary.by_name("fig13"), &["max_bias_25_colluders"]),
+            pick(
+                primary.by_name("fig14_pdcc_1"),
+                &["snapshots", "1", "detection"]
+            ),
+        );
+    }
     for run in &runs {
         println!(
             "{:?} scale wall-clock: {:.2}s on {workers} worker(s)",

@@ -561,6 +561,114 @@ pub fn churn_sweep(scale: Scale, seed: u64) -> Vec<ChurnScenarioResult> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Multistream sweep: several concurrent channels over one membership and
+// reputation plane.
+// ---------------------------------------------------------------------------
+
+/// The registered `multistream/*` scenarios the sweep runs, in registry order.
+pub const MULTISTREAM_SCENARIOS: [&str; 4] = [
+    "multistream/disjoint-audiences",
+    "multistream/overlapping-audiences",
+    "multistream/selective-freeriders",
+    "multistream/rate-asymmetry",
+];
+
+/// Per-channel readout of one multistream scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamResult {
+    /// The stream index.
+    pub stream: u16,
+    /// Subscribers of this stream (excluding the source).
+    pub subscribers: usize,
+    /// Chunks the stream's source emitted.
+    pub emitted_chunks: usize,
+    /// Fraction of the stream's subscribers viewing a clear stream at the
+    /// largest lag.
+    pub final_clear_fraction: f64,
+    /// Blames emitted by this stream's verification plane.
+    pub blames: u64,
+    /// Blame value booked against the misbehaving population on this
+    /// channel (the attack's per-channel footprint).
+    pub freerider_blame_value: f64,
+}
+
+/// Outcome of one multistream scenario: aggregate detection quality (the one
+/// cross-stream score per node) plus each channel's own dissemination
+/// readout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultistreamScenarioResult {
+    /// The registered scenario that was run.
+    pub scenario: String,
+    /// Number of concurrent channels.
+    pub streams: usize,
+    /// Detection probability at η = −9.75 (aggregate cross-stream score).
+    pub detection: f64,
+    /// False-positive probability at η = −9.75.
+    pub false_positives: f64,
+    /// Nodes expelled during the run (an expulsion bans from every channel).
+    pub expelled: usize,
+    /// Mean score of the honest population (one cross-stream score each).
+    pub honest_mean: f64,
+    /// Mean score of the misbehaving population.
+    pub freerider_mean: f64,
+    /// Per-channel readouts.
+    pub per_stream: Vec<StreamResult>,
+}
+
+/// Runs the `multistream/*` scenario family — disjoint audiences, overlapping
+/// audiences, selective freeriders (honest on one channel, silent on
+/// another) and rate asymmetry — and reports aggregate detection plus
+/// per-stream dissemination metrics for each run.
+pub fn multistream_sweep(scale: Scale, seed: u64) -> Vec<MultistreamScenarioResult> {
+    let registry = ScenarioRegistry::builtin();
+    let configs: Vec<ScenarioConfig> = MULTISTREAM_SCENARIOS
+        .iter()
+        .map(|name| registry.build(name, scale, seed))
+        .collect();
+    let outcomes = run_scenarios_parallel(configs);
+    let eta = -9.75;
+    MULTISTREAM_SCENARIOS
+        .iter()
+        .zip(outcomes)
+        .map(|(scenario, outcome)| {
+            let mean = |v: &[f64]| {
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
+            };
+            MultistreamScenarioResult {
+                scenario: scenario.to_string(),
+                streams: outcome.per_stream.len(),
+                detection: outcome.detection_rate(eta),
+                false_positives: outcome.false_positive_rate(eta),
+                expelled: outcome.expelled_count,
+                honest_mean: mean(&outcome.finals.honest_scores()),
+                freerider_mean: mean(&outcome.finals.freerider_scores()),
+                per_stream: outcome
+                    .per_stream
+                    .iter()
+                    .map(|s| StreamResult {
+                        stream: s.stream.0,
+                        subscribers: s.subscribers,
+                        emitted_chunks: s.emitted_chunks,
+                        final_clear_fraction: s
+                            .stream_health
+                            .fraction_clear
+                            .last()
+                            .copied()
+                            .unwrap_or(0.0),
+                        blames: s.blames,
+                        freerider_blame_value: s.freerider_blame_value,
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
 /// Runs the pluggable-adversary scenarios (attacks the pre-refactor wiring
 /// could not express: on-off freeriders and blame spammers) and reports how
 /// the detector fares against each.
@@ -648,6 +756,68 @@ mod tests {
                 r.final_clear_fraction
             );
         }
+    }
+
+    #[test]
+    fn quick_scale_multistream_sweep_reports_every_channel() {
+        let results = multistream_sweep(Scale::Quick, 9);
+        assert_eq!(results.len(), MULTISTREAM_SCENARIOS.len());
+        let by_name = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.scenario == name)
+                .unwrap_or_else(|| panic!("missing multistream result {name}"))
+        };
+        let disjoint = by_name("multistream/disjoint-audiences");
+        assert_eq!(disjoint.streams, 2);
+        // Disjoint halves: each channel serves about half the population.
+        let subs: Vec<usize> = disjoint.per_stream.iter().map(|s| s.subscribers).collect();
+        assert_eq!(subs.iter().sum::<usize>(), 79, "80-node quick run");
+        // Every channel of every scenario actually emitted and disseminated.
+        for r in &results {
+            assert_eq!(r.per_stream.len(), r.streams);
+            for s in &r.per_stream {
+                assert!(
+                    s.emitted_chunks > 0,
+                    "{}: {} never emitted",
+                    r.scenario,
+                    s.stream
+                );
+                assert!(
+                    s.final_clear_fraction > 0.2,
+                    "{}: stream {} collapsed ({})",
+                    r.scenario,
+                    s.stream,
+                    s.final_clear_fraction
+                );
+            }
+        }
+        // The selective freeriders' silence on channel 1 shows up in that
+        // channel's blame volume and drags their one cross-stream score
+        // below the honest population's (the uncompensated expulsion
+        // demonstration lives in runtime/tests/multistream_invariants.rs).
+        let selective = by_name("multistream/selective-freeriders");
+        // Channel 0's share is pure wrongful noise (the freeriders are honest
+        // there); the silence on channel 1 adds real misbehaviour on top, so
+        // its blame value must dominate even though channel 0 streams faster.
+        assert!(
+            selective.per_stream[1].freerider_blame_value
+                > selective.per_stream[0].freerider_blame_value,
+            "the silenced channel should dominate the freeriders' blame \
+             ({} vs {})",
+            selective.per_stream[1].freerider_blame_value,
+            selective.per_stream[0].freerider_blame_value
+        );
+        assert!(
+            selective.freerider_mean < selective.honest_mean,
+            "selective freeriders should score below honest nodes ({} vs {})",
+            selective.freerider_mean,
+            selective.honest_mean
+        );
+        assert_eq!(
+            selective.false_positives, 0.0,
+            "compensation must keep honest nodes clear of the threshold"
+        );
     }
 
     #[test]

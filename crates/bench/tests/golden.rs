@@ -9,7 +9,7 @@
 //! drift is the thing this file exists to catch.
 
 use lifting_bench::experiments::{
-    churn_sweep, fig01_stream_health, fig12_detection_vs_delta, Scale,
+    churn_sweep, fig01_stream_health, fig12_detection_vs_delta, multistream_sweep, Scale,
 };
 
 /// FNV-1a over a stream of 64-bit words.
@@ -33,6 +33,7 @@ fn maybe_print(name: &str, digest: u64) {
 const FIG01_DIGEST: u64 = 0x784bcd7f34320fdf;
 const FIG12_DIGEST: u64 = 0x0aef8a93dd7e5a93;
 const CHURN_DIGEST: u64 = 0xa50071d0866d834b;
+const MULTISTREAM_DIGEST: u64 = 0xf97016a068001857;
 
 #[test]
 fn fig01_quick_scale_run_outcome_is_pinned() {
@@ -82,6 +83,46 @@ fn churn_sweep_quick_scale_is_pinned() {
         digest, CHURN_DIGEST,
         "churn quick-scale output drifted; if intentional, update CHURN_DIGEST \
          (run with LIFTING_PRINT_GOLDEN=1 to print the new digest)"
+    );
+}
+
+#[test]
+fn multistream_sweep_quick_scale_is_pinned() {
+    // Multi-channel determinism: the digest covers every multistream
+    // scenario's aggregate detection numbers and each channel's subscriber
+    // count, emission volume, blame provenance and final clear fraction, so
+    // a reordered RNG draw anywhere in the per-stream planes (partner
+    // selection under subscriptions, the audit plane's stream picks, offset
+    // source schedules) fails this test.
+    let results = multistream_sweep(Scale::Quick, 7);
+    assert_eq!(results.len(), 4);
+    let words = results.iter().flat_map(|r| {
+        [
+            r.streams as u64,
+            r.detection.to_bits(),
+            r.false_positives.to_bits(),
+            r.expelled as u64,
+            r.honest_mean.to_bits(),
+            r.freerider_mean.to_bits(),
+        ]
+        .into_iter()
+        .chain(r.per_stream.iter().flat_map(|s| {
+            [
+                s.subscribers as u64,
+                s.emitted_chunks as u64,
+                s.final_clear_fraction.to_bits(),
+                s.blames,
+                s.freerider_blame_value.to_bits(),
+            ]
+        }))
+        .collect::<Vec<u64>>()
+    });
+    let digest = fnv1a(words);
+    maybe_print("MULTISTREAM_DIGEST", digest);
+    assert_eq!(
+        digest, MULTISTREAM_DIGEST,
+        "multistream quick-scale output drifted; if intentional, update \
+         MULTISTREAM_DIGEST (run with LIFTING_PRINT_GOLDEN=1 to print the new digest)"
     );
 }
 

@@ -6,7 +6,7 @@
 //! reached it within `L` of their emission. Figure 1 plots, for each lag, the
 //! fraction of nodes for which this holds.
 
-use lifting_sim::{SimDuration, SimTime};
+use lifting_sim::{SimDuration, SimTime, StreamId};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::chunk::{Chunk, ChunkId};
@@ -20,24 +20,40 @@ pub struct Receipt {
     pub received_at: SimTime,
 }
 
-/// Per-node record of chunk receptions, flat-indexed by the sequential chunk
-/// id (one array store per reception on the hot path, no hashing).
+/// Per-node, per-stream record of chunk receptions, flat-indexed by the
+/// sequential chunk index within the stream (one array store per reception on
+/// the hot path, no hashing).
 #[derive(Debug, Clone, Default)]
 pub struct PlayoutBuffer {
+    stream: StreamId,
     received: Vec<Option<Receipt>>,
     len: usize,
 }
 
 impl PlayoutBuffer {
-    /// Creates an empty buffer.
+    /// Creates an empty buffer for the primary stream.
     pub fn new() -> Self {
         PlayoutBuffer::default()
+    }
+
+    /// Creates an empty buffer for `stream`.
+    pub fn for_stream(stream: StreamId) -> Self {
+        PlayoutBuffer {
+            stream,
+            ..PlayoutBuffer::default()
+        }
+    }
+
+    /// The stream this buffer plays out.
+    pub fn stream(&self) -> StreamId {
+        self.stream
     }
 
     /// Records the reception of `chunk` at `now`. Only the first reception is
     /// kept. Returns true if the chunk was new.
     pub fn record(&mut self, chunk: &Chunk, now: SimTime) -> bool {
-        let idx = chunk.id.value() as usize;
+        debug_assert_eq!(chunk.id.stream(), self.stream, "chunk from another plane");
+        let idx = chunk.id.index() as usize;
         if idx >= self.received.len() {
             self.received.resize(idx + 1, None);
         }
@@ -53,7 +69,10 @@ impl PlayoutBuffer {
     }
 
     fn get(&self, id: ChunkId) -> Option<&Receipt> {
-        self.received.get(id.value() as usize)?.as_ref()
+        if id.stream() != self.stream {
+            return None;
+        }
+        self.received.get(id.index() as usize)?.as_ref()
     }
 
     /// True if the chunk has been received.
@@ -110,7 +129,7 @@ impl Serialize for PlayoutBuffer {
                 .filter_map(|(i, r)| {
                     r.map(|r| {
                         Value::Array(vec![
-                            ChunkId::new(i as u64).to_json_value(),
+                            ChunkId::new(self.stream, i as u64).to_json_value(),
                             r.to_json_value(),
                         ])
                     })
@@ -146,7 +165,17 @@ impl StreamHealth {
         lags: &[SimDuration],
         threshold: f64,
     ) -> StreamHealth {
-        let n = buffers.len().max(1) as f64;
+        if buffers.is_empty() {
+            // Vacuously clear: with no nodes observing the stream there is
+            // nobody missing it. Reported explicitly as 1.0 rather than
+            // dividing by a phantom node (which used to yield 0.0 and read as
+            // a total collapse).
+            return StreamHealth {
+                lag_secs: lags.iter().map(|l| l.as_secs_f64()).collect(),
+                fraction_clear: vec![1.0; lags.len()],
+            };
+        }
+        let n = buffers.len() as f64;
         let mut clear_counts = vec![0usize; lags.len()];
         let mut node_lags: Vec<SimDuration> = Vec::new();
         for buffer in buffers {
@@ -193,7 +222,11 @@ mod tests {
     use super::*;
 
     fn chunk(id: u64, emitted_ms: u64) -> Chunk {
-        Chunk::new(ChunkId::new(id), 1_000, SimTime::from_millis(emitted_ms))
+        Chunk::new(
+            ChunkId::primary(id),
+            1_000,
+            SimTime::from_millis(emitted_ms),
+        )
     }
 
     #[test]
@@ -203,11 +236,11 @@ mod tests {
         assert!(buf.record(&c, SimTime::from_millis(150)));
         assert!(!buf.record(&c, SimTime::from_millis(900)));
         assert_eq!(
-            buf.lag_of(ChunkId::new(1)),
+            buf.lag_of(ChunkId::primary(1)),
             Some(SimDuration::from_millis(50))
         );
         assert_eq!(buf.len(), 1);
-        assert!(buf.contains(ChunkId::new(1)));
+        assert!(buf.contains(ChunkId::primary(1)));
     }
 
     #[test]
@@ -232,6 +265,34 @@ mod tests {
         let buf = PlayoutBuffer::new();
         assert_eq!(buf.delivery_ratio_within(&[], SimDuration::ZERO), 1.0);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn zero_node_stream_health_is_vacuously_clear() {
+        // Regression: an empty buffer slice used to divide by a phantom node
+        // (`len().max(1)`) and report `fraction_clear = 0.0` — a vacuous run
+        // masquerading as a total stream collapse.
+        let chunks: Vec<Chunk> = (0..4).map(|i| chunk(i, i * 100)).collect();
+        let lags = vec![SimDuration::from_millis(500), SimDuration::from_secs(2)];
+        let health = StreamHealth::compute(&[], &chunks, &lags, 0.99);
+        assert_eq!(health.lag_secs, vec![0.5, 2.0]);
+        assert_eq!(health.fraction_clear, vec![1.0, 1.0]);
+        // And with no chunks either, still vacuously clear.
+        let health = StreamHealth::compute(&[], &[], &lags, 0.99);
+        assert_eq!(health.fraction_clear, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn per_stream_buffers_ignore_foreign_chunks() {
+        let stream = StreamId::new(2);
+        let mut buf = PlayoutBuffer::for_stream(stream);
+        assert_eq!(buf.stream(), stream);
+        let c = Chunk::new(ChunkId::new(stream, 4), 1_000, SimTime::ZERO);
+        assert!(buf.record(&c, SimTime::from_millis(10)));
+        assert!(buf.contains(ChunkId::new(stream, 4)));
+        // The same index on another stream is a different chunk.
+        assert!(!buf.contains(ChunkId::primary(4)));
+        assert_eq!(buf.lag_of(ChunkId::primary(4)), None);
     }
 
     #[test]

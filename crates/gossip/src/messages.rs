@@ -77,6 +77,18 @@ impl GossipMessage {
     pub fn carries_data(&self) -> bool {
         matches!(self, GossipMessage::Serve(_))
     }
+
+    /// The stream this message belongs to, derived from the chunk identities
+    /// it carries (a stream id needs no wire bytes of its own: it is packed
+    /// into every chunk id). `None` only for a degenerate empty proposal or
+    /// request, which the protocol never sends.
+    pub fn stream(&self) -> Option<lifting_sim::StreamId> {
+        match self {
+            GossipMessage::Propose(p) => p.chunks.first().map(|c| c.stream()),
+            GossipMessage::Request(r) => r.chunks.first().map(|c| c.stream()),
+            GossipMessage::Serve(s) => Some(s.chunk.id.stream()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -88,18 +100,23 @@ mod tests {
     fn wire_sizes_scale_with_content() {
         let propose = GossipMessage::Propose(ProposePayload {
             period: 3,
-            chunks: vec![ChunkId::new(1), ChunkId::new(2), ChunkId::new(3)].into(),
+            chunks: vec![
+                ChunkId::primary(1),
+                ChunkId::primary(2),
+                ChunkId::primary(3),
+            ]
+            .into(),
         });
         assert_eq!(propose.wire_size(), 16 + 3 * 8);
         assert!(!propose.carries_data());
 
         let request = GossipMessage::Request(RequestPayload {
-            chunks: vec![ChunkId::new(1)].into(),
+            chunks: vec![ChunkId::primary(1)].into(),
         });
         assert_eq!(request.wire_size(), 16 + 8);
 
         let serve = GossipMessage::Serve(ServePayload {
-            chunk: Chunk::new(ChunkId::new(9), 4_096, SimTime::ZERO),
+            chunk: Chunk::new(ChunkId::primary(9), 4_096, SimTime::ZERO),
         });
         assert_eq!(serve.wire_size(), 16 + 8 + 4_096);
         assert!(serve.carries_data());

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use lifting_sim::collections::DetHashMap;
 
-use lifting_sim::{NodeId, SimDuration, SimTime};
+use lifting_sim::{NodeId, SimDuration, SimTime, StreamId};
 use rand::Rng;
 
 use crate::behavior::Behavior;
@@ -63,17 +63,17 @@ struct ChunkStore {
 impl ChunkStore {
     #[inline]
     fn contains(&self, id: ChunkId) -> bool {
-        matches!(self.slots.get(id.value() as usize), Some(Some(_)))
+        matches!(self.slots.get(id.index() as usize), Some(Some(_)))
     }
 
     #[inline]
     fn get(&self, id: ChunkId) -> Option<Chunk> {
-        self.slots.get(id.value() as usize).copied().flatten()
+        self.slots.get(id.index() as usize).copied().flatten()
     }
 
     /// Inserts `chunk`, returning true if it was new.
     fn insert(&mut self, chunk: Chunk) -> bool {
-        let idx = chunk.id.value() as usize;
+        let idx = chunk.id.index() as usize;
         if idx >= self.slots.len() {
             self.slots.resize(idx + 1, None);
         }
@@ -95,7 +95,7 @@ struct ChunkIdSet {
 impl ChunkIdSet {
     /// Marks `id`, returning true if it was not yet marked.
     fn insert(&mut self, id: ChunkId) -> bool {
-        let idx = id.value() as usize;
+        let idx = id.index() as usize;
         let (word, bit) = (idx / 64, idx % 64);
         if word >= self.words.len() {
             self.words.resize(word + 1, 0);
@@ -107,10 +107,15 @@ impl ChunkIdSet {
     }
 }
 
-/// The three-phase gossip protocol state of one node.
+/// The three-phase gossip protocol state of one node **on one stream**.
+///
+/// A multi-channel node runs one `GossipNode` per stream it subscribes to:
+/// chunk stores, infect-and-die markers, offers and the playout buffer are
+/// all plane-local, flat-indexed by the chunk's per-stream sequence number.
 #[derive(Debug)]
 pub struct GossipNode {
     id: NodeId,
+    stream: StreamId,
     config: GossipConfig,
     behavior: Behavior,
     /// All chunks this node holds, flat-indexed by id.
@@ -142,14 +147,25 @@ pub struct GossipNode {
 }
 
 impl GossipNode {
-    /// Creates a node.
+    /// Creates a node's gossip state for the primary stream.
     pub fn new(id: NodeId, config: GossipConfig, behavior: Behavior) -> Self {
+        GossipNode::for_stream(id, StreamId::PRIMARY, config, behavior)
+    }
+
+    /// Creates a node's gossip state for one plane of a multi-channel stack.
+    pub fn for_stream(
+        id: NodeId,
+        stream: StreamId,
+        config: GossipConfig,
+        behavior: Behavior,
+    ) -> Self {
         config.validate();
         if let Behavior::Freerider(f) = &behavior {
             f.validate();
         }
         GossipNode {
             id,
+            stream,
             config,
             behavior,
             store: ChunkStore::default(),
@@ -158,7 +174,7 @@ impl GossipNode {
             offers_out: Vec::new(),
             requested_until: Vec::new(),
             period: 0,
-            playout: PlayoutBuffer::new(),
+            playout: PlayoutBuffer::for_stream(stream),
             chunks_served: 0,
         }
     }
@@ -166,6 +182,11 @@ impl GossipNode {
     /// This node's identifier.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// The stream this plane disseminates.
+    pub fn stream(&self) -> StreamId {
+        self.stream
     }
 
     /// The node's behaviour.
@@ -325,7 +346,7 @@ impl GossipNode {
         let expiry = now + self.config.gossip_period;
         let mut wanted = Vec::new();
         for id in chunks {
-            let idx = id.value() as usize;
+            let idx = id.index() as usize;
             if idx >= self.requested_until.len() {
                 self.requested_until.resize(idx + 1, SimTime::ZERO);
             }
@@ -372,7 +393,7 @@ impl GossipNode {
     /// Handles an incoming serve of `chunk` from `from`. Returns true if the
     /// chunk was new to this node.
     pub fn on_serve(&mut self, from: NodeId, chunk: Chunk, now: SimTime) -> bool {
-        if let Some(expiry) = self.requested_until.get_mut(chunk.id.value() as usize) {
+        if let Some(expiry) = self.requested_until.get_mut(chunk.id.index() as usize) {
             *expiry = SimTime::ZERO; // clear the reservation
         }
         if !self.store.insert(chunk) {
@@ -398,7 +419,7 @@ mod tests {
     use lifting_sim::derive_rng;
 
     fn chunk(id: u64) -> Chunk {
-        Chunk::new(ChunkId::new(id), 1_000, SimTime::ZERO)
+        Chunk::new(ChunkId::primary(id), 1_000, SimTime::ZERO)
     }
 
     fn honest(id: u32) -> GossipNode {
@@ -416,17 +437,17 @@ mod tests {
         let round = a
             .begin_propose_round(SimTime::ZERO, vec![NodeId::new(1)], &mut rng)
             .expect("a has a fresh chunk");
-        assert_eq!(&round.chunks[..], &[ChunkId::new(7)]);
+        assert_eq!(&round.chunks[..], &[ChunkId::primary(7)]);
 
         let wanted = b.on_propose(NodeId::new(0), &round.chunks, SimTime::from_millis(50));
-        assert_eq!(wanted, vec![ChunkId::new(7)]);
+        assert_eq!(wanted, vec![ChunkId::primary(7)]);
 
         let served = a.on_request(NodeId::new(1), &wanted, &mut rng);
         assert_eq!(served.len(), 1);
         assert_eq!(a.chunks_served(), 1);
 
         assert!(b.on_serve(NodeId::new(0), served[0], SimTime::from_millis(100)));
-        assert!(b.playout().contains(ChunkId::new(7)));
+        assert!(b.playout().contains(ChunkId::primary(7)));
         assert_eq!(b.stored_chunks(), 1);
     }
 
@@ -438,7 +459,7 @@ mod tests {
         let first = a
             .begin_propose_round(SimTime::ZERO, vec![NodeId::new(1)], &mut rng)
             .unwrap();
-        assert_eq!(&first.chunks[..], &[ChunkId::new(1)]);
+        assert_eq!(&first.chunks[..], &[ChunkId::primary(1)]);
         // No new chunk arrived: the next round proposes nothing.
         assert!(a
             .begin_propose_round(SimTime::from_millis(500), vec![NodeId::new(2)], &mut rng)
@@ -451,7 +472,7 @@ mod tests {
         let mut a = honest(0);
         a.inject_source_chunk(chunk(1), SimTime::ZERO);
         // Node 5 was never proposed anything: it gets nothing.
-        let served = a.on_request(NodeId::new(5), &[ChunkId::new(1)], &mut rng);
+        let served = a.on_request(NodeId::new(5), &[ChunkId::primary(1)], &mut rng);
         assert!(served.is_empty());
     }
 
@@ -468,11 +489,11 @@ mod tests {
         // Partner asks for a chunk that was never proposed (id 99): ignored.
         let served = a.on_request(
             NodeId::new(1),
-            &[ChunkId::new(1), ChunkId::new(99)],
+            &[ChunkId::primary(1), ChunkId::primary(99)],
             &mut rng,
         );
         assert_eq!(served.len(), 1);
-        assert_eq!(served[0].id, ChunkId::new(1));
+        assert_eq!(served[0].id, ChunkId::primary(1));
     }
 
     #[test]
@@ -487,17 +508,21 @@ mod tests {
     #[test]
     fn chunks_are_not_requested_twice_within_a_period() {
         let mut b = honest(1);
-        let wanted1 = b.on_propose(NodeId::new(0), &[ChunkId::new(5)], SimTime::ZERO);
+        let wanted1 = b.on_propose(NodeId::new(0), &[ChunkId::primary(5)], SimTime::ZERO);
         let wanted2 = b.on_propose(
             NodeId::new(2),
-            &[ChunkId::new(5)],
+            &[ChunkId::primary(5)],
             SimTime::from_millis(100),
         );
-        assert_eq!(wanted1, vec![ChunkId::new(5)]);
+        assert_eq!(wanted1, vec![ChunkId::primary(5)]);
         assert!(wanted2.is_empty(), "already requested from node 0");
         // After the reservation expires the chunk can be requested again.
-        let wanted3 = b.on_propose(NodeId::new(3), &[ChunkId::new(5)], SimTime::from_secs(2));
-        assert_eq!(wanted3, vec![ChunkId::new(5)]);
+        let wanted3 = b.on_propose(
+            NodeId::new(3),
+            &[ChunkId::primary(5)],
+            SimTime::from_secs(2),
+        );
+        assert_eq!(wanted3, vec![ChunkId::primary(5)]);
     }
 
     #[test]

@@ -1,39 +1,55 @@
-//! The broadcast source.
+//! The broadcast sources, one per stream.
 
-use lifting_sim::{SimDuration, SimTime};
+use lifting_sim::{SimDuration, SimTime, StreamId};
 use serde::{Deserialize, Serialize};
 
 use crate::chunk::{Chunk, ChunkId};
 
-/// The stream source: emits fixed-size chunks at a constant bit rate.
+/// One stream's source: emits fixed-size chunks at a constant bit rate.
 ///
 /// The paper broadcasts streams of 674, 1082 and 2036 kbps from a single
 /// source; with the default 4 KiB chunks a 674 kbps stream produces about 20
-/// chunks per second.
+/// chunks per second. A multi-channel deployment runs several sources side by
+/// side, each with its own rate and start offset, all identified by their
+/// [`StreamId`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StreamSource {
+    stream: StreamId,
     rate_bps: u64,
     chunk_size: u32,
-    next_id: u64,
+    next_index: u64,
     next_emission: SimTime,
 }
 
 impl StreamSource {
-    /// Creates a source emitting `rate_bps` bits per second in chunks of
-    /// `chunk_size` bytes, starting at time zero.
+    /// Creates a source for `stream` emitting `rate_bps` bits per second in
+    /// chunks of `chunk_size` bytes, starting at time zero.
     ///
     /// # Panics
     ///
-    /// Panics if either argument is zero.
-    pub fn new(rate_bps: u64, chunk_size: u32) -> Self {
+    /// Panics if the rate or the chunk size is zero.
+    pub fn new(stream: StreamId, rate_bps: u64, chunk_size: u32) -> Self {
         assert!(rate_bps > 0, "stream rate must be positive");
         assert!(chunk_size > 0, "chunk size must be positive");
         StreamSource {
+            stream,
             rate_bps,
             chunk_size,
-            next_id: 0,
+            next_index: 0,
             next_emission: SimTime::ZERO,
         }
+    }
+
+    /// Delays the first emission to `start` (channels need not begin
+    /// together: a stream may come on air mid-run).
+    pub fn starting_at(mut self, start: SimTime) -> Self {
+        self.next_emission = start;
+        self
+    }
+
+    /// The stream this source broadcasts.
+    pub fn stream(&self) -> StreamId {
+        self.stream
     }
 
     /// The stream rate in bits per second.
@@ -63,7 +79,7 @@ impl StreamSource {
 
     /// Number of chunks emitted so far.
     pub fn emitted(&self) -> u64 {
-        self.next_id
+        self.next_index
     }
 
     /// Emits the next chunk, stamping it with its scheduled emission instant
@@ -73,11 +89,11 @@ impl StreamSource {
     /// [`next_emission`]: StreamSource::next_emission
     pub fn emit(&mut self) -> Chunk {
         let chunk = Chunk::new(
-            ChunkId::new(self.next_id),
+            ChunkId::new(self.stream, self.next_index),
             self.chunk_size,
             self.next_emission,
         );
-        self.next_id += 1;
+        self.next_index += 1;
         self.next_emission += self.chunk_interval();
         chunk
     }
@@ -100,7 +116,7 @@ mod tests {
     #[test]
     fn paper_stream_rate_produces_expected_chunk_rate() {
         // 674 kbps with 4 KiB chunks ≈ 20.6 chunks/s.
-        let src = StreamSource::new(674_000, 4_096);
+        let src = StreamSource::new(StreamId::PRIMARY, 674_000, 4_096);
         let cps = src.chunks_per_second();
         assert!((cps - 20.57).abs() < 0.1, "chunks/s = {cps}");
         let interval = src.chunk_interval();
@@ -109,19 +125,32 @@ mod tests {
 
     #[test]
     fn emission_is_sequential_and_timestamped() {
-        let mut src = StreamSource::new(1_000_000, 1_250); // 100 chunks/s
+        let mut src = StreamSource::new(StreamId::PRIMARY, 1_000_000, 1_250); // 100 chunks/s
         let c0 = src.emit();
         let c1 = src.emit();
-        assert_eq!(c0.id, ChunkId::new(0));
-        assert_eq!(c1.id, ChunkId::new(1));
+        assert_eq!(c0.id, ChunkId::primary(0));
+        assert_eq!(c1.id, ChunkId::primary(1));
         assert_eq!(c0.emitted_at, SimTime::ZERO);
         assert_eq!(c1.emitted_at, SimTime::from_millis(10));
         assert_eq!(src.emitted(), 2);
     }
 
     #[test]
+    fn secondary_stream_chunks_carry_the_stream_identity() {
+        let stream = StreamId::new(3);
+        let mut src =
+            StreamSource::new(stream, 1_000_000, 1_250).starting_at(SimTime::from_secs(2));
+        assert_eq!(src.next_emission(), SimTime::from_secs(2));
+        let c = src.emit();
+        assert_eq!(c.id, ChunkId::new(stream, 0));
+        assert_eq!(c.id.stream(), stream);
+        assert_eq!(c.emitted_at, SimTime::from_secs(2));
+        assert_eq!(src.stream(), stream);
+    }
+
+    #[test]
     fn emit_due_catches_up_to_now() {
-        let mut src = StreamSource::new(1_000_000, 1_250); // 10 ms per chunk
+        let mut src = StreamSource::new(StreamId::PRIMARY, 1_000_000, 1_250); // 10 ms per chunk
         let due = src.emit_due(SimTime::from_millis(35));
         assert_eq!(due.len(), 4); // t = 0, 10, 20, 30
         assert_eq!(src.next_emission(), SimTime::from_millis(40));
@@ -131,6 +160,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_rate_panics() {
-        let _ = StreamSource::new(0, 1_000);
+        let _ = StreamSource::new(StreamId::PRIMARY, 0, 1_000);
     }
 }

@@ -300,7 +300,7 @@ mod tests {
             let mut partners = population.clone();
             partners.shuffle(&mut rng);
             partners.truncate(fanout);
-            h.record_proposal_sent(p, &partners, &[ChunkId::new(p)]);
+            h.record_proposal_sent(p, &partners, &[ChunkId::primary(p)]);
             for w in partners {
                 // The witness reports a uniformly random asker per confirm.
                 let asker = population[rng.gen_range(0..population.len())];
@@ -351,7 +351,7 @@ mod tests {
                     .or_default()
                     .push(NodeId::new(rng.gen_range(100..1000)));
             }
-            h.record_proposal_sent(p, &partners, &[ChunkId::new(p)]);
+            h.record_proposal_sent(p, &partners, &[ChunkId::primary(p)]);
         }
         let auditor = auditor();
         let report = auditor.audit(&h, &mut oracle);
@@ -379,7 +379,7 @@ mod tests {
         // Sanity: the fanout side alone would have passed.
         assert!(report.fanout_entropy >= report.applied_fanout_threshold);
         // Keep the borrow checker honest about the unused variable warning.
-        history.record_serve_received(51, NodeId::new(1), ChunkId::new(1));
+        history.record_serve_received(51, NodeId::new(1), ChunkId::primary(1));
     }
 
     #[test]
@@ -408,7 +408,7 @@ mod tests {
         let mut rng = derive_rng(5, 0);
         // 50 periods of activity but proposals in only 25 of them.
         for p in 0..50u64 {
-            h.record_serve_received(p, NodeId::new(rng.gen_range(1..1000)), ChunkId::new(p));
+            h.record_serve_received(p, NodeId::new(rng.gen_range(1..1000)), ChunkId::primary(p));
             if p % 2 == 0 {
                 let partners: Vec<NodeId> = (0..7)
                     .map(|_| NodeId::new(rng.gen_range(1..1000)))
@@ -420,7 +420,7 @@ mod tests {
                         .or_default()
                         .push(NodeId::new(rng.gen_range(1..1000)));
                 }
-                h.record_proposal_sent(p, &partners, &[ChunkId::new(p)]);
+                h.record_proposal_sent(p, &partners, &[ChunkId::primary(p)]);
             }
         }
         let auditor = auditor();
@@ -440,7 +440,7 @@ mod tests {
             ..Default::default()
         };
         let mut h = NodeHistory::new(NodeId::new(0), 50);
-        h.record_proposal_sent(0, &[NodeId::new(1), NodeId::new(2)], &[ChunkId::new(1)]);
+        h.record_proposal_sent(0, &[NodeId::new(1), NodeId::new(2)], &[ChunkId::primary(1)]);
         let auditor = auditor();
         let report = auditor.audit(&h, &mut oracle);
         assert_eq!(report.verdict, AuditVerdict::Pass);

@@ -4,7 +4,7 @@
 //! makes blames emitted by different verification procedures directly
 //! comparable and summable into a single score.
 
-use lifting_sim::NodeId;
+use lifting_sim::{NodeId, StreamId};
 use serde::{Deserialize, Serialize};
 
 /// Why a blame was emitted.
@@ -28,6 +28,13 @@ pub enum BlameReason {
 }
 
 /// A blame against a node.
+///
+/// The `stream` field records which channel's verification produced the
+/// blame. It is provenance only: the reputation managers aggregate blames
+/// from *every* stream into one score per node (that cross-stream
+/// aggregation is what lets misbehaviour on one channel cost access to all
+/// of them), so scoring never reads the field — metrics and invariant tests
+/// do.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Blame {
     /// The node being blamed.
@@ -36,15 +43,25 @@ pub struct Blame {
     pub value: f64,
     /// The reason the blame was emitted.
     pub reason: BlameReason,
+    /// The stream whose verification emitted the blame.
+    pub stream: StreamId,
 }
 
 impl Blame {
-    /// Creates a blame, clamping negative values to zero.
+    /// Creates a blame on the primary stream, clamping negative values to
+    /// zero.
     pub fn new(target: NodeId, value: f64, reason: BlameReason) -> Self {
+        Blame::on_stream(StreamId::PRIMARY, target, value, reason)
+    }
+
+    /// Creates a blame attributed to `stream`, clamping negative values to
+    /// zero.
+    pub fn on_stream(stream: StreamId, target: NodeId, value: f64, reason: BlameReason) -> Self {
         Blame {
             target,
             value: value.max(0.0),
             reason,
+            stream,
         }
     }
 }

@@ -283,7 +283,7 @@ mod tests {
     use super::*;
 
     fn ids(xs: &[u64]) -> Vec<ChunkId> {
-        xs.iter().map(|x| ChunkId::new(*x)).collect()
+        xs.iter().map(|x| ChunkId::primary(*x)).collect()
     }
 
     fn nodes(xs: &[u32]) -> Vec<NodeId> {
@@ -308,9 +308,9 @@ mod tests {
         let mut h = NodeHistory::new(NodeId::new(0), 10);
         h.record_proposal_sent(0, &nodes(&[1, 2, 3]), &ids(&[10]));
         h.record_proposal_sent(1, &nodes(&[2, 4]), &ids(&[11]));
-        h.record_serve_received(0, NodeId::new(9), ChunkId::new(10));
-        h.record_serve_received(1, NodeId::new(9), ChunkId::new(11));
-        h.record_serve_received(1, NodeId::new(5), ChunkId::new(12));
+        h.record_serve_received(0, NodeId::new(9), ChunkId::primary(10));
+        h.record_serve_received(1, NodeId::new(9), ChunkId::primary(11));
+        h.record_serve_received(1, NodeId::new(5), ChunkId::primary(12));
         let fanout = h.fanout_multiset();
         assert_eq!(fanout.len(), 5);
         assert_eq!(fanout.iter().filter(|n| **n == NodeId::new(2)).count(), 2);
@@ -346,7 +346,7 @@ mod tests {
     fn propose_phase_count_ignores_empty_periods() {
         let mut h = NodeHistory::new(NodeId::new(0), 10);
         h.record_proposal_sent(0, &nodes(&[1]), &ids(&[1]));
-        h.record_serve_received(1, NodeId::new(2), ChunkId::new(5)); // period without proposal
+        h.record_serve_received(1, NodeId::new(2), ChunkId::primary(5)); // period without proposal
         h.record_proposal_sent(2, &nodes(&[1]), &ids(&[2]));
         assert_eq!(h.propose_phase_count(), 2);
         assert_eq!(h.len(), 3);
@@ -359,7 +359,7 @@ mod tests {
         h.record_proposal_sent(0, &nodes(&[1, 2, 3, 4, 5, 6, 7]), &ids(&[1, 2, 3]));
         let one = h.wire_size();
         assert!(one > empty);
-        h.record_serve_received(0, NodeId::new(9), ChunkId::new(1));
+        h.record_serve_received(0, NodeId::new(9), ChunkId::primary(1));
         assert!(h.wire_size() > one);
     }
 
@@ -392,7 +392,7 @@ mod tests {
             for probe_period in 0..10u64 {
                 for probe_proposer in 1..=4u32 {
                     for probe in [probe_period, probe_period + 100] {
-                        let (p, c) = (NodeId::new(probe_proposer), ChunkId::new(probe));
+                        let (p, c) = (NodeId::new(probe_proposer), ChunkId::primary(probe));
                         assert_eq!(
                             h.received_proposal_with(p, &[c]),
                             scan(&h, p, c),

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use lifting_gossip::ChunkId;
-use lifting_sim::NodeId;
+use lifting_sim::{NodeId, StreamId};
 use serde::{Deserialize, Serialize};
 
 use crate::blame::Blame;
@@ -58,6 +58,13 @@ pub struct ConfirmPayload {
 pub struct ConfirmResponsePayload {
     /// The node whose forwarding was being verified.
     pub subject: NodeId,
+    /// The stream whose forwarding was being verified. Carried explicitly —
+    /// this is the one verification payload with no chunk ids to derive it
+    /// from, and the receiving stack needs it to route the response into the
+    /// right plane's pending-confirm table (tokens are plane-local). On the
+    /// wire it rides in the fixed message header, so the size model is
+    /// unchanged.
+    pub stream: StreamId,
     /// Token copied from the confirm request.
     pub token: u64,
     /// True if the witness indeed received a proposal from the subject
@@ -121,6 +128,22 @@ impl VerificationMessage {
     pub fn history_response_wire_size(history: &NodeHistory) -> u64 {
         MESSAGE_HEADER_BYTES + history.wire_size()
     }
+
+    /// The stream this message verifies, when it is addressed to a specific
+    /// verification plane: derived from the chunk ids for acks and confirms,
+    /// carried explicitly by confirm responses. `None` for blames (addressed
+    /// to the stream-agnostic reputation plane) and history transfers (the
+    /// audit coordinator already knows which plane it is auditing).
+    pub fn stream(&self) -> Option<StreamId> {
+        match self {
+            VerificationMessage::Ack(a) => a.chunks.first().map(|c| c.stream()),
+            VerificationMessage::Confirm(c) => c.chunks.first().map(|c| c.stream()),
+            VerificationMessage::ConfirmResponse(r) => Some(r.stream),
+            VerificationMessage::Blame(_)
+            | VerificationMessage::HistoryRequest
+            | VerificationMessage::HistoryResponse(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +154,7 @@ mod tests {
     #[test]
     fn ack_size_scales_with_chunks_and_partners() {
         let ack = VerificationMessage::Ack(Box::new(AckPayload {
-            chunks: vec![ChunkId::new(1), ChunkId::new(2)].into(),
+            chunks: vec![ChunkId::primary(1), ChunkId::primary(2)].into(),
             partners: vec![NodeId::new(3); 7].into(),
             period: 1,
         }));
@@ -142,16 +165,19 @@ mod tests {
     fn confirm_and_response_are_small() {
         let confirm = VerificationMessage::Confirm(Arc::new(ConfirmPayload {
             subject: NodeId::new(1),
-            chunks: vec![ChunkId::new(1)].into(),
+            chunks: vec![ChunkId::primary(1)].into(),
             token: 9,
         }));
         assert_eq!(confirm.wire_size(), 16 + 6 + 8);
         let resp = VerificationMessage::ConfirmResponse(ConfirmResponsePayload {
             subject: NodeId::new(1),
+            stream: StreamId::PRIMARY,
             token: 9,
             confirmed: true,
         });
         assert_eq!(resp.wire_size(), 16 + 6 + 1);
+        assert_eq!(resp.stream(), Some(StreamId::PRIMARY));
+        assert_eq!(confirm.stream(), Some(StreamId::PRIMARY));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use lifting_sim::collections::FastHashMap;
 
 use lifting_gossip::{ChunkId, ProposeRound};
-use lifting_sim::{InlineVec, NodeId, SimTime};
+use lifting_sim::{InlineVec, NodeId, SimTime, StreamId};
 use rand::Rng;
 
 use crate::blame::{schedule, Blame, BlameReason};
@@ -117,6 +117,10 @@ struct PendingConfirm {
 #[derive(Debug)]
 pub struct Verifier {
     id: NodeId,
+    /// The stream this verification plane covers: its history, checks and
+    /// timers are all plane-local, and every blame it emits is tagged with
+    /// this stream (cross-stream provenance for the shared reputation plane).
+    stream: StreamId,
     config: LiftingConfig,
     fanout: usize,
     collusion: CollusionConfig,
@@ -144,6 +148,7 @@ impl Verifier {
         let history = NodeHistory::new(id, config.history_periods);
         Verifier {
             id,
+            stream: StreamId::PRIMARY,
             config,
             fanout,
             collusion,
@@ -157,9 +162,21 @@ impl Verifier {
         }
     }
 
+    /// Rekeys the verifier to one plane of a multi-channel stack (builder
+    /// style, applied right after [`new`](Verifier::new)).
+    pub fn for_stream(mut self, stream: StreamId) -> Self {
+        self.stream = stream;
+        self
+    }
+
     /// This node's identifier.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// The stream this verification plane covers.
+    pub fn stream(&self) -> StreamId {
+        self.stream
     }
 
     /// The node's accountability history.
@@ -214,7 +231,12 @@ impl Verifier {
             return None;
         }
         self.blames_emitted += 1;
-        Some(VerifierAction::Blame(Blame::new(target, value, reason)))
+        Some(VerifierAction::Blame(Blame::on_stream(
+            self.stream,
+            target,
+            value,
+            reason,
+        )))
     }
 
     /// Advances the verifier's notion of the current gossip period (used to
@@ -517,6 +539,7 @@ impl Verifier {
             to: from,
             response: ConfirmResponsePayload {
                 subject: confirm.subject,
+                stream: self.stream,
                 token: confirm.token,
                 confirmed,
             },
@@ -589,7 +612,7 @@ mod tests {
     use std::sync::Arc;
 
     fn ids(xs: &[u64]) -> Vec<ChunkId> {
-        xs.iter().map(|x| ChunkId::new(*x)).collect()
+        xs.iter().map(|x| ChunkId::primary(*x)).collect()
     }
 
     fn verifier(id: u32) -> Verifier {
@@ -628,8 +651,8 @@ mod tests {
         let actions = v.on_request_sent(proposer, ids(&[1, 2, 3, 4]).into(), SimTime::ZERO);
         let timer = timers(&actions)[0];
         // Only two of the four requested chunks arrive.
-        v.on_serve_received(proposer, ChunkId::new(1), SimTime::from_millis(100));
-        v.on_serve_received(proposer, ChunkId::new(3), SimTime::from_millis(120));
+        v.on_serve_received(proposer, ChunkId::primary(1), SimTime::from_millis(100));
+        v.on_serve_received(proposer, ChunkId::primary(3), SimTime::from_millis(120));
         let out = v.on_timer(timer, SimTime::from_millis(500));
         let bs = blames(&out);
         assert_eq!(bs.len(), 1);
@@ -640,12 +663,30 @@ mod tests {
     }
 
     #[test]
+    fn secondary_stream_verifier_tags_its_blames() {
+        let mut v = verifier(1).for_stream(StreamId::new(2));
+        assert_eq!(v.stream(), StreamId::new(2));
+        let proposer = NodeId::new(2);
+        let requested: Vec<ChunkId> = (0..3).map(|i| ChunkId::new(StreamId::new(2), i)).collect();
+        let actions = v.on_request_sent(proposer, requested.into(), SimTime::ZERO);
+        let out = v.on_timer(timers(&actions)[0], SimTime::from_millis(500));
+        let bs = blames(&out);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].stream, StreamId::new(2), "blame carries its channel");
+        // The default verifier blames on the primary stream.
+        assert_eq!(
+            Blame::new(proposer, 1.0, BlameReason::MissingAck).stream,
+            StreamId::PRIMARY
+        );
+    }
+
+    #[test]
     fn full_serves_produce_no_blame() {
         let mut v = verifier(1);
         let proposer = NodeId::new(2);
         let actions = v.on_request_sent(proposer, ids(&[1, 2]).into(), SimTime::ZERO);
-        v.on_serve_received(proposer, ChunkId::new(1), SimTime::from_millis(10));
-        v.on_serve_received(proposer, ChunkId::new(2), SimTime::from_millis(20));
+        v.on_serve_received(proposer, ChunkId::primary(1), SimTime::from_millis(10));
+        v.on_serve_received(proposer, ChunkId::primary(2), SimTime::from_millis(20));
         let out = v.on_timer(timers(&actions)[0], SimTime::from_millis(500));
         assert!(blames(&out).is_empty());
         assert_eq!(v.blames_emitted(), 0);
@@ -738,6 +779,7 @@ mod tests {
                 *w,
                 ConfirmResponsePayload {
                     subject: receiver,
+                    stream: StreamId::PRIMARY,
                     token,
                     confirmed: true,
                 },

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use lifting_sim::NodeId;
+use lifting_sim::{NodeId, StreamId};
 use rand::Rng;
 
 use crate::directory::Directory;
@@ -64,22 +64,26 @@ impl PartnerSelector {
         &self.policy
     }
 
-    /// Selects `fanout` distinct partners for `me` from the active nodes of
-    /// `directory`.
+    /// Selects `fanout` distinct partners for `me` among the participants of
+    /// `stream` (active and subscribed) in `directory`.
+    ///
+    /// On a single-stream directory participation degenerates to activity and
+    /// every policy consumes exactly the RNG draws it always did.
     pub fn select<R: Rng + ?Sized>(
         &mut self,
         me: NodeId,
         fanout: usize,
         directory: &Directory,
+        stream: StreamId,
         rng: &mut R,
     ) -> Vec<NodeId> {
         match &self.policy {
-            SelectionPolicy::Uniform => directory.sample_uniform(rng, fanout, me),
+            SelectionPolicy::Uniform => directory.sample_stream(rng, fanout, me, stream),
             SelectionPolicy::ColludingBias { colluders, pm } => {
                 let active_colluders: Vec<NodeId> = colluders
                     .iter()
                     .copied()
-                    .filter(|c| *c != me && directory.is_active(*c))
+                    .filter(|c| *c != me && directory.is_participant(*c, stream))
                     .collect();
                 let mut picked: Vec<NodeId> = Vec::with_capacity(fanout);
                 let mut guard = 0;
@@ -90,7 +94,7 @@ impl PartnerSelector {
                     let candidate = if pick_colluder {
                         active_colluders[rng.gen_range(0..active_colluders.len())]
                     } else {
-                        match directory.sample_uniform(rng, 1, me).first() {
+                        match directory.sample_stream(rng, 1, me, stream).first() {
                             Some(c) => *c,
                             None => break,
                         }
@@ -116,7 +120,7 @@ impl PartnerSelector {
                         self.round_robin_cursor = self.round_robin_cursor.wrapping_add(1);
                         scanned += 1;
                         if candidate != me
-                            && directory.is_active(candidate)
+                            && directory.is_participant(candidate, stream)
                             && !picked.contains(&candidate)
                         {
                             picked.push(candidate);
@@ -128,7 +132,7 @@ impl PartnerSelector {
                 // uniformly sampled non-coalition partners, duplicates barred.
                 if picked.len() < fanout {
                     let need = fanout - picked.len();
-                    directory.sample_uniform_into(rng, need, me, &mut picked);
+                    directory.sample_stream_into(rng, need, me, stream, &mut picked);
                 }
                 picked
             }
@@ -150,7 +154,7 @@ mod tests {
         let dir = Directory::new(100);
         let mut sel = PartnerSelector::uniform();
         let mut rng = derive_rng(1, 0);
-        let partners = sel.select(NodeId::new(5), 12, &dir, &mut rng);
+        let partners = sel.select(NodeId::new(5), 12, &dir, StreamId::PRIMARY, &mut rng);
         assert_eq!(partners.len(), 12);
         assert!(!partners.contains(&NodeId::new(5)));
     }
@@ -167,7 +171,7 @@ mod tests {
         let mut colluder_picks = 0usize;
         let mut total = 0usize;
         for _ in 0..500 {
-            let partners = sel.select(NodeId::new(0), 7, &dir, &mut rng);
+            let partners = sel.select(NodeId::new(0), 7, &dir, StreamId::PRIMARY, &mut rng);
             total += partners.len();
             colluder_picks += partners.iter().filter(|p| coalition.contains(p)).count();
         }
@@ -187,7 +191,7 @@ mod tests {
             pm: 0.0,
         });
         let mut rng = derive_rng(3, 0);
-        let partners = sel.select(NodeId::new(0), 10, &dir, &mut rng);
+        let partners = sel.select(NodeId::new(0), 10, &dir, StreamId::PRIMARY, &mut rng);
         assert_eq!(partners.len(), 10);
     }
 
@@ -200,8 +204,8 @@ mod tests {
         });
         let mut rng = derive_rng(4, 0);
         // Node 10 cycles over the other 4 members.
-        let first = sel.select(NodeId::new(10), 2, &dir, &mut rng);
-        let second = sel.select(NodeId::new(10), 2, &dir, &mut rng);
+        let first = sel.select(NodeId::new(10), 2, &dir, StreamId::PRIMARY, &mut rng);
+        let second = sel.select(NodeId::new(10), 2, &dir, StreamId::PRIMARY, &mut rng);
         assert_eq!(first, vec![NodeId::new(11), NodeId::new(12)]);
         assert_eq!(second, vec![NodeId::new(13), NodeId::new(14)]);
     }
@@ -218,16 +222,16 @@ mod tests {
             colluders: coalition,
         });
         let mut rng = derive_rng(7, 0);
-        let first = sel.select(NodeId::new(10), 2, &dir, &mut rng);
+        let first = sel.select(NodeId::new(10), 2, &dir, StreamId::PRIMARY, &mut rng);
         assert_eq!(first, vec![NodeId::new(11), NodeId::new(12)]);
         // Member 13 departs mid-cycle: the rotation resumes at 14 without
         // re-serving 11/12 and without skipping anyone else.
         dir.deactivate(NodeId::new(13));
-        let second = sel.select(NodeId::new(10), 1, &dir, &mut rng);
+        let second = sel.select(NodeId::new(10), 1, &dir, StreamId::PRIMARY, &mut rng);
         assert_eq!(second, vec![NodeId::new(14)]);
         // 13 rejoins: the next full cycle serves every member exactly once.
         dir.activate(NodeId::new(13));
-        let third = sel.select(NodeId::new(10), 4, &dir, &mut rng);
+        let third = sel.select(NodeId::new(10), 4, &dir, StreamId::PRIMARY, &mut rng);
         assert_eq!(
             third,
             vec![
@@ -249,7 +253,7 @@ mod tests {
         });
         let mut rng = derive_rng(8, 0);
         for _ in 0..50 {
-            let partners = sel.select(NodeId::new(1), 7, &dir, &mut rng);
+            let partners = sel.select(NodeId::new(1), 7, &dir, StreamId::PRIMARY, &mut rng);
             assert_eq!(partners.len(), 7, "fanout must not silently shrink");
             let unique: std::collections::HashSet<_> = partners.iter().collect();
             assert_eq!(unique.len(), 7, "partners must be distinct");
@@ -267,7 +271,7 @@ mod tests {
             colluders: coalition(&[20]),
         });
         let mut rng = derive_rng(5, 0);
-        let partners = sel.select(NodeId::new(1), 6, &dir, &mut rng);
+        let partners = sel.select(NodeId::new(1), 6, &dir, StreamId::PRIMARY, &mut rng);
         assert_eq!(partners.len(), 6);
     }
 
@@ -281,7 +285,7 @@ mod tests {
         });
         let mut rng = derive_rng(6, 0);
         for _ in 0..50 {
-            let partners = sel.select(NodeId::new(1), 2, &dir, &mut rng);
+            let partners = sel.select(NodeId::new(1), 2, &dir, StreamId::PRIMARY, &mut rng);
             assert!(!partners.contains(&NodeId::new(2)));
         }
     }

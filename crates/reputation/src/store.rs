@@ -94,13 +94,23 @@ impl ManagerState {
         observed: impl Fn(NodeId) -> bool,
     ) {
         let credit = compensation_per_period.max(0.0);
+        self.end_period_credited(|n| observed(n).then_some(credit));
+    }
+
+    /// The general period end: `credit` returns the compensation owed to
+    /// each managed node this period, or `None` to freeze the record (the
+    /// churn-aware "unobserved" case). Multi-channel runtimes credit each
+    /// node the sum of its subscribed streams' Equation 5 values — a node
+    /// watching one channel is only exposed to that channel's wrongful
+    /// blames, so it must only be compensated for them.
+    pub fn end_period_credited(&mut self, credit: impl Fn(NodeId) -> Option<f64>) {
         for (idx, r) in self.records.iter_mut().enumerate() {
             let Some(r) = r else { continue };
-            if !observed(NodeId::new(idx as u32)) {
+            let Some(c) = credit(NodeId::new(idx as u32)) else {
                 continue;
-            }
+            };
             r.periods += 1;
-            r.compensation += credit;
+            r.compensation += c.max(0.0);
         }
     }
 

@@ -15,12 +15,12 @@ use lifting_gossip::StreamSource;
 use lifting_membership::{ChurnPlan, Directory};
 use lifting_net::{Network, NodeCapability};
 use lifting_reputation::ManagerAssignment;
-use lifting_sim::{derive_rng, NodeId, SimDuration, SimTime};
+use lifting_sim::{derive_rng, NodeId, SimDuration, SimTime, StreamId};
 use rand::Rng;
 
 use crate::layers::{
     Adversary, AuditCoordinator, BlameSpammer, Colluder, Freerider, Honest, NodeStack,
-    OnOffFreerider,
+    OnOffFreerider, SelectiveFreerider,
 };
 use crate::message::{Event, CHURN_EPOCH_ANY};
 use crate::scenario::{AdversaryScenario, ScenarioConfig};
@@ -34,6 +34,16 @@ use crate::world::{ChurnRuntime, SystemWorld};
 const CHURN_PLAN_STREAM: u64 = 5;
 const CHURN_SCHEDULE_STREAM: u64 = 6;
 const CHURN_WORLD_STREAM: u64 = 7;
+/// Fresh RNG stream for draws that only exist in multi-channel runs (the
+/// audit plane's stream picks). Single-stream scenarios never read it, so
+/// they consume exactly the streams they always did — the bit-compat
+/// contract of the multistream refactor.
+const MULTISTREAM_STREAM: u64 = 8;
+
+/// The multistream draw stream (consumed only when `stream_count > 1`).
+pub(crate) fn multistream_rng(seed: u64) -> rand::rngs::SmallRng {
+    derive_rng(seed, MULTISTREAM_STREAM)
+}
 
 /// Expands the scenario's churn schedule into its per-node plan, identically
 /// wherever it is called from (the draw order is fixed by the plan stream).
@@ -90,6 +100,9 @@ pub fn adversary_for(
             blames_per_period,
             blame_value,
         }),
+        AdversaryScenario::SelectiveFreerider { silent_mask } => {
+            Box::new(SelectiveFreerider { silent_mask })
+        }
     }
 }
 
@@ -99,7 +112,22 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
     let n = config.nodes;
     let seed = config.seed;
 
-    let directory = Directory::new(n);
+    // Membership: one directory for every channel. Single-stream scenarios
+    // build the exact same subscription-less directory they always did;
+    // multi-channel ones add per-stream subscription sets cut to each
+    // stream's audience (the source always subscribes everywhere).
+    let streams = config.stream_count();
+    let mut directory = Directory::with_streams(n, streams);
+    if streams > 1 {
+        for stream in config.stream_ids() {
+            let audience = config.stream_spec(stream).audience;
+            for i in 1..n {
+                if !audience.includes(i, n) {
+                    directory.unsubscribe(NodeId::new(i as u32), stream);
+                }
+            }
+        }
+    }
     let mut network = Network::new(n, config.network.clone(), derive_rng(seed, 1));
 
     // Node capabilities: the source and a fraction of the honest nodes.
@@ -133,13 +161,14 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
 
     let stacks: Vec<NodeStack> = (0..n)
         .map(|i| {
-            NodeStack::new(
+            NodeStack::with_streams(
                 NodeId::new(i as u32),
                 config.gossip,
                 config.lifting,
                 config.lifting_enabled,
                 adversary_for(&config, i, &coalition),
                 derive_rng(seed, 1000 + i as u64),
+                streams,
             )
         })
         .collect();
@@ -155,20 +184,29 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
     }
 
     // Per-period compensation of wrongful blames (Equation 5, adapted to
-    // the scenario's loss rate, fanout, request size and pdcc).
+    // each stream's loss rate, fanout, request size and pdcc). One value per
+    // stream: a node's credit is the sum over the channels it subscribes to,
+    // matching the blame exposure the channels create. Stream 0's value is
+    // computed with the exact expression single-stream builds always used.
     let pr = config.network.loss.reception_probability();
-    let chunks_per_period = config.stream_rate_bps as f64 / (config.chunk_size as f64 * 8.0)
-        * config.gossip.gossip_period.as_secs_f64();
-    let requested = (chunks_per_period / config.gossip.fanout as f64)
-        .ceil()
-        .max(1.0) as usize;
-    let params = ProtocolParams::new(config.gossip.fanout, requested, pr);
-    let compensation_per_period = if config.lifting.compensate_wrongful_blames {
-        params.expected_blame_direct_verification()
-            + config.lifting.pdcc * params.expected_blame_cross_checking()
-    } else {
-        0.0
-    };
+    let compensation_per_stream: Vec<f64> = config
+        .stream_ids()
+        .map(|stream| {
+            let spec = config.stream_spec(stream);
+            let chunks_per_period = spec.rate_bps as f64 / (spec.chunk_size as f64 * 8.0)
+                * config.gossip.gossip_period.as_secs_f64();
+            let requested = (chunks_per_period / config.gossip.fanout as f64)
+                .ceil()
+                .max(1.0) as usize;
+            let params = ProtocolParams::new(config.gossip.fanout, requested, pr);
+            if config.lifting.compensate_wrongful_blames {
+                params.expected_blame_direct_verification()
+                    + config.lifting.pdcc * params.expected_blame_cross_checking()
+            } else {
+                0.0
+            }
+        })
+        .collect();
 
     // Entropy threshold calibrated for this deployment's history size and
     // population (the paper's 8.95 corresponds to 600 entries / 10,000
@@ -187,13 +225,19 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
         gamma,
     ));
 
-    let source = StreamSource::new(config.stream_rate_bps, config.chunk_size);
+    let sources: Vec<StreamSource> = config
+        .stream_ids()
+        .map(|stream| {
+            let spec = config.stream_spec(stream);
+            StreamSource::new(stream, spec.rate_bps, spec.chunk_size)
+                .starting_at(SimTime::ZERO + spec.start_offset)
+        })
+        .collect();
 
     // Membership dynamics: flash-crowd members are held offline from the
     // start (the directory is the single source of truth for activity, and
     // the network drops traffic of cut-off nodes); the per-node plan and the
     // live RNG stream move into the world, which executes the schedule.
-    let mut directory = directory;
     let mut initial_sessions = 0u64;
     let churn = churn_plan(&config).map(|plan| {
         for i in 1..n {
@@ -218,9 +262,11 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
         stacks,
         assignment,
         audits,
-        source,
-        emitted_chunks: Vec::new(),
-        compensation_per_period,
+        sources,
+        emitted: vec![Vec::new(); streams],
+        compensation_per_stream,
+        blame_counts: vec![0; n * streams],
+        blame_values: vec![0.0; n * streams],
         expulsion_voters: vec![Vec::new(); n],
         expelled: vec![false; n],
         tick_epochs: vec![0; n],
@@ -231,6 +277,7 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
         audits_aborted_by_departure: 0,
         coalition,
         rng: derive_rng(seed, 3),
+        mstream_rng: multistream_rng(seed),
         scratch_downcalls: Vec::new(),
         scratch_nodes: Vec::new(),
         scratch_votes: Vec::new(),
@@ -243,7 +290,22 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
 /// period end and — when the scenario churns — the membership transitions of
 /// the schedule (first departures, flash-crowd joins, the catastrophe wave).
 pub fn initial_events(config: &ScenarioConfig) -> Vec<(SimTime, Event)> {
-    let mut events = vec![(SimTime::ZERO, Event::SourceEmit)];
+    // The primary stream's first emission is scheduled exactly where the
+    // single-stream runtime always put it; extra channels follow at their
+    // start offsets.
+    let mut events = vec![(
+        SimTime::ZERO,
+        Event::SourceEmit {
+            stream: StreamId::PRIMARY,
+        },
+    )];
+    for stream in config.stream_ids().skip(1) {
+        let spec = config.stream_spec(stream);
+        events.push((
+            SimTime::ZERO + spec.start_offset,
+            Event::SourceEmit { stream },
+        ));
+    }
     let period = config.gossip.gossip_period;
     let n = config.nodes;
     for i in 0..n {
@@ -376,6 +438,6 @@ mod tests {
             .count();
         assert_eq!(gossip_ticks, 5);
         assert_eq!(audit_ticks, 4, "the source never audits");
-        assert!(matches!(events[0], (t, Event::SourceEmit) if t == SimTime::ZERO));
+        assert!(matches!(events[0], (t, Event::SourceEmit { .. }) if t == SimTime::ZERO));
     }
 }

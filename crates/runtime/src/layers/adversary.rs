@@ -14,7 +14,7 @@ use std::sync::Arc;
 use lifting_core::{Blame, BlameReason, CollusionConfig};
 use lifting_gossip::{Behavior, FreeriderConfig, GossipNode};
 use lifting_membership::{PartnerSelector, SelectionPolicy};
-use lifting_sim::NodeId;
+use lifting_sim::{NodeId, StreamId};
 
 use super::LayerEnv;
 
@@ -40,10 +40,24 @@ pub trait Adversary: std::fmt::Debug + Send {
         Behavior::Honest
     }
 
+    /// Dissemination behaviour on one channel of a multi-stream stack.
+    /// Defaults to the same deviation on every channel; stream-selective
+    /// adversaries (honest on one channel, silent on another) override this.
+    fn dissemination_plane_for(&self, _stream: StreamId) -> Behavior {
+        self.dissemination_plane()
+    }
+
     /// Membership-plane partner selection (colluders bias it towards the
     /// coalition — Section 4.1(iii)).
     fn membership_plane(&self) -> PartnerSelector {
         PartnerSelector::uniform()
+    }
+
+    /// Partner selection on one channel. Defaults to the same policy on
+    /// every channel (each plane still gets its **own** selector instance:
+    /// round-robin cursors and the like are plane-local state).
+    fn membership_plane_for(&self, _stream: StreamId) -> PartnerSelector {
+        self.membership_plane()
     }
 
     /// Verification-plane collusion (cover-up, man-in-the-middle —
@@ -52,13 +66,13 @@ pub trait Adversary: std::fmt::Debug + Send {
         CollusionConfig::none()
     }
 
-    /// Hook run at the start of every gossip tick, before the propose phase;
-    /// `period` is the counter the upcoming propose round will carry (i.e.
-    /// `ProposeRound::period`, the pre-increment value the verifier's history
-    /// records for the round). Time-varying adversaries reshape the
-    /// dissemination plane here. Implementations used by the paper's
-    /// scenarios must not consume RNG.
-    fn on_gossip_tick(&mut self, _period: u64, _gossip: &mut GossipNode) {}
+    /// Hook run at the start of every gossip tick, once per stream plane and
+    /// before that plane's propose phase; `period` is the counter the
+    /// upcoming propose round will carry (i.e. `ProposeRound::period`, the
+    /// pre-increment value the verifier's history records for the round).
+    /// Time-varying adversaries reshape the dissemination plane here.
+    /// Implementations used by the paper's scenarios must not consume RNG.
+    fn on_gossip_tick(&mut self, _stream: StreamId, _period: u64, _gossip: &mut GossipNode) {}
 
     /// Blames this node fabricates out of thin air at the end of its gossip
     /// tick (the blame-spamming attack on the reputation plane). Honest and
@@ -187,7 +201,7 @@ impl Adversary for OnOffFreerider {
         Behavior::Freerider(self.degree)
     }
 
-    fn on_gossip_tick(&mut self, period: u64, gossip: &mut GossipNode) {
+    fn on_gossip_tick(&mut self, _stream: StreamId, period: u64, gossip: &mut GossipNode) {
         let behavior = if self.is_on(period) {
             Behavior::Freerider(self.degree)
         } else {
@@ -234,6 +248,59 @@ impl Adversary for BlameSpammer {
                 ))
             })
             .collect()
+    }
+}
+
+/// A **selective freerider** — the multi-channel attack: the node behaves
+/// honestly on some channels and goes fully silent (proposes to nobody,
+/// serves nothing) on the channels named in its mask. With per-channel
+/// reputation the node would keep its good standing — and its stream — on
+/// the honest channels; because the managers aggregate blames *across*
+/// channels into one score per node, the silence on one channel gets it
+/// expelled from all of them.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectiveFreerider {
+    /// Bitmask of silenced streams (bit `s` = stream `s`).
+    pub silent_mask: u64,
+}
+
+impl SelectiveFreerider {
+    /// Full silence: never propose, never serve. The absent proposals starve
+    /// the plane of acks (`MissingAck` blames, `f` each) and every request
+    /// the node *does* make goes unserved nowhere — the strongest
+    /// per-channel misbehaviour short of leaving.
+    pub const SILENT: FreeriderConfig = FreeriderConfig {
+        delta1: 1.0,
+        delta2: 0.0,
+        delta3: 1.0,
+        period_stretch: 1,
+    };
+
+    /// True if the node is silent on `stream`.
+    pub fn silences(&self, stream: StreamId) -> bool {
+        (self.silent_mask >> stream.index()) & 1 == 1
+    }
+}
+
+impl Adversary for SelectiveFreerider {
+    fn name(&self) -> &'static str {
+        "selective-freerider"
+    }
+
+    fn is_freerider(&self) -> bool {
+        true
+    }
+
+    fn dissemination_plane(&self) -> Behavior {
+        self.dissemination_plane_for(StreamId::PRIMARY)
+    }
+
+    fn dissemination_plane_for(&self, stream: StreamId) -> Behavior {
+        if self.silences(stream) {
+            Behavior::Freerider(Self::SILENT)
+        } else {
+            Behavior::Honest
+        }
     }
 }
 
@@ -298,10 +365,26 @@ mod tests {
             GossipConfig::planetlab(),
             Behavior::Freerider(adversary.degree),
         );
-        adversary.on_gossip_tick(2, &mut gossip);
+        adversary.on_gossip_tick(StreamId::PRIMARY, 2, &mut gossip);
         assert_eq!(gossip.behavior(), &Behavior::Honest);
-        adversary.on_gossip_tick(5, &mut gossip);
+        adversary.on_gossip_tick(StreamId::PRIMARY, 5, &mut gossip);
         assert!(gossip.behavior().is_freerider());
+    }
+
+    #[test]
+    fn selective_freerider_is_honest_per_channel() {
+        let adversary = SelectiveFreerider { silent_mask: 0b10 };
+        assert!(adversary.is_freerider());
+        assert_eq!(
+            adversary.dissemination_plane_for(StreamId::new(0)),
+            Behavior::Honest
+        );
+        let silent = adversary.dissemination_plane_for(StreamId::new(1));
+        assert!(silent.is_freerider());
+        // Fully silent: zero effective fanout, zero serves.
+        let mut rng = derive_rng(3, 0);
+        assert_eq!(silent.effective_fanout(7, &mut rng), 0);
+        assert_eq!(silent.effective_serve(4, &mut rng), 0);
     }
 
     #[test]
@@ -314,6 +397,7 @@ mod tests {
         let mut rng = derive_rng(7, 0);
         let mut env = LayerEnv {
             me: NodeId::new(5),
+            stream: StreamId::PRIMARY,
             now: SimTime::ZERO,
             directory: &directory,
             rng: &mut rng,

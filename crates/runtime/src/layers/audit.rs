@@ -18,7 +18,7 @@ use lifting_core::{AuditOracle, AuditVerdict, Auditor, Blame, BlameReason, Verif
 use lifting_gossip::ChunkId;
 use lifting_membership::Directory;
 use lifting_net::{Network, TrafficCategory};
-use lifting_sim::{NodeId, SimTime};
+use lifting_sim::{NodeId, SimTime, StreamId};
 
 use super::NodeStack;
 
@@ -55,11 +55,15 @@ impl AuditCoordinator {
         self.auditor.gamma()
     }
 
-    /// Audits `target` on behalf of `auditor`: transfers the history over the
-    /// network (accounted as audit traffic), polls the witnesses through the
-    /// live node states — skipping any witness the `directory` no longer
-    /// lists as active — runs the entropy and cross-checks, and returns the
-    /// outcome for the runtime to apply.
+    /// Audits `target`'s conduct **on one stream** on behalf of `auditor`:
+    /// transfers that plane's history over the network (accounted as audit
+    /// traffic), polls the witnesses through the live node states — skipping
+    /// any witness the `directory` no longer lists as active — runs the
+    /// entropy and cross-checks, and returns the outcome for the runtime to
+    /// apply. Histories are plane-local, so an audit always answers for a
+    /// specific channel; the blame it may produce carries that stream and
+    /// still lands in the target's one cross-stream score.
+    #[allow(clippy::too_many_arguments)]
     pub fn audit(
         &self,
         stacks: &[NodeStack],
@@ -67,12 +71,17 @@ impl AuditCoordinator {
         directory: &Directory,
         auditor: NodeId,
         target: NodeId,
+        stream: StreamId,
         now: SimTime,
     ) -> AuditOutcome {
         // Account the TCP history transfer. The history is only read, so the
         // transfer is sized and the audit run entirely from a borrow — the
         // old wiring cloned the whole bounded history twice per audit.
-        let history = stacks[target.index()].verification.verifier.history();
+        let history = stacks[target.index()]
+            .plane(stream)
+            .verification
+            .verifier
+            .history();
         network.send(
             now,
             auditor,
@@ -95,6 +104,7 @@ impl AuditCoordinator {
                 network,
                 directory,
                 auditor,
+                stream,
                 now,
                 missing_witness: false,
             };
@@ -123,7 +133,8 @@ impl AuditCoordinator {
             // blame or an expulsion. A clean pass stands either way.
             AuditVerdict::Expel | AuditVerdict::Blamed if missing_witness => AuditOutcome::Aborted,
             AuditVerdict::Expel => AuditOutcome::Expel,
-            AuditVerdict::Blamed => AuditOutcome::Blame(Blame::new(
+            AuditVerdict::Blamed => AuditOutcome::Blame(Blame::on_stream(
+                stream,
                 target,
                 report.blame,
                 BlameReason::UnconfirmedHistoryEntry,
@@ -141,6 +152,7 @@ struct StackAuditOracle<'a> {
     network: &'a mut Network,
     directory: &'a Directory,
     auditor: NodeId,
+    stream: StreamId,
     now: SimTime,
     missing_witness: bool,
 }
@@ -161,6 +173,7 @@ impl AuditOracle for StackAuditOracle<'_> {
         self.network
             .send(self.now, witness, self.auditor, 24, TrafficCategory::Audit);
         self.stacks[witness.index()]
+            .plane(self.stream)
             .verification
             .verifier
             .answer_audit_poll(subject, chunks)
@@ -174,6 +187,7 @@ impl AuditOracle for StackAuditOracle<'_> {
         self.network
             .send(self.now, self.auditor, witness, 32, TrafficCategory::Audit);
         let askers = self.stacks[witness.index()]
+            .plane(self.stream)
             .verification
             .verifier
             .confirm_askers_about(subject);

@@ -84,7 +84,9 @@ impl GossipLayer {
         upcalls: &mut Vec<GossipUpcall>,
     ) {
         let fanout = self.node.desired_fanout(env.rng);
-        let partners = self.selector.select(env.me, fanout, env.directory, env.rng);
+        let partners = self
+            .selector
+            .select(env.me, fanout, env.directory, env.stream, env.rng);
         let round = self.node.begin_propose_round(env.now, partners, env.rng);
         if env.upcalls_consumed {
             upcalls.push(GossipUpcall::PeriodBegan(self.node.period()));
@@ -212,6 +214,7 @@ mod tests {
     ) -> LayerEnv<'a> {
         LayerEnv {
             me: NodeId::new(me),
+            stream: lifting_sim::StreamId::PRIMARY,
             now: SimTime::ZERO,
             directory,
             rng,
@@ -228,7 +231,7 @@ mod tests {
             PartnerSelector::uniform(),
         );
         layer.inject_source_chunk(
-            Chunk::new(ChunkId::new(1), 1_000, SimTime::ZERO),
+            Chunk::new(ChunkId::primary(1), 1_000, SimTime::ZERO),
             SimTime::ZERO,
         );
         let mut sends = Vec::new();
@@ -254,7 +257,7 @@ mod tests {
             NodeId::new(0),
             GossipMessage::Propose(ProposePayload {
                 period: 0,
-                chunks: vec![ChunkId::new(9)].into(),
+                chunks: vec![ChunkId::primary(9)].into(),
             }),
             &mut out,
             &mut upcalls,
@@ -286,7 +289,7 @@ mod tests {
             NodeId::new(0),
             GossipMessage::Propose(ProposePayload {
                 period: 0,
-                chunks: vec![ChunkId::new(9)].into(),
+                chunks: vec![ChunkId::primary(9)].into(),
             }),
             &mut out,
             &mut upcalls,

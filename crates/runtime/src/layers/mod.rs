@@ -41,16 +41,18 @@ pub mod reputation;
 pub mod stack;
 pub mod verification;
 
-pub use adversary::{Adversary, BlameSpammer, Colluder, Freerider, Honest, OnOffFreerider};
+pub use adversary::{
+    Adversary, BlameSpammer, Colluder, Freerider, Honest, OnOffFreerider, SelectiveFreerider,
+};
 pub use audit::{AuditCoordinator, AuditOutcome};
 pub use gossip::{GossipLayer, GossipUpcall};
 pub use reputation::ReputationLayer;
-pub use stack::NodeStack;
+pub use stack::{NodeStack, StreamPlane};
 pub use verification::VerificationLayer;
 
 use lifting_core::{Blame, VerifierTimer};
 use lifting_membership::Directory;
-use lifting_sim::{NodeId, SimTime};
+use lifting_sim::{NodeId, SimTime, StreamId};
 use rand::rngs::SmallRng;
 
 use crate::message::Message;
@@ -72,6 +74,9 @@ pub enum Downcall {
     },
     /// Arm a verifier timer for this node.
     StartTimer {
+        /// The stream plane whose verifier owns the timer (tokens are
+        /// plane-local; the runtime echoes the stream back on expiry).
+        stream: StreamId,
         /// The timer to arm.
         timer: VerifierTimer,
         /// When it expires.
@@ -87,6 +92,10 @@ pub enum Downcall {
 pub struct LayerEnv<'a> {
     /// The node this stack belongs to.
     pub me: NodeId,
+    /// The stream plane currently being driven (partner selection and
+    /// subscription checks are per-stream; the primary stream in every
+    /// single-channel run).
+    pub stream: StreamId,
     /// Current simulated time.
     pub now: SimTime,
     /// Membership view (read-only: layers never mutate the directory).

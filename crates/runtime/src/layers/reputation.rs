@@ -46,6 +46,13 @@ impl ReputationLayer {
             .end_period_filtered(compensation_per_period, observed);
     }
 
+    /// Per-node credited period end: `None` freezes the record (departed),
+    /// `Some(c)` ages it and credits `c` — the multi-channel runtime passes
+    /// each node's subscription-weighted compensation here.
+    pub fn end_period_credited(&mut self, credit: impl Fn(NodeId) -> Option<f64>) {
+        self.manager.end_period_credited(credit);
+    }
+
     /// Nodes newly voted for expulsion at the current scores (Equation 6).
     pub fn expulsion_votes(&mut self, eta: f64, min_periods: u64) -> Vec<NodeId> {
         self.manager.expulsion_votes(eta, min_periods)
@@ -103,6 +110,7 @@ mod tests {
         let mut rng = derive_rng(0, 0);
         let mut env = LayerEnv {
             me: NodeId::new(1),
+            stream: lifting_sim::StreamId::PRIMARY,
             now: SimTime::ZERO,
             directory: &directory,
             rng: &mut rng,

@@ -1,10 +1,17 @@
 //! The per-node protocol stack: routes wire traffic and upcalls between the
-//! gossip, verification and reputation layers.
+//! per-stream gossip/verification planes and the shared reputation layer.
+//!
+//! A node participates in every stream of the scenario through a dedicated
+//! [`StreamPlane`] — its own chunk store, playout buffer, partner selector,
+//! verification history and timers — while a **single** [`ReputationLayer`]
+//! books blames from all planes into one score per node. That asymmetry is
+//! the point of the design: data planes are per-channel, accountability is
+//! per-node, so misbehaving on one channel costs access to all of them.
 
 use lifting_core::{LiftingConfig, Verifier, VerifierTimer};
 use lifting_gossip::{GossipConfig, GossipNode};
 use lifting_membership::Directory;
-use lifting_sim::{NodeId, SimTime};
+use lifting_sim::{NodeId, SimTime, StreamId};
 use rand::rngs::SmallRng;
 
 use super::{
@@ -13,30 +20,44 @@ use super::{
 };
 use crate::message::Message;
 
-/// One node of the simulated system: the three protocol layers, the
-/// adversary shaping them, and the node's private RNG stream.
+/// One stream's data plane on one node: dissemination plus verification.
 #[derive(Debug)]
-pub struct NodeStack {
+pub struct StreamPlane {
+    /// The stream this plane carries.
+    pub stream: StreamId,
     /// The dissemination plane.
     pub gossip: GossipLayer,
     /// The verification plane (direct verification + cross-checking).
     pub verification: VerificationLayer,
-    /// The reputation plane (this node's manager role).
+}
+
+/// One node of the simulated system: a protocol plane per stream, the shared
+/// reputation plane, the adversary shaping them, and the node's private RNG
+/// stream.
+#[derive(Debug)]
+pub struct NodeStack {
+    /// Per-stream planes, indexed by [`StreamId`].
+    pub planes: Vec<StreamPlane>,
+    /// The reputation plane (this node's manager role) — one book per node,
+    /// shared by every stream: blames aggregate across channels.
     pub reputation: ReputationLayer,
     /// The node's strategy; configured the planes and keeps reshaping them.
     pub adversary: Box<dyn Adversary>,
-    /// The node's private RNG stream.
+    /// The node's private RNG stream (shared by its planes; single-stream
+    /// runs therefore consume exactly the draws they always did).
     pub rng: SmallRng,
     /// Ground truth for the metrics (from the adversary, cached).
     pub is_freerider: bool,
-    /// Recycled scratch for the gossip layer's sends (allocation-free path).
+    /// Recycled scratch for the gossip layers' sends (allocation-free path).
     scratch_sends: Vec<Downcall>,
-    /// Recycled scratch for the gossip layer's upcalls.
+    /// Recycled scratch for the gossip layers' upcalls.
     scratch_upcalls: Vec<GossipUpcall>,
 }
 
 impl NodeStack {
-    /// Builds a node stack: the adversary configures every plane.
+    /// Builds a single-stream node stack: the adversary configures every
+    /// plane. Identical to [`with_streams`](NodeStack::with_streams) with one
+    /// stream.
     pub fn new(
         id: NodeId,
         gossip_config: GossipConfig,
@@ -45,16 +66,57 @@ impl NodeStack {
         adversary: Box<dyn Adversary>,
         rng: SmallRng,
     ) -> Self {
+        NodeStack::with_streams(
+            id,
+            gossip_config,
+            lifting_config,
+            lifting_enabled,
+            adversary,
+            rng,
+            1,
+        )
+    }
+
+    /// Builds a node stack carrying `streams` concurrent channels. The
+    /// adversary configures each plane (possibly differently per stream —
+    /// see [`Adversary::dissemination_plane_for`]); the reputation book is
+    /// one and shared.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_streams(
+        id: NodeId,
+        gossip_config: GossipConfig,
+        lifting_config: LiftingConfig,
+        lifting_enabled: bool,
+        adversary: Box<dyn Adversary>,
+        rng: SmallRng,
+        streams: usize,
+    ) -> Self {
         let fanout = gossip_config.fanout;
         let is_freerider = adversary.is_freerider();
-        let gossip = GossipLayer::new(
-            GossipNode::new(id, gossip_config, adversary.dissemination_plane()),
-            adversary.membership_plane(),
-        );
-        let verifier = Verifier::new(id, fanout, lifting_config, adversary.verification_plane());
+        let planes = (0..streams.max(1))
+            .map(|s| {
+                let stream = StreamId::new(s as u16);
+                let gossip = GossipLayer::new(
+                    GossipNode::for_stream(
+                        id,
+                        stream,
+                        gossip_config,
+                        adversary.dissemination_plane_for(stream),
+                    ),
+                    adversary.membership_plane_for(stream),
+                );
+                let verifier =
+                    Verifier::new(id, fanout, lifting_config, adversary.verification_plane())
+                        .for_stream(stream);
+                StreamPlane {
+                    stream,
+                    gossip,
+                    verification: VerificationLayer::new(verifier, lifting_enabled),
+                }
+            })
+            .collect();
         NodeStack {
-            gossip,
-            verification: VerificationLayer::new(verifier, lifting_enabled),
+            planes,
             reputation: ReputationLayer::new(),
             adversary,
             rng,
@@ -66,17 +128,50 @@ impl NodeStack {
 
     /// The node's identifier.
     pub fn id(&self) -> NodeId {
-        self.gossip.node.id()
+        self.planes[0].gossip.node.id()
     }
 
-    /// Runs one gossip tick (the propose phase): the adversary may reshape
-    /// the dissemination plane first, the gossip layer runs the phase, its
-    /// upcalls drive the verification layer, and fabricated blames (if the
-    /// adversary spams the reputation plane) are appended last.
+    /// The plane carrying `stream`.
+    pub fn plane(&self, stream: StreamId) -> &StreamPlane {
+        &self.planes[stream.index()]
+    }
+
+    /// Mutable access to the plane carrying `stream`.
+    pub fn plane_mut(&mut self, stream: StreamId) -> &mut StreamPlane {
+        &mut self.planes[stream.index()]
+    }
+
+    /// The primary stream's plane (the only one in single-channel runs).
+    pub fn primary(&self) -> &StreamPlane {
+        &self.planes[0]
+    }
+
+    /// Outstanding verification checks across every plane (tests, leak
+    /// detection).
+    pub fn pending_checks(&self) -> usize {
+        self.planes
+            .iter()
+            .map(|p| p.verification.verifier.pending_checks())
+            .sum()
+    }
+
+    /// Blames emitted across every plane.
+    pub fn blames_emitted(&self) -> u64 {
+        self.planes
+            .iter()
+            .map(|p| p.verification.verifier.blames_emitted())
+            .sum()
+    }
+
+    /// Runs one gossip tick: every subscribed plane runs its propose phase in
+    /// stream order — the adversary may reshape each dissemination plane
+    /// first, the gossip layer runs the phase, its upcalls drive the plane's
+    /// verification layer — and fabricated blames (if the adversary spams the
+    /// reputation plane) are appended once, last.
     ///
-    /// Downcall order mirrors the pre-refactor runtime exactly:
-    /// verification traffic (acks, timers) first, then the propose sends,
-    /// then adversarial extras.
+    /// Downcall order within a plane mirrors the pre-multistream runtime
+    /// exactly: verification traffic (acks, timers) first, then the propose
+    /// sends, then (after all planes) adversarial extras.
     pub fn on_gossip_tick(
         &mut self,
         me: NodeId,
@@ -86,21 +181,39 @@ impl NodeStack {
     ) {
         let mut gossip_sends = std::mem::take(&mut self.scratch_sends);
         let mut upcalls = std::mem::take(&mut self.scratch_upcalls);
+        for plane in &mut self.planes {
+            if !directory.is_subscribed(me, plane.stream) {
+                continue; // not this node's channel
+            }
+            let mut env = LayerEnv {
+                me,
+                stream: plane.stream,
+                now,
+                directory,
+                rng: &mut self.rng,
+                upcalls_consumed: plane.verification.is_enabled(),
+            };
+            self.adversary.on_gossip_tick(
+                plane.stream,
+                plane.gossip.node.period(),
+                &mut plane.gossip.node,
+            );
+            plane
+                .gossip
+                .on_tick(&mut env, &mut gossip_sends, &mut upcalls);
+            for upcall in upcalls.drain(..) {
+                plane.verification.on_gossip_upcall(&mut env, upcall, out);
+            }
+            out.append(&mut gossip_sends);
+        }
         let mut env = LayerEnv {
             me,
+            stream: StreamId::PRIMARY,
             now,
             directory,
             rng: &mut self.rng,
-            upcalls_consumed: self.verification.is_enabled(),
+            upcalls_consumed: true,
         };
-        self.adversary
-            .on_gossip_tick(self.gossip.node.period(), &mut self.gossip.node);
-        self.gossip
-            .on_tick(&mut env, &mut gossip_sends, &mut upcalls);
-        for upcall in upcalls.drain(..) {
-            self.verification.on_gossip_upcall(&mut env, upcall, out);
-        }
-        out.append(&mut gossip_sends);
         for blame in self.adversary.fabricate_blames(&mut env) {
             out.push(Downcall::Blame(blame));
         }
@@ -108,7 +221,10 @@ impl NodeStack {
         self.scratch_upcalls = upcalls;
     }
 
-    /// Routes one delivered message into the stack.
+    /// Routes one delivered message into the stack: gossip and verification
+    /// traffic goes to the plane of the stream it belongs to (derived from
+    /// the chunk identities it carries), blames to the shared reputation
+    /// plane.
     pub fn on_message(
         &mut self,
         me: NodeId,
@@ -120,16 +236,19 @@ impl NodeStack {
     ) {
         let mut gossip_sends = std::mem::take(&mut self.scratch_sends);
         let mut upcalls = std::mem::take(&mut self.scratch_upcalls);
-        let mut env = LayerEnv {
-            me,
-            now,
-            directory,
-            rng: &mut self.rng,
-            upcalls_consumed: self.verification.is_enabled(),
-        };
         match message {
             Message::Gossip(gossip_message) => {
-                self.gossip.on_inbound(
+                let stream = gossip_message.stream().unwrap_or(StreamId::PRIMARY);
+                let plane = &mut self.planes[stream.index()];
+                let mut env = LayerEnv {
+                    me,
+                    stream,
+                    now,
+                    directory,
+                    rng: &mut self.rng,
+                    upcalls_consumed: plane.verification.is_enabled(),
+                };
+                plane.gossip.on_inbound(
                     &mut env,
                     from,
                     gossip_message,
@@ -137,13 +256,21 @@ impl NodeStack {
                     &mut upcalls,
                 );
                 for upcall in upcalls.drain(..) {
-                    self.verification.on_gossip_upcall(&mut env, upcall, out);
+                    plane.verification.on_gossip_upcall(&mut env, upcall, out);
                 }
                 out.append(&mut gossip_sends);
             }
             Message::Verification(verification_message) => {
                 let mut no_upcalls = Vec::new();
                 if verification_message.is_blame() {
+                    let mut env = LayerEnv {
+                        me,
+                        stream: StreamId::PRIMARY,
+                        now,
+                        directory,
+                        rng: &mut self.rng,
+                        upcalls_consumed: true,
+                    };
                     self.reputation.on_inbound(
                         &mut env,
                         from,
@@ -152,7 +279,17 @@ impl NodeStack {
                         &mut no_upcalls,
                     );
                 } else {
-                    self.verification.on_inbound(
+                    let stream = verification_message.stream().unwrap_or(StreamId::PRIMARY);
+                    let plane = &mut self.planes[stream.index()];
+                    let mut env = LayerEnv {
+                        me,
+                        stream,
+                        now,
+                        directory,
+                        rng: &mut self.rng,
+                        upcalls_consumed: plane.verification.is_enabled(),
+                    };
+                    plane.verification.on_inbound(
                         &mut env,
                         from,
                         verification_message,
@@ -166,30 +303,33 @@ impl NodeStack {
         self.scratch_upcalls = upcalls;
     }
 
-    /// A verifier timer owned by this node expired.
+    /// A verifier timer owned by one of this node's planes expired.
     pub fn on_timer(
         &mut self,
         me: NodeId,
+        stream: StreamId,
         timer: VerifierTimer,
         now: SimTime,
         directory: &Directory,
         out: &mut Vec<Downcall>,
     ) {
+        let plane = &mut self.planes[stream.index()];
         let mut env = LayerEnv {
             me,
+            stream,
             now,
             directory,
             rng: &mut self.rng,
-            upcalls_consumed: self.verification.is_enabled(),
+            upcalls_consumed: plane.verification.is_enabled(),
         };
-        self.verification.on_timer(&mut env, timer, out);
+        plane.verification.on_timer(&mut env, timer, out);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layers::{Freerider, Honest};
+    use crate::layers::{Freerider, Honest, SelectiveFreerider};
     use lifting_core::CollusionConfig;
     use lifting_gossip::FreeriderConfig;
     use lifting_sim::derive_rng;
@@ -209,8 +349,60 @@ mod tests {
     fn stack_wires_every_layer_with_the_same_identity() {
         let s = stack(4, Box::new(Honest));
         assert_eq!(s.id(), NodeId::new(4));
-        assert_eq!(s.gossip.node.id(), s.verification.verifier.id());
+        assert_eq!(s.primary().gossip.node.id(), NodeId::new(4));
+        assert_eq!(
+            s.primary().verification.verifier.id(),
+            s.primary().gossip.node.id()
+        );
         assert!(!s.is_freerider);
+        assert_eq!(s.planes.len(), 1);
+    }
+
+    #[test]
+    fn multistream_stack_keys_every_plane_by_its_stream() {
+        let s = NodeStack::with_streams(
+            NodeId::new(2),
+            GossipConfig::planetlab(),
+            LiftingConfig::planetlab(),
+            true,
+            Box::new(Honest),
+            derive_rng(1, 2),
+            3,
+        );
+        assert_eq!(s.planes.len(), 3);
+        for (i, plane) in s.planes.iter().enumerate() {
+            let stream = StreamId::new(i as u16);
+            assert_eq!(plane.stream, stream);
+            assert_eq!(plane.gossip.node.stream(), stream);
+            assert_eq!(plane.verification.verifier.stream(), stream);
+        }
+        assert_eq!(s.plane(StreamId::new(2)).stream, StreamId::new(2));
+    }
+
+    #[test]
+    fn selective_freerider_configures_planes_differently() {
+        let s = NodeStack::with_streams(
+            NodeId::new(3),
+            GossipConfig::planetlab(),
+            LiftingConfig::planetlab(),
+            true,
+            Box::new(SelectiveFreerider { silent_mask: 0b10 }),
+            derive_rng(1, 3),
+            2,
+        );
+        assert!(s.is_freerider);
+        assert!(!s
+            .plane(StreamId::new(0))
+            .gossip
+            .node
+            .behavior()
+            .is_freerider());
+        assert!(s
+            .plane(StreamId::new(1))
+            .gossip
+            .node
+            .behavior()
+            .is_freerider());
     }
 
     #[test]
@@ -222,11 +414,11 @@ mod tests {
             }),
         );
         assert!(s.is_freerider);
-        assert!(s.gossip.node.behavior().is_freerider());
+        assert!(s.primary().gossip.node.behavior().is_freerider());
         // Verification plane stays honest for an independent freerider.
         let collusion: &CollusionConfig = &CollusionConfig::none();
         assert_eq!(
-            s.verification.verifier.config().managers,
+            s.primary().verification.verifier.config().managers,
             LiftingConfig::planetlab().managers
         );
         assert!(!collusion.covers_up());

@@ -39,8 +39,20 @@ impl VerificationLayer {
         self.enabled
     }
 
+    /// The stream plane this layer verifies.
+    pub fn stream(&self) -> lifting_sim::StreamId {
+        self.verifier.stream()
+    }
+
     /// Converts verifier actions into downcalls, preserving their order.
-    fn push_actions(actions: impl IntoIterator<Item = VerifierAction>, out: &mut Vec<Downcall>) {
+    /// Timers are tagged with this plane's stream so the runtime can route
+    /// the expiry back into the right verifier (tokens are plane-local).
+    fn push_actions(
+        &self,
+        actions: impl IntoIterator<Item = VerifierAction>,
+        out: &mut Vec<Downcall>,
+    ) {
+        let stream = self.verifier.stream();
         for action in actions {
             out.push(match action {
                 VerifierAction::SendAck { to, ack } => Downcall::Send {
@@ -56,9 +68,11 @@ impl VerificationLayer {
                     message: Message::Verification(VerificationMessage::ConfirmResponse(response)),
                 },
                 VerifierAction::Blame(blame) => Downcall::Blame(blame),
-                VerifierAction::StartTimer { timer, deadline } => {
-                    Downcall::StartTimer { timer, deadline }
-                }
+                VerifierAction::StartTimer { timer, deadline } => Downcall::StartTimer {
+                    stream,
+                    timer,
+                    deadline,
+                },
             });
         }
     }
@@ -97,7 +111,7 @@ impl VerificationLayer {
                 self.verifier.on_serve_received(from, chunk, env.now);
             }
         }
-        Self::push_actions(actions.drain(..), out);
+        self.push_actions(actions.drain(..), out);
         self.scratch_actions = actions;
     }
 
@@ -110,7 +124,7 @@ impl VerificationLayer {
     ) {
         let mut actions = std::mem::take(&mut self.scratch_actions);
         self.verifier.on_timer_into(timer, env.now, &mut actions);
-        Self::push_actions(actions.drain(..), out);
+        self.push_actions(actions.drain(..), out);
         self.scratch_actions = actions;
     }
 }
@@ -139,14 +153,14 @@ impl Layer for VerificationLayer {
                 let mut actions = std::mem::take(&mut self.scratch_actions);
                 self.verifier
                     .on_ack_into(from, *ack, env.now, env.rng, &mut actions);
-                Self::push_actions(actions.drain(..), out);
+                self.push_actions(actions.drain(..), out);
                 self.scratch_actions = actions;
             }
             VerificationMessage::Confirm(confirm) => {
                 let mut actions = std::mem::take(&mut self.scratch_actions);
                 self.verifier
                     .on_confirm_into(from, &confirm, env.now, &mut actions);
-                Self::push_actions(actions.drain(..), out);
+                self.push_actions(actions.drain(..), out);
                 self.scratch_actions = actions;
             }
             VerificationMessage::ConfirmResponse(response) => {
@@ -183,6 +197,7 @@ mod tests {
         let mut rng = derive_rng(1, 1);
         let mut env = LayerEnv {
             me: NodeId::new(1),
+            stream: lifting_sim::StreamId::PRIMARY,
             now: SimTime::ZERO,
             directory: &directory,
             rng: &mut rng,
@@ -193,7 +208,7 @@ mod tests {
             &mut env,
             GossipUpcall::RequestSent {
                 to: NodeId::new(2),
-                chunks: vec![lifting_gossip::ChunkId::new(1)].into(),
+                chunks: vec![lifting_gossip::ChunkId::primary(1)].into(),
             },
             &mut out,
         );
@@ -214,6 +229,7 @@ mod tests {
         let mut rng = derive_rng(1, 2);
         let mut env = LayerEnv {
             me: NodeId::new(1),
+            stream: lifting_sim::StreamId::PRIMARY,
             now: SimTime::ZERO,
             directory: &directory,
             rng: &mut rng,
@@ -224,7 +240,7 @@ mod tests {
             &mut env,
             GossipUpcall::RequestSent {
                 to: NodeId::new(2),
-                chunks: vec![lifting_gossip::ChunkId::new(1)].into(),
+                chunks: vec![lifting_gossip::ChunkId::primary(1)].into(),
             },
             &mut out,
         );

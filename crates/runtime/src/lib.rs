@@ -38,7 +38,9 @@ pub mod world;
 
 pub use layers::{Adversary, NodeStack};
 pub use message::{Event, Message};
-pub use metrics::{ChurnStats, LayerTraffic, NodeOutcome, RunOutcome, ScoreSnapshot, StackLayer};
+pub use metrics::{
+    ChurnStats, LayerTraffic, NodeOutcome, RunOutcome, ScoreSnapshot, StackLayer, StreamOutcome,
+};
 pub use registry::{
     fig14_scenario_name, table03_scenario_name, table05_scenario_name, Scale, ScenarioRegistry,
     FIG14_PDCCS, TABLE03_PDCCS, TABLE05_PDCCS, TABLE05_STREAM_KBPS,
@@ -49,6 +51,6 @@ pub use runner::{
 };
 pub use scenario::{
     AdversaryScenario, ChurnSchedule, ChurnWave, CollusionScenario, FreeriderScenario,
-    ScenarioConfig,
+    ScenarioConfig, StreamAudience, StreamSpec,
 };
 pub use world::SystemWorld;

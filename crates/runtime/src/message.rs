@@ -3,7 +3,7 @@
 use lifting_core::{VerificationMessage, VerifierTimer};
 use lifting_gossip::GossipMessage;
 use lifting_net::TrafficCategory;
-use lifting_sim::NodeId;
+use lifting_sim::{NodeId, StreamId};
 
 /// A message travelling between two nodes.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +20,18 @@ impl Message {
         match self {
             Message::Gossip(m) => m.wire_size(),
             Message::Verification(m) => m.wire_size(),
+        }
+    }
+
+    /// The stream plane this message is addressed to, when any: derived from
+    /// the chunk identities the payload carries (see
+    /// [`GossipMessage::stream`] and [`VerificationMessage::stream`]), so no
+    /// wire bytes are spent on it. `None` for traffic addressed to the
+    /// stream-agnostic reputation plane (blames) and for audit transfers.
+    pub fn stream(&self) -> Option<StreamId> {
+        match self {
+            Message::Gossip(m) => m.stream(),
+            Message::Verification(m) => m.stream(),
         }
     }
 
@@ -48,8 +60,11 @@ impl Message {
 /// static population every epoch is 0 and the field is inert.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
-    /// The broadcast source emits its next chunk.
-    SourceEmit,
+    /// The broadcast source emits the next chunk of one stream.
+    SourceEmit {
+        /// The stream whose emission is due.
+        stream: StreamId,
+    },
     /// A node runs its propose phase.
     GossipTick {
         /// The node whose gossip period elapsed.
@@ -70,6 +85,9 @@ pub enum Event {
     Timer {
         /// The node owning the timer.
         node: NodeId,
+        /// The stream plane whose verifier armed the timer (timer tokens are
+        /// plane-local, so the stream must ride along to route the expiry).
+        stream: StreamId,
         /// The timer.
         timer: VerifierTimer,
         /// The node's session epoch when the timer was armed.
@@ -116,12 +134,12 @@ mod tests {
     #[test]
     fn messages_are_categorized_for_overhead_accounting() {
         let serve = Message::Gossip(GossipMessage::Serve(ServePayload {
-            chunk: Chunk::new(ChunkId::new(1), 1_000, SimTime::ZERO),
+            chunk: Chunk::new(ChunkId::primary(1), 1_000, SimTime::ZERO),
         }));
         assert_eq!(serve.category(), TrafficCategory::StreamData);
         let propose = Message::Gossip(GossipMessage::Propose(ProposePayload {
             period: 0,
-            chunks: vec![ChunkId::new(1)].into(),
+            chunks: vec![ChunkId::primary(1)].into(),
         }));
         assert_eq!(propose.category(), TrafficCategory::GossipControl);
         let blame = Message::Verification(VerificationMessage::Blame(Blame::new(

@@ -3,7 +3,7 @@
 use lifting_analysis::{detection_rate, false_positive_rate};
 use lifting_gossip::{Chunk, StreamHealth};
 use lifting_net::{TrafficCategory, TrafficReport};
-use lifting_sim::{NodeId, SimDuration, SimTime};
+use lifting_sim::{NodeId, SimDuration, SimTime, StreamId};
 use serde::{Deserialize, Serialize};
 
 /// The planes of the node protocol stack, for per-layer traffic breakdowns
@@ -175,6 +175,32 @@ pub struct ChurnStats {
     pub offline_at_end: usize,
 }
 
+/// Per-stream readout of one run: each channel's dissemination quality over
+/// its own audience, plus the blame volume its verification plane produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamOutcome {
+    /// The stream.
+    pub stream: StreamId,
+    /// Subscribers of this stream (excluding the source).
+    pub subscribers: usize,
+    /// Chunks the stream's source emitted during the run.
+    pub emitted_chunks: usize,
+    /// Stream health over the lag grid, computed over this stream's
+    /// subscribers against its own reference set.
+    pub stream_health: StreamHealth,
+    /// Blames emitted by this stream's verification plane (cross-stream
+    /// provenance; every blame lands in the shared per-node score).
+    pub blames: u64,
+    /// Total blame **value** this stream's verification booked (counts weigh
+    /// a heavy missing-ack blame the same as a sliver of wrongful noise;
+    /// values are what the scores actually sum).
+    pub blame_value: f64,
+    /// The part of `blame_value` booked against the misbehaving population —
+    /// the per-channel footprint of the attack, separated from the wrongful
+    /// noise honest nodes accrue.
+    pub freerider_blame_value: f64,
+}
+
 /// Everything measured during one run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunOutcome {
@@ -187,11 +213,15 @@ pub struct RunOutcome {
     /// Per-layer message/byte counters: the same traffic attributed to the
     /// protocol-stack planes (Table 3's overhead breakdown).
     pub layer_traffic: Vec<LayerTraffic>,
-    /// Every chunk the source emitted (reference set for stream health).
+    /// Every chunk the primary stream's source emitted (reference set for
+    /// the headline stream-health curve).
     pub emitted_chunks: Vec<Chunk>,
-    /// Stream health over a grid of lags (Figure 1), computed at the end of
-    /// the run over the chunks emitted during the measurement window.
+    /// Primary-stream health over a grid of lags (Figure 1), computed at the
+    /// end of the run over the chunks emitted during the measurement window.
     pub stream_health: StreamHealth,
+    /// One readout per broadcast channel (a single entry mirroring
+    /// `stream_health` in single-channel runs).
+    pub per_stream: Vec<StreamOutcome>,
     /// Number of nodes expelled during the run.
     pub expelled_count: usize,
     /// Membership dynamics (sessions, rejoins, aborted audits).

@@ -1,13 +1,16 @@
 //! Metric readouts of a live [`SystemWorld`]: score snapshots, the
-//! stream-health curve and the assembled [`RunOutcome`].
+//! stream-health curves (aggregate and per stream) and the assembled
+//! [`RunOutcome`].
 //!
 //! Kept apart from `world.rs` so the world module stays focused on event
 //! dispatch and the cross-layer glue.
 
 use lifting_gossip::{Chunk, StreamHealth};
-use lifting_sim::{NodeId, SimDuration, SimTime};
+use lifting_sim::{NodeId, SimDuration, SimTime, StreamId};
 
-use crate::metrics::{layer_breakdown, ChurnStats, NodeOutcome, RunOutcome, ScoreSnapshot};
+use crate::metrics::{
+    layer_breakdown, ChurnStats, NodeOutcome, RunOutcome, ScoreSnapshot, StreamOutcome,
+};
 use crate::world::SystemWorld;
 
 impl SystemWorld {
@@ -34,17 +37,30 @@ impl SystemWorld {
         ScoreSnapshot { at, outcomes }
     }
 
-    /// Computes the stream-health curve (Figure 1) over the given lags, using
-    /// only the chunks emitted at least `settle` before `now` so that chunks
-    /// still in flight do not bias the result.
+    /// Computes the primary stream's health curve (Figure 1) over the given
+    /// lags, using only the chunks emitted at least `settle` before `now` so
+    /// that chunks still in flight do not bias the result.
     pub fn stream_health(
         &self,
         now: SimTime,
         lags: &[SimDuration],
         settle: SimDuration,
     ) -> StreamHealth {
-        let reference: Vec<Chunk> = self
-            .emitted_chunks
+        self.stream_health_of(StreamId::PRIMARY, now, lags, settle)
+    }
+
+    /// The health curve of one stream, computed over that stream's
+    /// subscribers only (a node that never tuned in cannot be "missing" the
+    /// channel). In single-channel runs every node subscribes, so this is
+    /// the historical whole-population curve.
+    pub fn stream_health_of(
+        &self,
+        stream: StreamId,
+        now: SimTime,
+        lags: &[SimDuration],
+        settle: SimDuration,
+    ) -> StreamHealth {
+        let reference: Vec<Chunk> = self.emitted[stream.index()]
             .iter()
             .copied()
             .filter(|c| c.emitted_at + settle <= now)
@@ -53,7 +69,8 @@ impl SystemWorld {
             .stacks
             .iter()
             .skip(1)
-            .map(|s| s.gossip.node.playout())
+            .filter(|s| self.directory.is_subscribed(s.id(), stream))
+            .map(|s| s.plane(stream).gossip.node.playout())
             .collect();
         StreamHealth::compute(
             &buffers,
@@ -75,6 +92,43 @@ impl SystemWorld {
         }
     }
 
+    /// Per-stream readouts: each channel's health over its own audience plus
+    /// the blame volume its verification attributed.
+    pub fn per_stream_outcomes(
+        &self,
+        now: SimTime,
+        lags: &[SimDuration],
+        settle: SimDuration,
+    ) -> Vec<StreamOutcome> {
+        (0..self.stream_count())
+            .map(|s| {
+                let stream = StreamId::new(s as u16);
+                let subscribers = (1..self.config.nodes)
+                    .filter(|i| self.directory.is_subscribed(NodeId::new(*i as u32), stream))
+                    .count();
+                let blames = (0..self.config.nodes)
+                    .map(|i| self.blames_against(NodeId::new(i as u32), stream))
+                    .sum();
+                let blame_value = (0..self.config.nodes)
+                    .map(|i| self.blame_value_against(NodeId::new(i as u32), stream))
+                    .sum();
+                let freerider_blame_value = (0..self.config.nodes)
+                    .filter(|i| self.stacks[*i].is_freerider)
+                    .map(|i| self.blame_value_against(NodeId::new(i as u32), stream))
+                    .sum();
+                StreamOutcome {
+                    stream,
+                    subscribers,
+                    emitted_chunks: self.emitted[s].len(),
+                    stream_health: self.stream_health_of(stream, now, lags, settle),
+                    blames,
+                    blame_value,
+                    freerider_blame_value,
+                }
+            })
+            .collect()
+    }
+
     /// Assembles the final outcome of a run.
     pub fn run_outcome(
         &self,
@@ -83,13 +137,19 @@ impl SystemWorld {
         lags: &[SimDuration],
     ) -> RunOutcome {
         let traffic = self.network.stats().report();
+        let settle = SimDuration::from_secs(10);
+        // The headline curve is stream 0's: reuse the per-stream readout
+        // rather than paying for the most expensive metric twice.
+        let per_stream = self.per_stream_outcomes(now, lags, settle);
+        let stream_health = per_stream[0].stream_health.clone();
         RunOutcome {
             finals: self.score_snapshot(now),
             snapshots,
             layer_traffic: layer_breakdown(&traffic),
             traffic,
-            emitted_chunks: self.emitted_chunks.clone(),
-            stream_health: self.stream_health(now, lags, SimDuration::from_secs(10)),
+            emitted_chunks: self.emitted[0].clone(),
+            stream_health,
+            per_stream,
             expelled_count: self.expelled_count(),
             churn: self.churn_stats(),
             duration: now.saturating_since(SimTime::ZERO),

@@ -13,7 +13,9 @@ use lifting_gossip::FreeriderConfig;
 use lifting_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
-use crate::scenario::{AdversaryScenario, ChurnSchedule, ChurnWave, ScenarioConfig};
+use crate::scenario::{
+    AdversaryScenario, ChurnSchedule, ChurnWave, ScenarioConfig, StreamAudience, StreamSpec,
+};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -447,6 +449,87 @@ fn register_builtin(registry: &mut ScenarioRegistry) {
     );
 
     // ------------------------------------------------------------------
+    // Multi-channel streaming: several concurrent broadcasts over one
+    // membership and reputation plane. Data planes are per-stream, blames
+    // aggregate across streams into one score per node — the setting where
+    // manager-based accountability pays off (a freerider on channel B is
+    // expelled from channel A too).
+    // ------------------------------------------------------------------
+    let planetlab_multistream = |freeriders: f64| {
+        move |scale: Scale, seed: u64| {
+            let mut config = ScenarioConfig::planetlab_baseline(seed);
+            config.nodes = scale.pick(300, 80);
+            shrink_below_planetlab(&mut config);
+            if freeriders > 0.0 {
+                config = config.with_planetlab_freeriders(freeriders);
+            }
+            config.duration = scale.secs(30, 15);
+            config
+        }
+    };
+    registry.register(
+        "multistream/disjoint-audiences",
+        "Two channels with disjoint audiences (first vs second half of the population) over one membership plane",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_multistream(0.0)(scale, seed);
+            config.primary_audience = StreamAudience::Slice { from: 0.0, to: 0.5 };
+            let rate = config.stream_rate_bps;
+            let chunk = config.chunk_size;
+            config.streams.push(
+                StreamSpec::new(rate, chunk)
+                    .with_audience(StreamAudience::Slice { from: 0.5, to: 1.0 }),
+            );
+            config
+        },
+    );
+    registry.register(
+        "multistream/overlapping-audiences",
+        "Two full-audience channels with 10% freeriders shirking on both; their blames aggregate into one score",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_multistream(0.1)(scale, seed);
+            let chunk = config.chunk_size;
+            config.streams.push(StreamSpec::new(300_000, chunk));
+            config
+        },
+    );
+    registry.register(
+        "multistream/selective-freeriders",
+        "15% selective freeriders: honest on channel 0, fully silent on channel 1 — cross-stream scoring expels them from both",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_multistream(0.15)(scale, seed);
+            let chunk = config.chunk_size;
+            config.streams.push(StreamSpec::new(300_000, chunk));
+            config.adversary = AdversaryScenario::SelectiveFreerider { silent_mask: 0b10 };
+            config
+        },
+    );
+    registry.register(
+        "multistream/rate-asymmetry",
+        "Three channels at 400/200/100 kbps; the slow ones start mid-run and serve three-quarters of the population",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_multistream(0.0)(scale, seed);
+            let chunk = config.chunk_size;
+            config.streams.push(
+                StreamSpec::new(200_000, chunk)
+                    .with_audience(StreamAudience::Slice {
+                        from: 0.25,
+                        to: 1.0,
+                    })
+                    .starting_after(SimDuration::from_secs(4)),
+            );
+            config.streams.push(
+                StreamSpec::new(100_000, chunk)
+                    .with_audience(StreamAudience::Slice {
+                        from: 0.25,
+                        to: 1.0,
+                    })
+                    .starting_after(SimDuration::from_secs(8)),
+            );
+            config
+        },
+    );
+
+    // ------------------------------------------------------------------
     // A small smoke scenario for tests and quick sanity checks.
     // ------------------------------------------------------------------
     registry.register(
@@ -488,12 +571,16 @@ mod tests {
             "churn/catastrophe",
             "churn/flash-crowd",
             "churn/freeriders",
+            "multistream/disjoint-audiences",
+            "multistream/overlapping-audiences",
+            "multistream/selective-freeriders",
+            "multistream/rate-asymmetry",
             "smoke/small",
         ] {
             assert!(registry.contains(name), "missing scenario {name}");
             assert!(registry.description(name).is_some());
         }
-        assert_eq!(registry.len(), 27);
+        assert_eq!(registry.len(), 31);
     }
 
     #[test]

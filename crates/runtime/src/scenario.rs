@@ -3,10 +3,89 @@
 use lifting_core::LiftingConfig;
 use lifting_gossip::{FreeriderConfig, GossipConfig};
 use lifting_net::NetworkConfig;
-use lifting_sim::SimDuration;
+use lifting_sim::{SimDuration, StreamId};
 use serde::{Deserialize, Serialize};
 
 pub use lifting_membership::{ChurnSchedule, ChurnWave};
+
+/// Which nodes subscribe to a stream.
+///
+/// Audiences are expressed as population fractions so one scenario definition
+/// scales from quick to paper populations. The broadcast source (node 0)
+/// always subscribes to every stream — it feeds them all.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StreamAudience {
+    /// Every node subscribes.
+    All,
+    /// Nodes whose index falls in `[floor(from·n), floor(to·n))` subscribe
+    /// (plus the source).
+    Slice {
+        /// Lower population fraction (inclusive).
+        from: f64,
+        /// Upper population fraction (exclusive).
+        to: f64,
+    },
+}
+
+impl StreamAudience {
+    /// True if node `node_index` of an `nodes`-node population subscribes.
+    pub fn includes(&self, node_index: usize, nodes: usize) -> bool {
+        if node_index == 0 {
+            return true; // the source feeds every stream
+        }
+        match self {
+            StreamAudience::All => true,
+            StreamAudience::Slice { from, to } => {
+                let lo = (from * nodes as f64).floor() as usize;
+                let hi = (to * nodes as f64).floor() as usize;
+                (lo..hi).contains(&node_index)
+            }
+        }
+    }
+
+    /// Number of subscribers (excluding the always-subscribed source).
+    pub fn size(&self, nodes: usize) -> usize {
+        (1..nodes).filter(|i| self.includes(*i, nodes)).count()
+    }
+}
+
+/// One broadcast channel: its rate, chunking, start offset and audience.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Stream rate in bits per second.
+    pub rate_bps: u64,
+    /// Chunk payload size in bytes.
+    pub chunk_size: u32,
+    /// Delay before the source starts emitting this stream (channels need
+    /// not come on air together).
+    pub start_offset: SimDuration,
+    /// Which nodes subscribe.
+    pub audience: StreamAudience,
+}
+
+impl StreamSpec {
+    /// A full-audience stream starting at time zero.
+    pub fn new(rate_bps: u64, chunk_size: u32) -> Self {
+        StreamSpec {
+            rate_bps,
+            chunk_size,
+            start_offset: SimDuration::ZERO,
+            audience: StreamAudience::All,
+        }
+    }
+
+    /// Restricts the audience (builder style).
+    pub fn with_audience(mut self, audience: StreamAudience) -> Self {
+        self.audience = audience;
+        self
+    }
+
+    /// Delays the stream's start (builder style).
+    pub fn starting_after(mut self, offset: SimDuration) -> Self {
+        self.start_offset = offset;
+        self
+    }
+}
 
 /// Freerider population and behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,6 +154,16 @@ pub enum AdversaryScenario {
         /// Value of each fabricated blame.
         blame_value: f64,
     },
+    /// Selective freeriders for multi-channel runs: the population behaves
+    /// honestly on some channels and goes **fully silent** (proposes to
+    /// nobody, serves nothing) on the channels named in `silent_mask`. The
+    /// attack probes whether reputation is per-channel: with cross-stream
+    /// blame aggregation the silence on one channel costs the node its access
+    /// to *all* of them.
+    SelectiveFreerider {
+        /// Bitmask of silenced streams (bit `s` = stream `s`).
+        silent_mask: u64,
+    },
 }
 
 impl AdversaryScenario {
@@ -98,6 +187,12 @@ impl AdversaryScenario {
             AdversaryScenario::BlameSpam { blame_value, .. } => {
                 assert!(*blame_value >= 0.0, "blame value must be non-negative");
             }
+            AdversaryScenario::SelectiveFreerider { silent_mask } => {
+                assert!(
+                    *silent_mask != 0,
+                    "a selective freerider must silence at least one stream"
+                );
+            }
         }
     }
 }
@@ -120,10 +215,21 @@ pub struct ScenarioConfig {
     pub audit_interval: SimDuration,
     /// Network conditions.
     pub network: NetworkConfig,
-    /// Stream rate in bits per second (674 kbps in the headline experiment).
+    /// Rate of the primary stream in bits per second (674 kbps in the
+    /// headline experiment).
     pub stream_rate_bps: u64,
-    /// Chunk payload size in bytes.
+    /// Chunk payload size of the primary stream in bytes.
     pub chunk_size: u32,
+    /// Audience of the primary stream (`All` in every single-channel
+    /// scenario).
+    pub primary_audience: StreamAudience,
+    /// Additional broadcast channels beyond the primary stream. Empty for
+    /// the paper's single-channel experiments: stream 0 is always defined by
+    /// `stream_rate_bps`/`chunk_size`/`primary_audience`, and entry `i` here
+    /// is stream `i + 1`. All channels share the membership, verification
+    /// parameters and reputation plane; each gets its own source, chunk
+    /// stores, playout buffers and verification history.
+    pub streams: Vec<StreamSpec>,
     /// Freerider population, if any.
     pub freeriders: Option<FreeriderScenario>,
     /// Collusion behaviour of the freeriders.
@@ -166,6 +272,8 @@ impl ScenarioConfig {
             network: NetworkConfig::planetlab(0.04),
             stream_rate_bps: 674_000,
             chunk_size: 4_096,
+            primary_audience: StreamAudience::All,
+            streams: Vec::new(),
             freeriders: None,
             collusion: CollusionScenario::none(),
             adversary: AdversaryScenario::Baseline,
@@ -209,6 +317,8 @@ impl ScenarioConfig {
             network: NetworkConfig::ideal(),
             stream_rate_bps: 200_000,
             chunk_size: 2_500,
+            primary_audience: StreamAudience::All,
+            streams: Vec::new(),
             freeriders: None,
             collusion: CollusionScenario::none(),
             adversary: AdversaryScenario::Baseline,
@@ -220,6 +330,38 @@ impl ScenarioConfig {
             duration: SimDuration::from_secs(15),
             seed,
         }
+    }
+
+    /// Number of broadcast channels (1 plus the extra `streams`).
+    pub fn stream_count(&self) -> usize {
+        1 + self.streams.len()
+    }
+
+    /// The specification of stream `s` (stream 0 is assembled from the
+    /// legacy single-channel fields, so pre-multistream scenarios are
+    /// untouched).
+    pub fn stream_spec(&self, s: StreamId) -> StreamSpec {
+        if s == StreamId::PRIMARY {
+            StreamSpec {
+                rate_bps: self.stream_rate_bps,
+                chunk_size: self.chunk_size,
+                start_offset: SimDuration::ZERO,
+                audience: self.primary_audience,
+            }
+        } else {
+            self.streams[s.index() - 1]
+        }
+    }
+
+    /// Iterates over every stream id of the scenario.
+    pub fn stream_ids(&self) -> impl Iterator<Item = StreamId> {
+        (0..self.stream_count()).map(|s| StreamId::new(s as u16))
+    }
+
+    /// Adds an extra broadcast channel (builder style).
+    pub fn with_stream(mut self, spec: StreamSpec) -> Self {
+        self.streams.push(spec);
+        self
     }
 
     /// Number of freeriders in the scenario.
@@ -266,6 +408,22 @@ impl ScenarioConfig {
             self.stream_rate_bps > 0 && self.chunk_size > 0,
             "empty stream"
         );
+        assert!(
+            self.stream_count() <= 64,
+            "at most 64 concurrent streams (the selective-freerider mask is a u64)"
+        );
+        for stream in self.stream_ids() {
+            let spec = self.stream_spec(stream);
+            assert!(
+                spec.rate_bps > 0 && spec.chunk_size > 0,
+                "stream {stream} is empty"
+            );
+            assert!(
+                spec.audience.size(self.nodes) >= 2,
+                "stream {stream}'s audience has fewer than two subscribers; \
+                 gossip needs someone to talk to"
+            );
+        }
         assert!(!self.duration.is_zero(), "duration must be positive");
         self.adversary.validate();
         if let Some(churn) = &self.churn {
@@ -291,6 +449,18 @@ impl ScenarioConfig {
                 !self.collusion.is_active(),
                 "collusion only composes with the baseline adversary; \
                  the on-off / blame-spam adversaries would silently ignore it"
+            );
+        }
+        if let AdversaryScenario::SelectiveFreerider { silent_mask } = self.adversary {
+            assert!(
+                self.stream_count() > 1,
+                "a selective freerider needs at least two streams to select between"
+            );
+            // With exactly 64 streams every bit of the mask is a valid
+            // stream; the shift below would overflow, so skip it.
+            assert!(
+                self.stream_count() >= 64 || silent_mask >> self.stream_count() == 0,
+                "the silent mask names streams the scenario does not run"
             );
         }
         if let Some(f) = &self.freeriders {

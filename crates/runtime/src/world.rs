@@ -19,7 +19,7 @@ use lifting_gossip::{Chunk, StreamSource};
 use lifting_membership::Directory;
 use lifting_net::Network;
 use lifting_reputation::ManagerAssignment;
-use lifting_sim::{derive_rng, Context, InlineVec, NodeId, SimTime, World};
+use lifting_sim::{derive_rng, Context, InlineVec, NodeId, SimTime, StreamId, World};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::sync::Arc;
@@ -49,9 +49,22 @@ pub struct SystemWorld {
     pub(crate) stacks: Vec<NodeStack>,
     pub(crate) assignment: ManagerAssignment,
     pub(crate) audits: AuditCoordinator,
-    pub(crate) source: StreamSource,
-    pub(crate) emitted_chunks: Vec<Chunk>,
-    pub(crate) compensation_per_period: f64,
+    /// One broadcast source per stream, indexed by [`StreamId`].
+    pub(crate) sources: Vec<StreamSource>,
+    /// Per stream, the chunks its source emitted (the reference sets for
+    /// stream health).
+    pub(crate) emitted: Vec<Vec<Chunk>>,
+    /// Per stream, the per-period wrongful-blame compensation (Equation 5
+    /// evaluated at that stream's rate); a node's credit is the sum over its
+    /// subscriptions.
+    pub(crate) compensation_per_stream: Vec<f64>,
+    /// Per `(node, stream)` (row-major, `node * streams + stream`): blames
+    /// routed to the node's managers, attributed to the stream whose
+    /// verification emitted them — occurrence counts and summed values.
+    /// Cross-stream provenance for metrics and the aggregation invariant
+    /// tests; scoring never reads either.
+    pub(crate) blame_counts: Vec<u64>,
+    pub(crate) blame_values: Vec<f64>,
     /// Per target: the distinct managers that have voted to expel it. A set
     /// of voters, not a bare counter: a manager whose stack was rebuilt
     /// after a rejoin starts from a blank book and may re-derive the same
@@ -75,6 +88,10 @@ pub struct SystemWorld {
     /// The freerider coalition (kept for stack rebuilds after a rejoin).
     pub(crate) coalition: Arc<Vec<NodeId>>,
     pub(crate) rng: SmallRng,
+    /// Draws that only exist in multi-channel runs (audit stream picks).
+    /// Never consumed when one stream runs, so single-stream scenarios keep
+    /// their exact RNG stream consumption.
+    pub(crate) mstream_rng: SmallRng,
     /// Recycled scratch buffer for stack downcalls (allocation-free loop).
     pub(crate) scratch_downcalls: Vec<Downcall>,
     /// Recycled scratch for audit-target candidates and expulsion votes, so
@@ -95,14 +112,46 @@ impl SystemWorld {
         &self.config
     }
 
-    /// The per-period score compensation applied by the managers.
+    /// The per-period score compensation a fully subscribed node collects
+    /// (the sum over every stream's credit; in a single-channel run this is
+    /// exactly the primary stream's Equation 5 value).
     pub fn compensation_per_period(&self) -> f64 {
-        self.compensation_per_period
+        self.compensation_per_stream.iter().sum()
     }
 
-    /// The chunks emitted by the source so far.
+    /// The per-period compensation attributed to one stream.
+    pub fn compensation_for(&self, stream: StreamId) -> f64 {
+        self.compensation_per_stream[stream.index()]
+    }
+
+    /// Number of concurrent streams this world broadcasts.
+    pub fn stream_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The chunks emitted by the primary stream's source so far.
     pub fn emitted_chunks(&self) -> &[Chunk] {
-        &self.emitted_chunks
+        &self.emitted[0]
+    }
+
+    /// The chunks emitted on `stream` so far.
+    pub fn emitted_chunks_of(&self, stream: StreamId) -> &[Chunk] {
+        &self.emitted[stream.index()]
+    }
+
+    /// Blames booked against `node` that were emitted by `stream`'s
+    /// verification plane (provenance; the score itself aggregates all
+    /// streams).
+    pub fn blames_against(&self, node: NodeId, stream: StreamId) -> u64 {
+        self.blame_counts[node.index() * self.stream_count() + stream.index()]
+    }
+
+    /// Total blame **value** booked against `node` from `stream`'s
+    /// verification plane (the quantity the score actually sums; counts
+    /// weigh a heavy missing-ack blame the same as a sliver of wrongful
+    /// partial-serve noise, values do not).
+    pub fn blame_value_against(&self, node: NodeId, stream: StreamId) -> f64 {
+        self.blame_values[node.index() * self.stream_count() + stream.index()]
     }
 
     /// The simulated network (traffic statistics, expulsions).
@@ -188,8 +237,20 @@ impl SystemWorld {
         for downcall in downcalls.drain(..) {
             match downcall {
                 Downcall::Send { to, message } => self.send(now, node, to, message, ctx),
-                Downcall::StartTimer { timer, deadline } => {
-                    ctx.schedule_at(deadline, Event::Timer { node, timer, epoch });
+                Downcall::StartTimer {
+                    stream,
+                    timer,
+                    deadline,
+                } => {
+                    ctx.schedule_at(
+                        deadline,
+                        Event::Timer {
+                            node,
+                            stream,
+                            timer,
+                            epoch,
+                        },
+                    );
                 }
                 Downcall::Blame(blame) => self.route_blame(node, blame, now, ctx),
             }
@@ -200,6 +261,9 @@ impl SystemWorld {
         if !self.lifting_on() || blame.target == NodeId::new(0) {
             return; // the source is not scored
         }
+        let slot = blame.target.index() * self.sources.len() + blame.stream.index();
+        self.blame_counts[slot] += 1;
+        self.blame_values[slot] += blame.value;
         // Copy the manager list to the stack (M ≈ 25 fits inline) so `send`
         // can borrow the world mutably without a heap allocation per blame.
         let managers: InlineVec<NodeId, 32> =
@@ -233,13 +297,14 @@ impl SystemWorld {
         // A distinct, collision-free stream per (node, session): sessions ≥ 1
         // land past the builder's `1000 + i` block.
         let rng = derive_rng(self.config.seed, 1_000_000 + i as u64 + session * 1_000_003);
-        let mut stack = NodeStack::new(
+        let mut stack = NodeStack::with_streams(
             node,
             self.config.gossip,
             self.config.lifting,
             self.config.lifting_enabled,
             builder::adversary_for(&self.config, i, &self.coalition),
             rng,
+            self.config.stream_count(),
         );
         // A crash loses the manager book; re-register this manager's charges
         // (their records restart — the other replicas of the min-vote still
@@ -366,9 +431,33 @@ impl SystemWorld {
             // per-period compensation while offline (otherwise leaving would
             // launder a bad score); departed managers' books freeze wholesale.
             // Expelled nodes keep aging, exactly as in a static population.
+            //
+            // The credit is per node: the sum of the per-stream compensations
+            // over the channels the node subscribes to that are already on
+            // air (a one-channel subscriber is only exposed to that
+            // channel's wrongful blames, and a stream that has not started
+            // yet cannot have produced any). With one stream this is the
+            // same single value for everyone.
             let directory = &self.directory;
             let expelled = &self.expelled;
+            let comp = &self.compensation_per_stream;
+            let config = &self.config;
             let observed = |n: NodeId| directory.is_active(n) || expelled[n.index()];
+            let credit = |n: NodeId| -> f64 {
+                if comp.len() == 1 {
+                    comp[0]
+                } else {
+                    comp.iter()
+                        .enumerate()
+                        .filter(|(s, _)| {
+                            let stream = StreamId::new(*s as u16);
+                            directory.is_subscribed(n, stream)
+                                && _now >= SimTime::ZERO + config.stream_spec(stream).start_offset
+                        })
+                        .map(|(_, c)| *c)
+                        .sum()
+                }
+            };
             for (i, stack) in self.stacks.iter_mut().enumerate() {
                 let manager = NodeId::new(i as u32);
                 if !directory.is_active(manager) && !expelled[i] {
@@ -376,7 +465,7 @@ impl SystemWorld {
                 }
                 stack
                     .reputation
-                    .end_period_filtered(self.compensation_per_period, observed);
+                    .end_period_credited(|n| observed(n).then(|| credit(n)));
             }
             // Expulsion votes, attributed per manager. Departed managers are
             // skipped (a node that left cannot cast votes, mirroring the
@@ -433,14 +522,22 @@ impl SystemWorld {
         {
             return; // stale session, or the auditor left: the chain dies
         }
-        // Pick a random active target (never the source, never self). The
-        // candidate list is staged in a recycled buffer: audit ticks fire for
-        // every node every interval, so this path must not allocate.
+        // Pick the stream to audit (a draw that only exists in multi-channel
+        // runs — single-stream runs must consume exactly their historical
+        // RNG streams), then a random participant of that stream as target
+        // (never the source, never self). The candidate list is staged in a
+        // recycled buffer: audit ticks fire for every node every interval, so
+        // this path must not allocate.
+        let stream = if self.sources.len() > 1 {
+            StreamId::new(self.mstream_rng.gen_range(0..self.sources.len() as u16))
+        } else {
+            StreamId::PRIMARY
+        };
         let mut candidates = std::mem::take(&mut self.scratch_nodes);
         candidates.clear();
         candidates.extend(
             self.directory
-                .active_nodes()
+                .participants(stream)
                 .filter(|c| *c != auditor && *c != NodeId::new(0)),
         );
         if !candidates.is_empty() && self.lifting_on() {
@@ -451,6 +548,7 @@ impl SystemWorld {
                 &self.directory,
                 auditor,
                 target,
+                stream,
                 now,
             );
             match outcome {
@@ -473,11 +571,16 @@ impl World for SystemWorld {
 
     fn handle_event(&mut self, now: SimTime, event: Event, ctx: &mut Context<Event>) {
         match event {
-            Event::SourceEmit => {
-                let chunk = self.source.emit();
-                self.emitted_chunks.push(chunk);
-                self.stacks[0].gossip.inject_source_chunk(chunk, now);
-                ctx.schedule_at(self.source.next_emission(), Event::SourceEmit);
+            Event::SourceEmit { stream } => {
+                let source = &mut self.sources[stream.index()];
+                let chunk = source.emit();
+                let next = source.next_emission();
+                self.emitted[stream.index()].push(chunk);
+                self.stacks[0]
+                    .plane_mut(stream)
+                    .gossip
+                    .inject_source_chunk(chunk, now);
+                ctx.schedule_at(next, Event::SourceEmit { stream });
             }
             Event::GossipTick { node, epoch } => {
                 if epoch != self.tick_epochs[node.index()] || !self.directory.is_active(node) {
@@ -513,7 +616,12 @@ impl World for SystemWorld {
                 self.process_downcalls(to, &mut downcalls, now, ctx);
                 self.scratch_downcalls = downcalls;
             }
-            Event::Timer { node, timer, epoch } => {
+            Event::Timer {
+                node,
+                stream,
+                timer,
+                epoch,
+            } => {
                 if epoch != self.tick_epochs[node.index()]
                     || !self.directory.is_active(node)
                     || !self.lifting_on()
@@ -526,6 +634,7 @@ impl World for SystemWorld {
                 let mut downcalls = std::mem::take(&mut self.scratch_downcalls);
                 self.stacks[node.index()].on_timer(
                     node,
+                    stream,
                     timer,
                     now,
                     &self.directory,
@@ -547,7 +656,11 @@ impl std::fmt::Debug for SystemWorld {
             .field("nodes", &self.stacks.len())
             .field("active", &self.directory.active_count())
             .field("expelled", &self.expelled_count())
-            .field("emitted_chunks", &self.emitted_chunks.len())
+            .field("streams", &self.sources.len())
+            .field(
+                "emitted_chunks",
+                &self.emitted.iter().map(Vec::len).sum::<usize>(),
+            )
             .finish()
     }
 }

@@ -13,7 +13,7 @@ use lifting_runtime::layers::{AuditCoordinator, AuditOutcome, Honest, NodeStack}
 use lifting_runtime::{
     build_engine, run_scenario, run_scenarios_parallel, Scale, ScenarioRegistry,
 };
-use lifting_sim::{derive_rng, NodeId, SimDuration, SimTime};
+use lifting_sim::{derive_rng, NodeId, SimDuration, SimTime, StreamId};
 
 fn stack(id: u32) -> NodeStack {
     NodeStack::new(
@@ -47,12 +47,13 @@ fn audit_with(directory: &Directory) -> (AuditOutcome, u64) {
     // received them, so every push is unconfirmed and the verdict is Blamed.
     let round = ProposeRound {
         period: 0,
-        chunks: vec![ChunkId::new(1), ChunkId::new(2)].into(),
+        chunks: vec![ChunkId::primary(1), ChunkId::primary(2)].into(),
         partners: witnesses,
         by_source: vec![],
         dropped_sources: vec![],
     };
     stacks[1]
+        .plane_mut(StreamId::PRIMARY)
         .verification
         .verifier
         .on_propose_round(&round, SimTime::ZERO);
@@ -70,6 +71,7 @@ fn audit_with(directory: &Directory) -> (AuditOutcome, u64) {
         directory,
         NodeId::new(0),
         target,
+        StreamId::PRIMARY,
         SimTime::from_secs(1),
     );
     let (messages, _bytes) = audit_traffic(&network);
@@ -115,6 +117,7 @@ fn departed_node_stops_receiving_traffic_and_partner_slots() {
     let mut engine = build_engine(config);
     engine.run_until(SimTime::from_secs(3));
     let before = engine.world().stacks()[victim.index()]
+        .primary()
         .gossip
         .node
         .stored_chunks();
@@ -126,6 +129,7 @@ fn departed_node_stops_receiving_traffic_and_partner_slots() {
 
     engine.run_until(SimTime::from_secs(8));
     let after = engine.world().stacks()[victim.index()]
+        .primary()
         .gossip
         .node
         .stored_chunks();

@@ -44,6 +44,44 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Identifier of a broadcast stream (channel).
+///
+/// A deployment serves many concurrent channels over one membership and
+/// reputation plane; each channel's data plane (source, chunk stores, playout
+/// buffers, verification histories) is keyed by its `StreamId`. Identifiers
+/// are dense so they can double as indices into per-stream state vectors.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct StreamId(pub u16);
+
+impl StreamId {
+    /// The primary stream: the one every single-channel scenario broadcasts.
+    pub const PRIMARY: StreamId = StreamId(0);
+
+    /// Creates a stream identifier from its dense index.
+    pub const fn new(index: u16) -> Self {
+        StreamId(index)
+    }
+
+    /// The dense index backing this identifier, usable for vector indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for StreamId {
+    fn from(v: u16) -> Self {
+        StreamId(v)
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +107,13 @@ mod tests {
     #[test]
     fn display_prefixes_n() {
         assert_eq!(NodeId::new(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn stream_ids_are_dense_and_ordered() {
+        assert_eq!(StreamId::PRIMARY, StreamId::new(0));
+        assert_eq!(StreamId::new(3).index(), 3);
+        assert!(StreamId::new(1) < StreamId::new(2));
+        assert_eq!(StreamId::new(5).to_string(), "s5");
     }
 }

@@ -52,7 +52,7 @@ pub mod time;
 pub use collections::InlineVec;
 pub use engine::{Context, Engine, RunReport, World};
 pub use event::EventQueue;
-pub use id::NodeId;
+pub use id::{NodeId, StreamId};
 pub use pool::{run_indexed, worker_count};
 pub use rng::{derive_rng, split_seed, SeedSequence};
 pub use time::{SimDuration, SimTime};

@@ -8,9 +8,14 @@ use lifting::prelude::*;
 fn main() {
     // A 100-node system streaming 300 kbps, with 10 % freeriders applying the
     // paper's PlanetLab degree of freeriding Δ = (1/7, 0.1, 0.1).
-    let mut config = ScenarioConfig::small_test(100, 42).with_planetlab_freeriders(0.1);
+    // `LIFTING_EXAMPLE_QUICK=1` shrinks the run for smoke gates (CI executes
+    // every example at quick scale so the entry points stay runnable).
+    let quick = std::env::var_os("LIFTING_EXAMPLE_QUICK").is_some();
+    let nodes = if quick { 40 } else { 100 };
+    let secs = if quick { 8 } else { 30 };
+    let mut config = ScenarioConfig::small_test(nodes, 42).with_planetlab_freeriders(0.1);
     config.stream_rate_bps = 300_000;
-    config.duration = SimDuration::from_secs(30);
+    config.duration = SimDuration::from_secs(secs);
 
     println!(
         "running a {}-node system for {}...",

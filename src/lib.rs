@@ -57,7 +57,8 @@ pub mod prelude {
     pub use lifting_reputation::{ManagerAssignment, ManagerState};
     pub use lifting_runtime::{
         run_scenario, run_scenario_with_snapshots, AdversaryScenario, CollusionScenario,
-        FreeriderScenario, RunOutcome, Scale, ScenarioConfig, ScenarioRegistry,
+        FreeriderScenario, RunOutcome, Scale, ScenarioConfig, ScenarioRegistry, StreamAudience,
+        StreamSpec,
     };
-    pub use lifting_sim::{NodeId, SimDuration, SimTime};
+    pub use lifting_sim::{NodeId, SimDuration, SimTime, StreamId};
 }
