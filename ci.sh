@@ -71,7 +71,33 @@ if 'churn' not in a or not a['churn']:
 # stay bit-deterministic under the worker pool.
 if 'multistream' not in a or not a['multistream']:
     sys.exit('summary is missing the multistream sweep')
-print('parallel and sequential outputs are identical (churn and multistream sweeps included)')
+# And the resilience sweep: fault injection, closed-loop adversaries and the
+# online recalibration all touch the hot path and the RNG stream layout, so
+# losing the section would silently un-gate the whole plane.
+if 'resilience' not in a or not a['resilience']:
+    sys.exit('summary is missing the resilience sweep')
+print('parallel and sequential outputs are identical '
+      '(churn, multistream and resilience sweeps included)')
+EOF
+
+echo "==> fault-injection smoke (quick scale)"
+# One resilience scenario end to end outside the summary plumbing: partition
+# waves must produce aborted (never wrongfully blamed) audits, and the run
+# must finish with a live stream.
+./target/release/run_scenario resilience/partition-waves --quick > /tmp/fault_smoke.json
+python3 - <<'EOF'
+import json, sys
+d = json.load(open('/tmp/fault_smoke.json'))
+rpc = d.get('audit_rpc') or {}
+if not rpc.get('aborted_unreachable'):
+    sys.exit('fault smoke: partition waves produced no aborted audits')
+recovery = d.get('recovery') or {}
+if len(recovery.get('waves') or []) != 2:
+    sys.exit('fault smoke: expected both partition waves in the recovery trace')
+health = (d.get('stream_health') or {}).get('fraction_clear') or []
+if not health or health[-1] <= 0.2:
+    sys.exit(f'fault smoke: stream collapsed under partition waves ({health[-1:]})')
+print('fault-injection smoke OK')
 EOF
 
 echo "==> bench smoke (quick wall-clock vs committed baseline)"

@@ -58,6 +58,76 @@ pub fn calibrate_threshold(honest_scores: &[f64], target_beta: f64) -> Option<f6
     Some(sorted[budget.min(sorted.len() - 1)])
 }
 
+/// Robust variant of [`calibrate_threshold`] for *contaminated* samples: the
+/// lowest `trim` fraction of the scores is discarded before the β-quantile is
+/// taken. An online defence recalibrating η from the **live** population (no
+/// ground truth splitting honest from freerider scores) uses the trim to shear
+/// off the suspected-freerider tail — a coalition throttling its contribution
+/// to sit just above a static η would otherwise drag the recalibrated
+/// threshold down with it.
+///
+/// With `trim = 0` this is exactly [`calibrate_threshold`].
+///
+/// # Panics
+///
+/// Panics if `target_beta` is outside `[0, 1]`, `trim` is outside `[0, 0.5]`,
+/// or a score is NaN.
+pub fn calibrate_threshold_trimmed(scores: &[f64], target_beta: f64, trim: f64) -> Option<f64> {
+    assert!((0.0..=0.5).contains(&trim), "trim = {trim} not in [0, 0.5]");
+    assert!(
+        (0.0..=1.0).contains(&target_beta),
+        "target β = {target_beta} not in [0, 1]"
+    );
+    if scores.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let dropped = (trim * sorted.len() as f64).floor() as usize;
+    let kept = &sorted[dropped.min(sorted.len() - 1)..];
+    let budget = (target_beta * kept.len() as f64).floor() as usize;
+    Some(kept[budget.min(kept.len() - 1)])
+}
+
+/// A robust low-outlier threshold for a *contaminated* live sample: the
+/// lowest `trim` fraction (the suspected-freerider tail) is discarded, the
+/// median and the MAD of the kept bulk estimate the honest location and
+/// scale, and the threshold is placed `nmads` normal-consistent MADs
+/// (`1.4826 · MAD`) below the median. Scores under the returned value are
+/// low outliers relative to the honest bulk.
+///
+/// Unlike a quantile of the kept sample ([`calibrate_threshold_trimmed`]),
+/// which by construction sits *at* the trim boundary and flags a fixed
+/// fraction of the population every period, this adapts to the bulk's
+/// spread: a tight honest cluster pushes the threshold right below itself,
+/// a diffuse one keeps it conservative. Returns `None` when the sample is
+/// empty or the bulk is degenerate (zero MAD — no scale to judge outliers
+/// against).
+///
+/// # Panics
+///
+/// Panics if `trim` is outside `[0, 0.5]`, `nmads` is not positive, or a
+/// score is NaN.
+pub fn robust_outlier_threshold(scores: &[f64], trim: f64, nmads: f64) -> Option<f64> {
+    assert!((0.0..=0.5).contains(&trim), "trim = {trim} not in [0, 0.5]");
+    assert!(nmads > 0.0, "nmads = {nmads} must be positive");
+    if scores.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let dropped = (trim * sorted.len() as f64).floor() as usize;
+    let kept = &sorted[dropped.min(sorted.len() - 1)..];
+    let median = kept[kept.len() / 2];
+    let mut deviations: Vec<f64> = kept.iter().map(|s| (s - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("NaN in deviations"));
+    let mad = deviations[deviations.len() / 2];
+    if mad <= 0.0 {
+        return None;
+    }
+    Some(median - nmads * 1.4826 * mad)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +202,63 @@ mod tests {
     #[should_panic]
     fn invalid_target_beta_panics() {
         let _ = calibrate_threshold(&[0.0], 2.0);
+    }
+
+    #[test]
+    fn trimmed_calibration_shears_off_a_contaminating_tail() {
+        // 85 honest scores near zero plus a 15-node coalition parked at -8,
+        // just above a static η of -9.75. Untrimmed, the quantile lands in
+        // the coalition cluster; with a 30% trim the threshold is calibrated
+        // on the honest bulk and rises above the coalition's perch.
+        let mut live: Vec<f64> = (0..85).map(|i| -0.02 * i as f64).collect();
+        live.extend(std::iter::repeat_n(-8.0, 15));
+        let naive = calibrate_threshold_trimmed(&live, 0.01, 0.0).unwrap();
+        assert_eq!(naive, calibrate_threshold(&live, 0.01).unwrap());
+        assert_eq!(naive, -8.0, "untrimmed: dragged down by the coalition");
+        let robust = calibrate_threshold_trimmed(&live, 0.01, 0.3).unwrap();
+        assert!(robust > -8.0, "trimmed η = {robust} should clear -8");
+        // Zero trim on a clean sample stays the exact legacy calibration.
+        let honest: Vec<f64> = (0..1000).map(|i| -20.0 + 0.02 * i as f64).collect();
+        assert_eq!(
+            calibrate_threshold_trimmed(&honest, 0.01, 0.0),
+            calibrate_threshold(&honest, 0.01)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_trim_panics() {
+        let _ = calibrate_threshold_trimmed(&[0.0], 0.01, 0.6);
+    }
+
+    #[test]
+    fn outlier_threshold_separates_a_low_cluster_without_eating_the_bulk() {
+        // A tight honest bulk around 7.5 (spread ±1) plus a freerider
+        // cluster near 4.5. The threshold must land between them: below
+        // every bulk score, above the cluster's top.
+        let mut live: Vec<f64> = (0..80).map(|i| 6.5 + 0.025 * i as f64).collect();
+        live.extend((0..15).map(|i| 4.0 + 0.05 * i as f64));
+        let thr = robust_outlier_threshold(&live, 0.3, 3.0).unwrap();
+        assert!(thr < 6.5, "threshold {thr} eats into the honest bulk");
+        assert!(thr > 4.75, "threshold {thr} misses the freerider cluster");
+        // Unlike the trimmed quantile, the rule never flags a fixed slice of
+        // a *clean* population: on the bulk alone the threshold stays below
+        // every score.
+        let clean = &live[..80];
+        let thr = robust_outlier_threshold(clean, 0.3, 3.0).unwrap();
+        assert!(clean.iter().all(|s| *s > thr), "clean bulk flagged: {thr}");
+    }
+
+    #[test]
+    fn outlier_threshold_degenerate_cases_are_none() {
+        assert_eq!(robust_outlier_threshold(&[], 0.3, 3.0), None);
+        // Identical scores: zero MAD, no scale to judge outliers against.
+        assert_eq!(robust_outlier_threshold(&[5.0; 10], 0.3, 3.0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_nmads_panics() {
+        let _ = robust_outlier_threshold(&[0.0], 0.3, 0.0);
     }
 }

@@ -28,7 +28,10 @@ pub mod mixture;
 pub mod montecarlo;
 pub mod stats;
 
-pub use detection::{calibrate_threshold, detection_rate, false_positive_rate};
+pub use detection::{
+    calibrate_threshold, calibrate_threshold_trimmed, detection_rate, false_positive_rate,
+    robust_outlier_threshold,
+};
 pub use entropy::{
     calibrate_gamma, collusion_entropy, kl_divergence, max_entropy, max_undetectable_bias,
     shannon_entropy, shannon_entropy_of_counts, uniform_selection_entropy,

@@ -89,6 +89,10 @@ fn build_jobs(scale: Scale) -> Vec<Job> {
             "multistream",
             Box::new(move || to_value(&multistream_sweep(scale, 44))),
         ),
+        (
+            "resilience",
+            Box::new(move || to_value(&resilience_sweep(scale, 55))),
+        ),
     ]
 }
 
@@ -252,6 +256,11 @@ fn main() {
             "adversaries": primary.by_name("adversaries"),
             "churn": primary.by_name("churn"),
             "multistream": primary.by_name("multistream"),
+            "resilience": primary.by_name("resilience"),
+            // Times a sweep's η calibration fell back to the paper's −9.75
+            // because its honest sample was empty; anything non-zero means a
+            // reported detection rate ran against an uncalibrated threshold.
+            "eta_fallbacks": paper_eta_fallback_count(),
             "timings_secs": primary.timings(),
             "total_wall_secs": primary.total_secs,
             "per_scale_timings": per_scale_timings.clone(),

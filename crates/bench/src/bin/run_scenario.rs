@@ -1,0 +1,60 @@
+//! Runs one registered scenario by name and prints a compact JSON readout —
+//! the CLI face of the scenario registry, used by the CI fault-injection
+//! smoke gate and handy for ad-hoc inspection:
+//!
+//! ```text
+//! run_scenario resilience/partition-waves --quick [--seed N]
+//! ```
+//!
+//! Pass `--list` to print every registered name instead.
+
+use lifting_bench::experiments::Scale;
+use lifting_runtime::{run_scenario, ScenarioRegistry};
+use serde_json::{json, to_value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = ScenarioRegistry::builtin();
+    if args.iter().any(|a| a == "--list") {
+        for name in registry.names() {
+            println!("{name}");
+        }
+        return;
+    }
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .expect("usage: run_scenario <scenario-name> [--quick] [--seed N] [--list]");
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .map(|i| args[i + 1].parse().expect("--seed needs an integer"))
+        .unwrap_or(55);
+    assert!(
+        registry.contains(name),
+        "unknown scenario {name:?}; see --list"
+    );
+
+    let outcome = run_scenario(registry.build(name, scale, seed));
+    let readout = json!({
+        "scenario": name,
+        "scale": format!("{scale:?}"),
+        "seed": seed,
+        "expelled_count": outcome.expelled_count,
+        "churn": to_value(&outcome.churn),
+        "confirm_retry": to_value(&outcome.confirm_retry),
+        "audit_rpc": to_value(&outcome.audit_rpc),
+        "recovery": to_value(&outcome.recovery),
+        "stream_health": to_value(&outcome.stream_health),
+        "traffic_total_bytes_sent": outcome.traffic.total_bytes_sent,
+    });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&readout).expect("serialize readout")
+    );
+}

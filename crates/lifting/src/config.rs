@@ -30,6 +30,17 @@ pub struct LiftingConfig {
     pub ack_timeout: SimDuration,
     /// How long a verifier waits for confirm responses from the witnesses.
     pub confirm_timeout: SimDuration,
+    /// Bounded retries for unanswered cross-check confirms (resilience
+    /// hardening). `0` — the paper's behaviour — converts every witness
+    /// still unconfirmed at the first timeout into a contradicted-proposal
+    /// blame, which under message loss wrongly blames honest proposers
+    /// (Figure 10's σ). `k > 0` re-sends the confirm to the still-silent
+    /// witnesses up to `k` times with a deterministic linear backoff
+    /// (attempt `i` waits `confirm_timeout · (i + 1)`), and when the retries
+    /// exhaust **aborts the check without blame**: a silent witness is then
+    /// indistinguishable from a partitioned one, so contradiction evidence
+    /// is left to the a-posteriori audit plane instead of being guessed.
+    pub confirm_retries: u32,
     /// Minimum number of observed gossip periods before a node can be expelled
     /// on its score (a joining node's score is not yet comparable,
     /// Section 6.2).
@@ -55,6 +66,7 @@ impl LiftingConfig {
             serve_timeout: tg,
             ack_timeout: tg.saturating_mul(3),
             confirm_timeout: tg.saturating_mul(2),
+            confirm_retries: 0,
             min_periods_before_expulsion: 10,
             expulsion_quorum: 0.5,
             compensate_wrongful_blames: true,
@@ -65,6 +77,14 @@ impl LiftingConfig {
     /// cross-checking probability.
     pub fn with_pdcc(mut self, pdcc: f64) -> Self {
         self.pdcc = pdcc;
+        self
+    }
+
+    /// Enables the hardened confirm path: up to `retries` re-sends of an
+    /// unanswered cross-check confirm before the check is abandoned without
+    /// blame (see [`confirm_retries`](Self::confirm_retries)).
+    pub fn with_confirm_retries(mut self, retries: u32) -> Self {
+        self.confirm_retries = retries;
         self
     }
 

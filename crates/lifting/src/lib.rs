@@ -44,6 +44,6 @@ pub use collusion::CollusionConfig;
 pub use config::LiftingConfig;
 pub use history::{NodeHistory, PeriodRecord, ProposalRecord};
 pub use messages::{AckPayload, ConfirmPayload, ConfirmResponsePayload, VerificationMessage};
-pub use verifier::{Verifier, VerifierAction, VerifierTimer};
+pub use verifier::{ConfirmRetryStats, Verifier, VerifierAction, VerifierTimer};
 
 pub use lifting_sim::NodeId;

@@ -26,6 +26,7 @@ use lifting_sim::collections::FastHashMap;
 use lifting_gossip::{ChunkId, ProposeRound};
 use lifting_sim::{InlineVec, NodeId, SimTime, StreamId};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::blame::{schedule, Blame, BlameReason};
 use crate::collusion::CollusionConfig;
@@ -111,6 +112,30 @@ struct PendingConfirm {
     witnesses: Arc<[NodeId]>,
     /// Witnesses that confirmed; bounded by the fanout (≈ 7), kept inline.
     confirmed: InlineVec<NodeId, 8>,
+    /// Witnesses that *explicitly denied* (answered `confirmed: false`).
+    /// Only consulted by the hardened confirm path (`confirm_retries > 0`),
+    /// where silence is retried but a recorded denial is hard contradiction
+    /// evidence.
+    denied: InlineVec<NodeId, 8>,
+    /// The chunk list of the acknowledgment, kept so a retry can re-send the
+    /// identical confirm payload (shared refcount, no copy).
+    chunks: Arc<[ChunkId]>,
+    /// Re-send attempts made so far (hardened path only).
+    attempt: u32,
+}
+
+/// Counters of the hardened confirm path (`LiftingConfig::confirm_retries`).
+/// All zero when the hardening is off — the paper's single-shot behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfirmRetryStats {
+    /// Confirm timers that expired with at least one still-silent witness.
+    pub timeouts: u64,
+    /// Confirm requests re-sent to silent witnesses.
+    pub resends: u64,
+    /// Checks abandoned without blame after the retries exhausted (the
+    /// silent witnesses stayed silent — indistinguishable from loss or
+    /// partition, so no contradiction is inferred).
+    pub aborts: u64,
 }
 
 /// The per-node LiFTinG verification engine.
@@ -134,6 +159,7 @@ pub struct Verifier {
     pending_confirms: FastHashMap<u64, PendingConfirm>,
     next_token: u64,
     blames_emitted: u64,
+    retry_stats: ConfirmRetryStats,
 }
 
 impl Verifier {
@@ -159,6 +185,7 @@ impl Verifier {
             pending_confirms: FastHashMap::default(),
             next_token: 0,
             blames_emitted: 0,
+            retry_stats: ConfirmRetryStats::default(),
         }
     }
 
@@ -192,6 +219,12 @@ impl Verifier {
     /// Number of blames this verifier has emitted so far.
     pub fn blames_emitted(&self) -> u64 {
         self.blames_emitted
+    }
+
+    /// Counters of the hardened confirm path (all zero when
+    /// `confirm_retries` is 0).
+    pub fn confirm_retry_stats(&self) -> ConfirmRetryStats {
+        self.retry_stats
     }
 
     /// Answers an a-posteriori audit poll: did this node receive a proposal
@@ -469,6 +502,9 @@ impl Verifier {
                     subject: from,
                     witnesses: ack.partners.clone(),
                     confirmed: InlineVec::new(),
+                    denied: InlineVec::new(),
+                    chunks: ack.chunks.clone(),
+                    attempt: 0,
                 },
             );
             let confirm = Arc::new(ConfirmPayload {
@@ -492,8 +528,17 @@ impl Verifier {
     /// Called when a confirm response arrives from a witness.
     pub fn on_confirm_response(&mut self, from: NodeId, response: ConfirmResponsePayload) {
         if let Some(pending) = self.pending_confirms.get_mut(&response.token) {
-            if response.confirmed && pending.witnesses.contains(&from) {
+            if !pending.witnesses.contains(&from) {
+                return;
+            }
+            if response.confirmed {
                 pending.confirmed.insert_unique(from);
+            } else {
+                // An explicit denial. The hardened path distinguishes it
+                // from silence (a denial is contradiction evidence, silence
+                // is retried); the paper's single-shot path treats both the
+                // same, so recording it is inert there.
+                pending.denied.insert_unique(from);
             }
         }
     }
@@ -561,7 +606,7 @@ impl Verifier {
     pub fn on_timer_into(
         &mut self,
         timer: VerifierTimer,
-        _now: SimTime,
+        now: SimTime,
         actions: &mut Vec<VerifierAction>,
     ) {
         match timer {
@@ -587,7 +632,12 @@ impl Verifier {
                 }
             }
             VerifierTimer::ConfirmCheck { token } => {
-                if let Some(pending) = self.pending_confirms.remove(&token) {
+                if self.config.confirm_retries > 0 {
+                    self.on_confirm_check_hardened(token, now, actions);
+                } else if let Some(pending) = self.pending_confirms.remove(&token) {
+                    // The paper's single-shot path: every witness still
+                    // unconfirmed at the first expiry — silent or denying —
+                    // counts as a contradiction.
                     let contradictions = pending
                         .witnesses
                         .iter()
@@ -603,12 +653,81 @@ impl Verifier {
             }
         }
     }
+
+    /// The hardened confirm-check expiry (`confirm_retries > 0`): silent
+    /// witnesses are re-asked up to the retry budget with a deterministic
+    /// linear backoff; when it exhausts, only *explicit denials* convert
+    /// into a contradicted-proposal blame — witnesses that stayed silent
+    /// through every attempt are indistinguishable from loss or partition,
+    /// so their check is aborted without blame (counted in
+    /// [`ConfirmRetryStats`]). A lost `ConfirmResponse` therefore times out
+    /// and retries instead of wrongly blaming the subject.
+    fn on_confirm_check_hardened(
+        &mut self,
+        token: u64,
+        now: SimTime,
+        actions: &mut Vec<VerifierAction>,
+    ) {
+        let Some(pending) = self.pending_confirms.get(&token) else {
+            return;
+        };
+        let silent: InlineVec<NodeId, 8> = pending
+            .witnesses
+            .iter()
+            .filter(|w| !pending.confirmed.contains(w) && !pending.denied.contains(w))
+            .copied()
+            .collect();
+        if !silent.is_empty() && pending.attempt < self.config.confirm_retries {
+            // Retry: re-send the identical confirm to the still-silent
+            // witnesses and re-arm the timer with a linear backoff
+            // (attempt i waits confirm_timeout · (i + 1)).
+            let pending = self
+                .pending_confirms
+                .get_mut(&token)
+                .expect("checked above");
+            pending.attempt += 1;
+            let attempt = pending.attempt;
+            let confirm = Arc::new(ConfirmPayload {
+                subject: pending.subject,
+                chunks: pending.chunks.clone(),
+                token,
+            });
+            self.retry_stats.timeouts += 1;
+            self.retry_stats.resends += silent.len() as u64;
+            for witness in silent.iter() {
+                actions.push(VerifierAction::SendConfirm {
+                    to: *witness,
+                    confirm: confirm.clone(),
+                });
+            }
+            actions.push(VerifierAction::StartTimer {
+                timer: VerifierTimer::ConfirmCheck { token },
+                deadline: now
+                    + self
+                        .config
+                        .confirm_timeout
+                        .saturating_mul(attempt as u64 + 1),
+            });
+            return;
+        }
+        let pending = self.pending_confirms.remove(&token).expect("checked above");
+        if !silent.is_empty() {
+            // Retries exhausted with witnesses still silent: graceful
+            // degradation — no contradiction is inferred from silence.
+            self.retry_stats.timeouts += 1;
+            self.retry_stats.aborts += 1;
+        }
+        let value = schedule::contradicted_proposal(pending.denied.len());
+        if let Some(b) = self.blame(pending.subject, value, BlameReason::ContradictedProposal) {
+            actions.push(b);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lifting_sim::derive_rng;
+    use lifting_sim::{derive_rng, SimDuration};
     use std::sync::Arc;
 
     fn ids(xs: &[u64]) -> Vec<ChunkId> {
@@ -790,6 +909,197 @@ mod tests {
         assert_eq!(bs.len(), 1);
         assert_eq!(bs[0].value, 3.0);
         assert_eq!(bs[0].reason, BlameReason::ContradictedProposal);
+    }
+
+    /// Launches a confirm round against 7 witnesses and returns the token.
+    fn launch_confirm_round(v: &mut Verifier, receiver: NodeId, rng: &mut impl Rng) -> u64 {
+        v.on_chunks_served(receiver, ids(&[1]), SimTime::ZERO);
+        let out = v.on_ack(
+            receiver,
+            AckPayload {
+                chunks: ids(&[1]).into(),
+                partners: (10..17).map(NodeId::new).collect::<Vec<_>>().into(),
+                period: 1,
+            },
+            SimTime::from_millis(900),
+            rng,
+        );
+        match *timers(&out)
+            .iter()
+            .find(|t| matches!(t, VerifierTimer::ConfirmCheck { .. }))
+            .unwrap()
+        {
+            VerifierTimer::ConfirmCheck { token } => token,
+            _ => unreachable!(),
+        }
+    }
+
+    fn confirm_resends(actions: &[VerifierAction]) -> usize {
+        actions
+            .iter()
+            .filter(|a| matches!(a, VerifierAction::SendConfirm { .. }))
+            .count()
+    }
+
+    #[test]
+    fn hardened_confirm_retries_silence_then_aborts_without_blame() {
+        let mut rng = derive_rng(4, 0);
+        let mut v = Verifier::new(
+            NodeId::new(1),
+            7,
+            LiftingConfig::planetlab().with_confirm_retries(2),
+            CollusionConfig::none(),
+        );
+        let receiver = NodeId::new(5);
+        let token = launch_confirm_round(&mut v, receiver, &mut rng);
+        let timer = VerifierTimer::ConfirmCheck { token };
+        // Five witnesses confirm; two stay silent for the whole round.
+        for w in (10..15).map(NodeId::new) {
+            v.on_confirm_response(
+                w,
+                ConfirmResponsePayload {
+                    subject: receiver,
+                    stream: StreamId::PRIMARY,
+                    token,
+                    confirmed: true,
+                },
+            );
+        }
+        // First expiry: re-send to the two silent witnesses, re-arm with a
+        // longer (linear backoff) deadline.
+        let out = v.on_timer(timer, SimTime::from_secs(2));
+        assert_eq!(confirm_resends(&out), 2);
+        assert!(blames(&out).is_empty());
+        let deadline = out
+            .iter()
+            .find_map(|a| match a {
+                VerifierAction::StartTimer { deadline, .. } => Some(*deadline),
+                _ => None,
+            })
+            .unwrap();
+        let backoff = LiftingConfig::planetlab().confirm_timeout.saturating_mul(2);
+        assert_eq!(deadline, SimTime::from_secs(2) + backoff);
+        // Second expiry: one retry left.
+        let out = v.on_timer(timer, deadline);
+        assert_eq!(confirm_resends(&out), 2);
+        assert!(blames(&out).is_empty());
+        // Third expiry: retries exhausted — abort, no wrongful blame.
+        let out = v.on_timer(timer, SimTime::from_secs(10));
+        assert!(
+            blames(&out).is_empty(),
+            "silence must never convert to blame"
+        );
+        assert_eq!(v.pending_checks(), 0);
+        let stats = v.confirm_retry_stats();
+        assert_eq!(stats.timeouts, 3);
+        assert_eq!(stats.resends, 4);
+        assert_eq!(stats.aborts, 1);
+    }
+
+    #[test]
+    fn hardened_confirm_blames_only_explicit_denials() {
+        let mut rng = derive_rng(5, 0);
+        let mut v = Verifier::new(
+            NodeId::new(1),
+            7,
+            LiftingConfig::planetlab().with_confirm_retries(1),
+            CollusionConfig::none(),
+        );
+        let receiver = NodeId::new(5);
+        let token = launch_confirm_round(&mut v, receiver, &mut rng);
+        let timer = VerifierTimer::ConfirmCheck { token };
+        // Four confirm, two explicitly deny, one stays silent.
+        for (i, w) in (10..16).map(NodeId::new).enumerate() {
+            v.on_confirm_response(
+                w,
+                ConfirmResponsePayload {
+                    subject: receiver,
+                    stream: StreamId::PRIMARY,
+                    token,
+                    confirmed: i < 4,
+                },
+            );
+        }
+        // First expiry retries only the silent witness, not the deniers.
+        let out = v.on_timer(timer, SimTime::from_secs(2));
+        assert_eq!(confirm_resends(&out), 1);
+        assert!(blames(&out).is_empty());
+        // Exhaustion: the two denials are contradictions and are blamed; the
+        // silent witness is written off as loss.
+        let out = v.on_timer(timer, SimTime::from_secs(5));
+        let bs = blames(&out);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].target, receiver);
+        assert_eq!(bs[0].value, 2.0);
+        assert_eq!(bs[0].reason, BlameReason::ContradictedProposal);
+        assert_eq!(v.confirm_retry_stats().aborts, 1);
+    }
+
+    #[test]
+    fn lost_confirm_responses_never_wrongly_blame_at_paper_loss() {
+        // Regression for the resilience hardening: at the paper's 7 % UDP
+        // loss, a lost `ConfirmResponse` must end in timeout/abort — never in
+        // a contradicted-proposal blame of an honest proposer. The legacy
+        // path (retries = 0) is the wrongful-blame baseline the hardening
+        // must beat.
+        let loss = 0.07;
+        let rounds = 300;
+        let mut wrongful_legacy = 0u64;
+        for (retries, wrongful_expected_zero) in [(0u32, false), (2u32, true)] {
+            let mut rng = derive_rng(6, u64::from(retries));
+            let mut v = Verifier::new(
+                NodeId::new(1),
+                7,
+                LiftingConfig::planetlab().with_confirm_retries(retries),
+                CollusionConfig::none(),
+            );
+            let receiver = NodeId::new(5);
+            for _ in 0..rounds {
+                let token = launch_confirm_round(&mut v, receiver, &mut rng);
+                let timer = VerifierTimer::ConfirmCheck { token };
+                let mut silent: Vec<NodeId> = (10..17).map(NodeId::new).collect();
+                let mut now = SimTime::from_secs(2);
+                // Every attempt, each still-silent witness answers honestly
+                // but the response is lost with the paper's probability.
+                for _ in 0..=retries {
+                    silent.retain(|w| {
+                        if rng.gen_bool(loss) {
+                            return true; // response lost
+                        }
+                        v.on_confirm_response(
+                            *w,
+                            ConfirmResponsePayload {
+                                subject: receiver,
+                                stream: StreamId::PRIMARY,
+                                token,
+                                confirmed: true,
+                            },
+                        );
+                        false
+                    });
+                    v.on_timer(timer, now);
+                    now += SimDuration::from_secs(2);
+                }
+            }
+            if wrongful_expected_zero {
+                assert_eq!(
+                    v.blames_emitted(),
+                    0,
+                    "hardened path must never blame silence"
+                );
+                let stats = v.confirm_retry_stats();
+                assert!(
+                    stats.timeouts > 0 && stats.resends > 0,
+                    "loss must exercise retries"
+                );
+            } else {
+                wrongful_legacy = v.blames_emitted();
+            }
+        }
+        assert!(
+            wrongful_legacy > 0,
+            "baseline must show the wrongful blames the hardening removes"
+        );
     }
 
     #[test]

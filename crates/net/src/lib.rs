@@ -16,11 +16,17 @@
 //!   paper identifies as the main source of false positives.
 //! * All traffic is accounted per [`TrafficCategory`], which is what Table 5
 //!   (practical overhead) is computed from.
+//! * Network faults can be injected deterministically: bursty
+//!   ([`LossModel::GilbertElliott`]) loss, latency spikes and duplication
+//!   ([`LinkFaults`]), and scheduled partition waves ([`FaultSchedule`] /
+//!   [`FaultPlan`]) that cut both transports — the resilience plane's
+//!   substrate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod fault;
 pub mod latency;
 pub mod loss;
 pub mod network;
@@ -28,9 +34,10 @@ pub mod traffic;
 pub mod transport;
 
 pub use bandwidth::{NodeCapability, UplinkState};
+pub use fault::{FaultPlan, FaultSchedule, FaultWave};
 pub use latency::LatencyModel;
-pub use loss::LossModel;
-pub use network::{DeliveryOutcome, Network, NetworkConfig};
+pub use loss::{BurstState, LossModel};
+pub use network::{DeliveryOutcome, LinkFaults, Network, NetworkConfig};
 pub use traffic::{TrafficCategory, TrafficReport, TrafficStats};
 pub use transport::{Transport, TransportPolicy};
 

@@ -1,16 +1,55 @@
 //! The simulated network: decides, for each send, whether and when the
 //! message is delivered, and accounts the traffic.
 
-use lifting_sim::{NodeId, SimTime};
+use lifting_sim::{NodeId, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::bandwidth::{NodeCapability, UplinkState};
 use crate::latency::LatencyModel;
-use crate::loss::LossModel;
+use crate::loss::{BurstState, LossModel};
 use crate::traffic::{TrafficCategory, TrafficStats};
 use crate::transport::{Transport, TransportPolicy};
+
+/// Deterministic link-fault knobs applied on top of the loss model: latency
+/// spikes (a message occasionally takes a detour) and duplication (a message
+/// occasionally arrives twice — retransmission artifacts, routing loops).
+/// Both default to off and consume RNG draws **only when enabled**, so
+/// configurations without them stay bit-identical to the pre-fault runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LinkFaults {
+    /// Probability that a delivered message suffers a delay spike.
+    pub delay_spike_probability: f64,
+    /// The extra one-way delay a spiked message incurs.
+    pub delay_spike: SimDuration,
+    /// Probability that a delivered message is duplicated (the copy takes an
+    /// independently sampled latency).
+    pub duplicate_probability: f64,
+}
+
+impl LinkFaults {
+    /// True if every knob is off (the default).
+    pub fn is_inert(&self) -> bool {
+        self.delay_spike_probability <= 0.0 && self.duplicate_probability <= 0.0
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.delay_spike_probability),
+            "delay-spike probability out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.duplicate_probability),
+            "duplicate probability out of range"
+        );
+    }
+}
 
 /// Static configuration of the simulated network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -19,6 +58,9 @@ pub struct NetworkConfig {
     pub loss: LossModel,
     /// One-way latency model.
     pub latency: LatencyModel,
+    /// Link-fault injection knobs (delay spikes, duplication); inert by
+    /// default.
+    pub faults: LinkFaults,
     /// Per-message header bytes added to UDP payloads (IP + UDP headers).
     pub udp_header_bytes: u64,
     /// Per-message header bytes added to TCP payloads (IP + TCP headers;
@@ -36,6 +78,7 @@ impl Default for NetworkConfig {
         NetworkConfig {
             loss: LossModel::None,
             latency: LatencyModel::default(),
+            faults: LinkFaults::default(),
             udp_header_bytes: 28,
             tcp_header_bytes: 40,
             default_capability: NodeCapability::unconstrained(),
@@ -73,14 +116,23 @@ pub enum DeliveryOutcome {
         /// Arrival time at the destination.
         at: SimTime,
     },
+    /// The message arrives twice (duplication fault): once at `at` and a
+    /// second time at `duplicate_at`. Only produced when
+    /// [`LinkFaults::duplicate_probability`] is non-zero.
+    Duplicated {
+        /// Arrival time of the original.
+        at: SimTime,
+        /// Arrival time of the duplicate (independently sampled latency).
+        duplicate_at: SimTime,
+    },
     /// The message is lost in transit and will never arrive.
     Lost,
 }
 
 impl DeliveryOutcome {
-    /// True if the message is delivered.
+    /// True if the message is delivered (at least once).
     pub fn is_delivered(&self) -> bool {
-        matches!(self, DeliveryOutcome::Deliver { .. })
+        !matches!(self, DeliveryOutcome::Lost)
     }
 }
 
@@ -95,6 +147,8 @@ pub struct Network {
     capabilities: Vec<NodeCapability>,
     uplinks: Vec<UplinkState>,
     expelled: Vec<bool>,
+    partitioned: Vec<bool>,
+    burst: BurstState,
     stats: TrafficStats,
     rng: SmallRng,
 }
@@ -102,10 +156,13 @@ pub struct Network {
 impl Network {
     /// Creates a network for `n` nodes with the given configuration and seed.
     pub fn new(n: usize, config: NetworkConfig, rng: SmallRng) -> Self {
+        config.faults.validate();
         Network {
             capabilities: vec![config.default_capability; n],
             uplinks: vec![UplinkState::new(); n],
             expelled: vec![false; n],
+            partitioned: vec![false; n],
+            burst: BurstState::default(),
             config,
             stats: TrafficStats::new(),
             rng,
@@ -170,6 +227,26 @@ impl Network {
         self.expelled.iter().filter(|e| **e).count()
     }
 
+    /// Partitions a node from the rest of the network (or heals it). Unlike
+    /// UDP loss, a partition is a *routing* failure: it cuts **both**
+    /// transports — the audits-over-TCP plane included — and both directions.
+    /// Distinct from [`set_cut_off`](Self::set_cut_off): a partitioned node
+    /// is still a live member (it keeps its state and its stack keeps
+    /// ticking), the network around it just fails.
+    pub fn set_partitioned(&mut self, node: NodeId, partitioned: bool) {
+        self.partitioned[node.index()] = partitioned;
+    }
+
+    /// True if the node is currently partitioned from the network.
+    pub fn is_partitioned(&self, node: NodeId) -> bool {
+        self.partitioned[node.index()]
+    }
+
+    /// Number of nodes currently partitioned.
+    pub fn partitioned_count(&self) -> usize {
+        self.partitioned.iter().filter(|p| **p).count()
+    }
+
     /// Accumulated traffic statistics.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
@@ -209,6 +286,13 @@ impl Network {
             return DeliveryOutcome::Lost;
         }
 
+        // A partition cuts every transport (TCP included) and both
+        // directions, deterministically — no RNG is consumed, so runs
+        // without a fault plan are draw-for-draw unchanged.
+        if self.partitioned[from.index()] || self.partitioned[to.index()] {
+            return DeliveryOutcome::Lost;
+        }
+
         // Uplink serialization at the sender.
         let capability = self.capabilities[from.index()];
         let leaves_at = self.uplinks[from.index()].enqueue(now, wire_bytes, &capability);
@@ -217,7 +301,10 @@ impl Network {
         if transport.is_lossy() {
             let sender_extra = capability.extra_loss;
             let receiver_extra = self.capabilities[to.index()].extra_loss;
-            if self.config.loss.is_lost(&mut self.rng)
+            if self
+                .config
+                .loss
+                .is_lost_with(&mut self.burst, &mut self.rng)
                 || (sender_extra > 0.0 && self.rng.gen_bool(sender_extra.clamp(0.0, 1.0)))
                 || (receiver_extra > 0.0 && self.rng.gen_bool(receiver_extra.clamp(0.0, 1.0)))
             {
@@ -225,9 +312,24 @@ impl Network {
             }
         }
 
-        let latency = self.config.latency.sample(from, to, &mut self.rng);
+        let mut latency = self.config.latency.sample(from, to, &mut self.rng);
+        // Fault knobs consume RNG only when enabled: inert configurations
+        // stay bit-identical.
+        let faults = self.config.faults;
+        if faults.delay_spike_probability > 0.0 && self.rng.gen_bool(faults.delay_spike_probability)
+        {
+            latency += faults.delay_spike;
+        }
         let at = leaves_at + latency;
         self.stats.record_delivered(category, wire_bytes);
+        if faults.duplicate_probability > 0.0 && self.rng.gen_bool(faults.duplicate_probability) {
+            // The copy rides the same uplink transmission (no second enqueue)
+            // but takes an independently sampled network path; it is
+            // accounted as an extra delivery of the same sent message.
+            let duplicate_at = leaves_at + self.config.latency.sample(from, to, &mut self.rng);
+            self.stats.record_delivered(category, wire_bytes);
+            return DeliveryOutcome::Duplicated { at, duplicate_at };
+        }
         DeliveryOutcome::Deliver { at }
     }
 }
@@ -358,6 +460,104 @@ mod tests {
                 at: SimTime::from_millis(25)
             }
         );
+    }
+
+    #[test]
+    fn partition_cuts_both_transports_and_heals() {
+        let mut net = net(3, NetworkConfig::ideal());
+        net.set_partitioned(NodeId::new(1), true);
+        assert!(net.is_partitioned(NodeId::new(1)));
+        assert_eq!(net.partitioned_count(), 1);
+        // Both directions, both transports (TCP audits included).
+        for (from, to, category) in [
+            (0, 1, TrafficCategory::GossipControl),
+            (1, 2, TrafficCategory::GossipControl),
+            (0, 1, TrafficCategory::Audit),
+            (1, 0, TrafficCategory::Audit),
+        ] {
+            let out = net.send(
+                SimTime::ZERO,
+                NodeId::new(from),
+                NodeId::new(to),
+                10,
+                category,
+            );
+            assert_eq!(out, DeliveryOutcome::Lost, "{from}->{to} {category:?}");
+        }
+        net.set_partitioned(NodeId::new(1), false);
+        assert!(net
+            .send(
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(1),
+                10,
+                TrafficCategory::Audit,
+            )
+            .is_delivered());
+    }
+
+    #[test]
+    fn delay_spike_and_duplication_knobs_apply() {
+        let config = NetworkConfig {
+            faults: LinkFaults {
+                delay_spike_probability: 1.0,
+                delay_spike: SimDuration::from_millis(500),
+                duplicate_probability: 1.0,
+            },
+            ..NetworkConfig::ideal()
+        };
+        assert!(!config.faults.is_inert());
+        let mut net = net(2, config);
+        match net.send(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            100,
+            TrafficCategory::GossipControl,
+        ) {
+            DeliveryOutcome::Duplicated { at, duplicate_at } => {
+                // Ideal latency is a constant 10 ms; the original carries the
+                // 500 ms spike, the duplicate does not.
+                assert_eq!(at, SimTime::from_millis(510));
+                assert_eq!(duplicate_at, SimTime::from_millis(10));
+            }
+            other => panic!("expected a duplicated delivery, got {other:?}"),
+        }
+        // The duplicate is an extra delivery of one sent message.
+        let c = net.stats().category(TrafficCategory::GossipControl);
+        assert_eq!(c.messages_sent, 1);
+        assert_eq!(c.messages_delivered, 2);
+    }
+
+    #[test]
+    fn inert_fault_knobs_consume_no_rng() {
+        // Two networks, one with the (default, inert) fault section and one
+        // constructed plainly: their delivery times must match draw for draw.
+        let mut a = net(2, NetworkConfig::planetlab(0.07));
+        let mut b = net(
+            2,
+            NetworkConfig {
+                faults: LinkFaults::default(),
+                ..NetworkConfig::planetlab(0.07)
+            },
+        );
+        for _ in 0..200 {
+            let oa = a.send(
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(1),
+                64,
+                TrafficCategory::Verification,
+            );
+            let ob = b.send(
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(1),
+                64,
+                TrafficCategory::Verification,
+            );
+            assert_eq!(oa, ob);
+        }
     }
 
     #[test]

@@ -13,14 +13,14 @@ use lifting_analysis::ProtocolParams;
 use lifting_core::Auditor;
 use lifting_gossip::StreamSource;
 use lifting_membership::{ChurnPlan, Directory};
-use lifting_net::{Network, NodeCapability};
+use lifting_net::{FaultPlan, Network, NodeCapability};
 use lifting_reputation::ManagerAssignment;
 use lifting_sim::{derive_rng, NodeId, SimDuration, SimTime, StreamId};
 use rand::Rng;
 
 use crate::layers::{
-    Adversary, AuditCoordinator, BlameSpammer, Colluder, Freerider, Honest, NodeStack,
-    OnOffFreerider, SelectiveFreerider,
+    AdaptiveColluder, Adversary, AuditCoordinator, BlameSpammer, Colluder, Freerider,
+    GradientFreerider, Honest, NodeStack, OnOffFreerider, SelectiveFreerider, Whitewasher,
 };
 use crate::message::{Event, CHURN_EPOCH_ANY};
 use crate::scenario::{AdversaryScenario, ScenarioConfig};
@@ -39,6 +39,26 @@ const CHURN_WORLD_STREAM: u64 = 7;
 /// they consume exactly the streams they always did — the bit-compat
 /// contract of the multistream refactor.
 const MULTISTREAM_STREAM: u64 = 8;
+/// Fresh RNG stream for the fault plan's membership draws. Consumed only
+/// when the scenario schedules fault waves, so fault-free runs keep their
+/// exact historical stream consumption.
+const FAULT_PLAN_STREAM: u64 = 9;
+
+/// Expands the scenario's fault schedule into its pre-drawn per-wave
+/// membership (`None` when no faults are configured).
+pub(crate) fn fault_plan(config: &ScenarioConfig) -> Option<FaultPlan> {
+    config
+        .faults
+        .as_ref()
+        .filter(|schedule| !schedule.waves.is_empty())
+        .map(|schedule| {
+            FaultPlan::generate(
+                schedule,
+                config.nodes,
+                &mut derive_rng(config.seed, FAULT_PLAN_STREAM),
+            )
+        })
+}
 
 /// The multistream draw stream (consumed only when `stream_count > 1`).
 pub(crate) fn multistream_rng(seed: u64) -> rand::rngs::SmallRng {
@@ -103,6 +123,21 @@ pub fn adversary_for(
         AdversaryScenario::SelectiveFreerider { silent_mask } => {
             Box::new(SelectiveFreerider { silent_mask })
         }
+        AdversaryScenario::GradientFreerider { margin, step } => {
+            Box::new(GradientFreerider::new(degree, margin, step))
+        }
+        AdversaryScenario::Whitewasher { margin, offline } => {
+            Box::new(Whitewasher::new(degree, margin, offline))
+        }
+        AdversaryScenario::AdaptiveColluders {
+            partner_bias,
+            cooldown_periods,
+        } => Box::new(AdaptiveColluder::new(
+            degree,
+            coalition.clone(),
+            partner_bias,
+            cooldown_periods,
+        )),
     }
 }
 
@@ -223,7 +258,8 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
         config.lifting,
         config.gossip.fanout,
         gamma,
-    ));
+    ))
+    .with_retry(config.audit_retry);
 
     let sources: Vec<StreamSource> = config
         .stream_ids()
@@ -281,6 +317,14 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
         scratch_downcalls: Vec::new(),
         scratch_nodes: Vec::new(),
         scratch_votes: Vec::new(),
+        fault_plan: fault_plan(&config),
+        partition_holds: vec![0; n],
+        periods_elapsed: 0,
+        eta_live: config.lifting.eta,
+        eta_smoothed: config.lifting.eta,
+        recovery: config
+            .resilience_active()
+            .then(crate::metrics::RecoveryReport::default),
         config,
     }
 }
@@ -370,6 +414,27 @@ pub fn initial_events(config: &ScenarioConfig) -> Vec<(SimTime, Event)> {
                     },
                 ));
             }
+        }
+    }
+    // Fault waves: each wave contributes its onset and its heal transition
+    // (membership is pre-drawn by the plan, so both runs of a
+    // parallel/sequential pair see the identical outage).
+    if let Some(schedule) = &config.faults {
+        for (i, wave) in schedule.waves.iter().enumerate() {
+            events.push((
+                SimTime::ZERO + wave.at,
+                Event::Fault {
+                    wave: i as u32,
+                    begin: true,
+                },
+            ));
+            events.push((
+                SimTime::ZERO + wave.heals_at(),
+                Event::Fault {
+                    wave: i as u32,
+                    begin: false,
+                },
+            ));
         }
     }
     events

@@ -14,9 +14,24 @@ use std::sync::Arc;
 use lifting_core::{Blame, BlameReason, CollusionConfig};
 use lifting_gossip::{Behavior, FreeriderConfig, GossipNode};
 use lifting_membership::{PartnerSelector, SelectionPolicy};
-use lifting_sim::{NodeId, StreamId};
+use lifting_sim::{NodeId, SimDuration, StreamId};
 
 use super::LayerEnv;
+
+/// What a closed-loop adversary decides to do with its per-period score
+/// feedback (see [`Adversary::on_score_feedback`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackAction {
+    /// Keep running; the adversary may have retuned its internal state.
+    None,
+    /// Leave the system now and rejoin after `offline` — the whitewashing
+    /// move: abandon a burned identity's session and come back hoping for a
+    /// clean slate.
+    Depart {
+        /// How long the node stays offline before rejoining.
+        offline: SimDuration,
+    },
+}
 
 /// A node's strategy: how each plane of its protocol stack deviates (or not)
 /// from the protocol.
@@ -79,6 +94,47 @@ pub trait Adversary: std::fmt::Debug + Send {
     /// paper adversaries return nothing and consume no RNG.
     fn fabricate_blames(&mut self, _env: &mut LayerEnv<'_>) -> Vec<Blame> {
         Vec::new()
+    }
+
+    /// Whether this adversary wants the per-period score feedback upcall.
+    /// The runtime only pays for the feedback pass when a closed-loop
+    /// scenario is configured, and within it only polls adversaries that
+    /// return `true` here.
+    fn wants_score_feedback(&self) -> bool {
+        false
+    }
+
+    /// Closed-loop feedback: at the end of gossip period `period` the
+    /// adversary learns its own aggregated manager score (`None` while no
+    /// manager has a book for it yet) and the *public* detection threshold
+    /// `η`. This models a rational freerider that probes its standing — e.g.
+    /// by polling its managers — and adapts. Must be deterministic and must
+    /// not consume RNG.
+    fn on_score_feedback(
+        &mut self,
+        _period: u64,
+        _score: Option<f64>,
+        _eta: f64,
+    ) -> FeedbackAction {
+        FeedbackAction::None
+    }
+
+    /// Closed-loop observation: a coalition accomplice (`target`) was picked
+    /// as an audit target during `period`. Adaptive colluders use this to
+    /// steer cover traffic away from peers under scrutiny. Default: ignore.
+    fn on_audit_observed(&mut self, _target: NodeId, _period: u64) {}
+
+    /// Hook run right after [`on_gossip_tick`](Self::on_gossip_tick) with the
+    /// plane's partner selector: adaptive adversaries re-pick their selection
+    /// policy here (e.g. re-aim collusion bias away from recently audited
+    /// accomplices). Must not consume RNG; the default keeps the selector
+    /// untouched.
+    fn retune_membership(
+        &mut self,
+        _stream: StreamId,
+        _period: u64,
+        _selector: &mut PartnerSelector,
+    ) {
     }
 }
 
@@ -304,6 +360,284 @@ impl Adversary for SelectiveFreerider {
     }
 }
 
+/// A **gradient freerider** — the closed-loop version of the independent
+/// freerider: each period it reads its own aggregated manager score and
+/// throttles its freeriding *intensity* so the score rides just above the
+/// public threshold `η`. When the score dips below `η + margin` it backs off
+/// by `step`; while comfortably above, it creeps back up by `step / 2`
+/// (back off fast, get greedy slowly). Against a static `η` this extracts
+/// near-maximal gain while staying undetected; the online-recalibration
+/// defence moves the effective threshold into the band the adversary is
+/// hiding in.
+#[derive(Debug, Clone, Copy)]
+pub struct GradientFreerider {
+    /// The maximal degree of freeriding, applied at intensity 1.
+    pub degree: FreeriderConfig,
+    /// Safety margin above `η` the adversary tries to keep.
+    pub margin: f64,
+    /// Intensity decrement applied when the score gets too close to `η`.
+    pub step: f64,
+    /// Current freeriding intensity in `[0, 1]`; scales all three deltas.
+    intensity: f64,
+}
+
+impl GradientFreerider {
+    /// A gradient freerider that starts fully greedy (intensity 1).
+    pub fn new(degree: FreeriderConfig, margin: f64, step: f64) -> Self {
+        GradientFreerider {
+            degree,
+            margin,
+            step,
+            intensity: 1.0,
+        }
+    }
+
+    /// The current freeriding intensity.
+    pub fn intensity(&self) -> f64 {
+        self.intensity
+    }
+
+    /// The degree at the current intensity (all deltas scaled).
+    fn scaled_degree(&self) -> FreeriderConfig {
+        FreeriderConfig {
+            delta1: self.degree.delta1 * self.intensity,
+            delta2: self.degree.delta2 * self.intensity,
+            delta3: self.degree.delta3 * self.intensity,
+            period_stretch: self.degree.period_stretch,
+        }
+    }
+}
+
+impl Adversary for GradientFreerider {
+    fn name(&self) -> &'static str {
+        "gradient-freerider"
+    }
+
+    fn is_freerider(&self) -> bool {
+        true
+    }
+
+    fn dissemination_plane(&self) -> Behavior {
+        Behavior::Freerider(self.scaled_degree())
+    }
+
+    fn on_gossip_tick(&mut self, _stream: StreamId, _period: u64, gossip: &mut GossipNode) {
+        let behavior = if self.intensity <= 0.0 {
+            Behavior::Honest
+        } else {
+            Behavior::Freerider(self.scaled_degree())
+        };
+        if gossip.behavior() != &behavior {
+            gossip.set_behavior(behavior);
+        }
+    }
+
+    fn wants_score_feedback(&self) -> bool {
+        true
+    }
+
+    fn on_score_feedback(&mut self, _period: u64, score: Option<f64>, eta: f64) -> FeedbackAction {
+        if let Some(score) = score {
+            if score < eta + self.margin {
+                self.intensity = (self.intensity - self.step).max(0.0);
+            } else {
+                self.intensity = (self.intensity + self.step * 0.5).min(1.0);
+            }
+        }
+        FeedbackAction::None
+    }
+}
+
+/// A **whitewasher** — the churn-exploiting closed-loop attack: the node
+/// freerides greedily and watches its own score trajectory; once blame has
+/// dragged the score `margin` below the best value it has seen (a drawdown
+/// it can measure locally, with no knowledge of the managers' threshold) it
+/// *leaves* and rejoins after `offline`, betting that the rejoin launders
+/// the bad reputation. The defence is the frozen-score carryover: departed
+/// nodes' manager books are frozen (not deleted) and expulsion votes
+/// persist, so the identity's history survives the wash cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct Whitewasher {
+    /// The degree of freeriding.
+    pub degree: FreeriderConfig,
+    /// Departure trigger: leave once the score has fallen `margin` below its
+    /// observed peak.
+    pub margin: f64,
+    /// How long to stay offline before rejoining.
+    pub offline: SimDuration,
+    /// Best score observed so far (the drawdown baseline).
+    peak: f64,
+}
+
+impl Whitewasher {
+    /// A whitewasher of the given freeriding degree that washes after a
+    /// `margin` drawdown and stays away for `offline`.
+    pub fn new(degree: FreeriderConfig, margin: f64, offline: SimDuration) -> Self {
+        Whitewasher {
+            degree,
+            margin,
+            offline,
+            peak: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Adversary for Whitewasher {
+    fn name(&self) -> &'static str {
+        "whitewasher"
+    }
+
+    fn is_freerider(&self) -> bool {
+        true
+    }
+
+    fn dissemination_plane(&self) -> Behavior {
+        Behavior::Freerider(self.degree)
+    }
+
+    fn wants_score_feedback(&self) -> bool {
+        true
+    }
+
+    fn on_score_feedback(&mut self, _period: u64, score: Option<f64>, _eta: f64) -> FeedbackAction {
+        let Some(score) = score else {
+            return FeedbackAction::None;
+        };
+        self.peak = self.peak.max(score);
+        if self.peak - score > self.margin {
+            // Rebaseline so the post-rejoin cycle measures a fresh drawdown
+            // (the rejoin also rebuilds this adversary, which has the same
+            // effect; this keeps the state machine correct on its own).
+            self.peak = score;
+            FeedbackAction::Depart {
+                offline: self.offline,
+            }
+        } else {
+            FeedbackAction::None
+        }
+    }
+}
+
+/// An **adaptive colluder** — a coalition member that watches which of its
+/// accomplices get audited and re-aims its cover traffic away from them for
+/// `cooldown_periods`: biased partner selection towards a peer whose history
+/// is about to be entropy-checked is exactly what the `γ` test catches, so
+/// the coalition rotates its bias towards unscrutinized members instead.
+/// Pure reshaping of the membership plane; consumes no RNG.
+#[derive(Debug, Clone)]
+pub struct AdaptiveColluder {
+    /// The degree of freeriding.
+    pub degree: FreeriderConfig,
+    /// The whole coalition (including this node).
+    pub coalition: Arc<Vec<NodeId>>,
+    /// Probability of picking a coalition member as gossip partner (`pm`).
+    pub partner_bias: f64,
+    /// How many gossip periods an audited accomplice stays off the bias list.
+    pub cooldown_periods: u64,
+    /// Accomplices recently picked as audit targets: `(member, period seen)`.
+    recently_audited: Vec<(NodeId, u64)>,
+}
+
+impl AdaptiveColluder {
+    /// A fresh adaptive colluder with an empty audit memory.
+    pub fn new(
+        degree: FreeriderConfig,
+        coalition: Arc<Vec<NodeId>>,
+        partner_bias: f64,
+        cooldown_periods: u64,
+    ) -> Self {
+        AdaptiveColluder {
+            degree,
+            coalition,
+            partner_bias,
+            cooldown_periods,
+            recently_audited: Vec::new(),
+        }
+    }
+
+    /// Coalition members currently safe to bias towards (not audited within
+    /// the cooldown window ending at `period`). Falls back to the full
+    /// coalition when fewer than two members are unscrutinized — a bias list
+    /// needs somebody on it.
+    fn safe_coalition(&self, period: u64) -> Arc<Vec<NodeId>> {
+        let burned = |n: &NodeId| {
+            self.recently_audited
+                .iter()
+                .any(|(m, p)| m == n && period.saturating_sub(*p) < self.cooldown_periods)
+        };
+        let safe: Vec<NodeId> = self
+            .coalition
+            .iter()
+            .filter(|n| !burned(n))
+            .copied()
+            .collect();
+        if safe.len() < 2 {
+            self.coalition.clone()
+        } else {
+            Arc::new(safe)
+        }
+    }
+}
+
+impl Adversary for AdaptiveColluder {
+    fn name(&self) -> &'static str {
+        "adaptive-colluder"
+    }
+
+    fn is_freerider(&self) -> bool {
+        true
+    }
+
+    fn dissemination_plane(&self) -> Behavior {
+        Behavior::Freerider(self.degree)
+    }
+
+    fn membership_plane(&self) -> PartnerSelector {
+        PartnerSelector::new(SelectionPolicy::ColludingBias {
+            colluders: self.coalition.clone(),
+            pm: self.partner_bias,
+        })
+    }
+
+    fn verification_plane(&self) -> CollusionConfig {
+        CollusionConfig::coalition(self.coalition.clone(), true, false)
+    }
+
+    fn on_audit_observed(&mut self, target: NodeId, period: u64) {
+        if !self.coalition.contains(&target) {
+            return;
+        }
+        if let Some(entry) = self.recently_audited.iter_mut().find(|(m, _)| *m == target) {
+            entry.1 = period;
+        } else {
+            self.recently_audited.push((target, period));
+        }
+    }
+
+    fn retune_membership(
+        &mut self,
+        _stream: StreamId,
+        period: u64,
+        selector: &mut PartnerSelector,
+    ) {
+        self.recently_audited
+            .retain(|(_, p)| period.saturating_sub(*p) < self.cooldown_periods);
+        if self.recently_audited.is_empty() {
+            // Nothing burned: only rebuild if a previous retune shrank the
+            // bias list (cheap equality on the Arc'd full coalition).
+            if let SelectionPolicy::ColludingBias { colluders, .. } = selector.policy() {
+                if Arc::ptr_eq(colluders, &self.coalition) {
+                    return;
+                }
+            }
+        }
+        *selector = PartnerSelector::new(SelectionPolicy::ColludingBias {
+            colluders: self.safe_coalition(period),
+            pm: self.partner_bias,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +719,134 @@ mod tests {
         let mut rng = derive_rng(3, 0);
         assert_eq!(silent.effective_fanout(7, &mut rng), 0);
         assert_eq!(silent.effective_serve(4, &mut rng), 0);
+    }
+
+    #[test]
+    fn gradient_freerider_rides_the_threshold() {
+        let mut adversary = GradientFreerider::new(FreeriderConfig::uniform(0.4), 2.0, 0.25);
+        assert!(adversary.is_freerider());
+        assert!(adversary.wants_score_feedback());
+        assert_eq!(adversary.intensity(), 1.0);
+        // No score yet: nothing changes.
+        assert_eq!(
+            adversary.on_score_feedback(1, None, -9.75),
+            FeedbackAction::None
+        );
+        assert_eq!(adversary.intensity(), 1.0);
+        // Score in the danger zone (η + margin): back off by `step`.
+        adversary.on_score_feedback(2, Some(-8.5), -9.75);
+        assert_eq!(adversary.intensity(), 0.75);
+        adversary.on_score_feedback(3, Some(-9.0), -9.75);
+        assert_eq!(adversary.intensity(), 0.5);
+        // Comfortable again: creep back up by `step / 2`, capped at 1.
+        adversary.on_score_feedback(4, Some(-1.0), -9.75);
+        assert_eq!(adversary.intensity(), 0.625);
+        for _ in 0..10 {
+            adversary.on_score_feedback(5, Some(-1.0), -9.75);
+        }
+        assert_eq!(adversary.intensity(), 1.0);
+        // Intensity clamps at 0 and the plane degrades to honest behaviour.
+        for _ in 0..10 {
+            adversary.on_score_feedback(6, Some(-20.0), -9.75);
+        }
+        assert_eq!(adversary.intensity(), 0.0);
+        let mut gossip = GossipNode::new(
+            NodeId::new(4),
+            GossipConfig::planetlab(),
+            adversary.dissemination_plane(),
+        );
+        adversary.on_gossip_tick(StreamId::PRIMARY, 7, &mut gossip);
+        assert_eq!(gossip.behavior(), &Behavior::Honest);
+        // Scaled deltas: at intensity 0.5, half the configured degree.
+        adversary.intensity = 0.5;
+        match adversary.dissemination_plane() {
+            Behavior::Freerider(d) => {
+                assert!((d.delta1 - 0.2).abs() < 1e-12);
+                assert!((d.delta2 - 0.2).abs() < 1e-12);
+                assert!((d.delta3 - 0.2).abs() < 1e-12);
+            }
+            other => panic!("expected freerider behaviour, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitewasher_departs_on_drawdown_not_on_low_absolute_score() {
+        let mut adversary =
+            Whitewasher::new(FreeriderConfig::planetlab(), 1.0, SimDuration::from_secs(2));
+        assert!(adversary.wants_score_feedback());
+        // A low but *rising* score is not a drawdown — no wash, regardless of
+        // how the absolute value compares to η.
+        assert_eq!(
+            adversary.on_score_feedback(3, Some(-5.0), -9.75),
+            FeedbackAction::None
+        );
+        assert_eq!(
+            adversary.on_score_feedback(4, None, -9.75),
+            FeedbackAction::None
+        );
+        assert_eq!(
+            adversary.on_score_feedback(5, Some(2.0), -9.75),
+            FeedbackAction::None
+        );
+        // Blame drags the score 1.5 below the observed peak: wash.
+        assert_eq!(
+            adversary.on_score_feedback(6, Some(0.5), -9.75),
+            FeedbackAction::Depart {
+                offline: SimDuration::from_secs(2)
+            }
+        );
+        // The trigger rebaselines: the same score right after is no drawdown.
+        assert_eq!(
+            adversary.on_score_feedback(7, Some(0.5), -9.75),
+            FeedbackAction::None
+        );
+    }
+
+    #[test]
+    fn adaptive_colluder_rotates_bias_away_from_audited_accomplices() {
+        let coalition = Arc::new(vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        let mut adversary =
+            AdaptiveColluder::new(FreeriderConfig::planetlab(), coalition.clone(), 0.6, 4);
+        assert!(adversary.verification_plane().covers_up());
+        let mut selector = adversary.membership_plane();
+        // Audits outside the coalition are ignored.
+        adversary.on_audit_observed(NodeId::new(9), 10);
+        adversary.retune_membership(StreamId::PRIMARY, 10, &mut selector);
+        match selector.policy() {
+            SelectionPolicy::ColludingBias { colluders, .. } => {
+                assert_eq!(colluders.len(), 3)
+            }
+            other => panic!("expected colluding bias, got {other:?}"),
+        }
+        // An audited accomplice drops off the bias list for the cooldown.
+        adversary.on_audit_observed(NodeId::new(2), 11);
+        adversary.retune_membership(StreamId::PRIMARY, 11, &mut selector);
+        match selector.policy() {
+            SelectionPolicy::ColludingBias { colluders, pm } => {
+                assert_eq!(**colluders, vec![NodeId::new(1), NodeId::new(3)]);
+                assert_eq!(*pm, 0.6);
+            }
+            other => panic!("expected colluding bias, got {other:?}"),
+        }
+        // ... and comes back once the cooldown expires.
+        adversary.retune_membership(StreamId::PRIMARY, 15, &mut selector);
+        match selector.policy() {
+            SelectionPolicy::ColludingBias { colluders, .. } => {
+                assert_eq!(colluders.len(), 3)
+            }
+            other => panic!("expected colluding bias, got {other:?}"),
+        }
+        // If (nearly) the whole coalition is under scrutiny there is nobody
+        // safe to hide behind: fall back to the full coalition.
+        adversary.on_audit_observed(NodeId::new(1), 20);
+        adversary.on_audit_observed(NodeId::new(2), 20);
+        adversary.retune_membership(StreamId::PRIMARY, 20, &mut selector);
+        match selector.policy() {
+            SelectionPolicy::ColludingBias { colluders, .. } => {
+                assert_eq!(colluders.len(), 3)
+            }
+            other => panic!("expected colluding bias, got {other:?}"),
+        }
     }
 
     #[test]

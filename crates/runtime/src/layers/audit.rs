@@ -19,8 +19,10 @@ use lifting_gossip::ChunkId;
 use lifting_membership::Directory;
 use lifting_net::{Network, TrafficCategory};
 use lifting_sim::{NodeId, SimTime, StreamId};
+use serde::{Deserialize, Serialize};
 
 use super::NodeStack;
+use crate::scenario::AuditRetryPolicy;
 
 /// What an audit concluded about its target.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,21 +40,57 @@ pub enum AuditOutcome {
     Aborted,
 }
 
+/// Counters of the hardened audit-RPC path ([`AuditRetryPolicy`]). All zero
+/// when no retry policy is configured — the paper's partition-oblivious
+/// behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditRpcStats {
+    /// Audit RPCs (history polls, witness cross-checks) that timed out
+    /// because the peer was unreachable.
+    pub rpc_timeouts: u64,
+    /// RPCs re-sent after a timeout (deterministic backoff).
+    pub rpc_retries: u64,
+    /// Audits abandoned outright because the auditor or its target stayed
+    /// unreachable through every retry.
+    pub aborted_unreachable: u64,
+}
+
 /// Runs a-posteriori audits over the node stacks.
 #[derive(Debug)]
 pub struct AuditCoordinator {
     auditor: Auditor,
+    retry: Option<AuditRetryPolicy>,
+    stats: AuditRpcStats,
 }
 
 impl AuditCoordinator {
     /// Creates a coordinator around a configured [`Auditor`].
     pub fn new(auditor: Auditor) -> Self {
-        AuditCoordinator { auditor }
+        AuditCoordinator {
+            auditor,
+            retry: None,
+            stats: AuditRpcStats::default(),
+        }
+    }
+
+    /// Enables (or disables, with `None`) the bounded-retry hardening: every
+    /// audit RPC first checks reachability, re-sends up to
+    /// `policy.attempts` times with deterministic backoff, and degrades the
+    /// audit to [`AuditOutcome::Aborted`] when the peer stays unreachable.
+    pub fn with_retry(mut self, retry: Option<AuditRetryPolicy>) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The entropy threshold the auditor applies.
     pub fn gamma(&self) -> f64 {
         self.auditor.gamma()
+    }
+
+    /// Counters of the hardened RPC path (all zero when the hardening is
+    /// off).
+    pub fn rpc_stats(&self) -> AuditRpcStats {
+        self.stats
     }
 
     /// Audits `target`'s conduct **on one stream** on behalf of `auditor`:
@@ -65,7 +103,7 @@ impl AuditCoordinator {
     /// still lands in the target's one cross-stream score.
     #[allow(clippy::too_many_arguments)]
     pub fn audit(
-        &self,
+        &mut self,
         stacks: &[NodeStack],
         network: &mut Network,
         directory: &Directory,
@@ -74,6 +112,28 @@ impl AuditCoordinator {
         stream: StreamId,
         now: SimTime,
     ) -> AuditOutcome {
+        // Hardened path: the history poll is an explicit RPC with a timeout.
+        // A partitioned target (or auditor) cannot complete the TCP transfer;
+        // the poll is re-sent `attempts` times with deterministic backoff —
+        // the partition cannot heal mid-audit, so the retries model the
+        // timeout traffic — and the audit then degrades to `Aborted` instead
+        // of judging the target on evidence it never received.
+        if let Some(policy) = self.retry {
+            let unreachable = network.is_partitioned(auditor) || network.is_partitioned(target);
+            if unreachable {
+                let request = VerificationMessage::HistoryRequest.wire_size();
+                for attempt in 0..=policy.attempts {
+                    let at = now + policy.backoff.saturating_mul(attempt as u64);
+                    network.send(at, auditor, target, request, TrafficCategory::Audit);
+                    self.stats.rpc_timeouts += 1;
+                    if attempt > 0 {
+                        self.stats.rpc_retries += 1;
+                    }
+                }
+                self.stats.aborted_unreachable += 1;
+                return AuditOutcome::Aborted;
+            }
+        }
         // Account the TCP history transfer. The history is only read, so the
         // transfer is sized and the audit run entirely from a borrow — the
         // old wiring cloned the whole bounded history twice per audit.
@@ -107,8 +167,13 @@ impl AuditCoordinator {
                 stream,
                 now,
                 missing_witness: false,
+                retry: self.retry,
+                rpc_timeouts: 0,
+                rpc_retries: 0,
             };
             let report = self.auditor.audit(history, &mut oracle);
+            self.stats.rpc_timeouts += oracle.rpc_timeouts;
+            self.stats.rpc_retries += oracle.rpc_retries;
             (report, oracle.missing_witness)
         };
 
@@ -155,11 +220,53 @@ struct StackAuditOracle<'a> {
     stream: StreamId,
     now: SimTime,
     missing_witness: bool,
+    /// Hardened per-RPC timeout policy (`None` = the paper's behaviour).
+    retry: Option<AuditRetryPolicy>,
+    rpc_timeouts: u64,
+    rpc_retries: u64,
+}
+
+impl StackAuditOracle<'_> {
+    /// Hardened reachability check for one witness poll of `request_bytes`.
+    /// A partitioned witness is still listed by the directory, so the poll
+    /// goes out — and times out; it is re-sent with deterministic backoff
+    /// until the policy's attempts exhaust. Returns false when the witness
+    /// cannot answer (departed, expelled, or partitioned through every
+    /// retry).
+    fn poll_reaches(&mut self, witness: NodeId, request_bytes: u64) -> bool {
+        if !self.directory.is_active(witness) {
+            // Departed or expelled: there is no endpoint to poll at all —
+            // identical in both the legacy and the hardened path.
+            return false;
+        }
+        let Some(policy) = self.retry else {
+            return true;
+        };
+        if !self.network.is_partitioned(witness) && !self.network.is_partitioned(self.auditor) {
+            return true;
+        }
+        for attempt in 0..=policy.attempts {
+            let at = self.now + policy.backoff.saturating_mul(attempt as u64);
+            self.network.send(
+                at,
+                self.auditor,
+                witness,
+                request_bytes,
+                TrafficCategory::Audit,
+            );
+            self.rpc_timeouts += 1;
+            if attempt > 0 {
+                self.rpc_retries += 1;
+            }
+        }
+        false
+    }
 }
 
 impl AuditOracle for StackAuditOracle<'_> {
     fn confirm_proposal(&mut self, witness: NodeId, subject: NodeId, chunks: &[ChunkId]) -> bool {
-        if !self.directory.is_active(witness) {
+        let request_bytes = 32 + 8 * chunks.len() as u64;
+        if !self.poll_reaches(witness, request_bytes) {
             self.missing_witness = true;
             return false;
         }
@@ -167,7 +274,7 @@ impl AuditOracle for StackAuditOracle<'_> {
             self.now,
             self.auditor,
             witness,
-            32 + 8 * chunks.len() as u64,
+            request_bytes,
             TrafficCategory::Audit,
         );
         self.network
@@ -180,7 +287,7 @@ impl AuditOracle for StackAuditOracle<'_> {
     }
 
     fn confirm_askers(&mut self, witness: NodeId, subject: NodeId) -> Vec<NodeId> {
-        if !self.directory.is_active(witness) {
+        if !self.poll_reaches(witness, 32) {
             self.missing_witness = true;
             return Vec::new();
         }

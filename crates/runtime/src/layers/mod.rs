@@ -42,9 +42,10 @@ pub mod stack;
 pub mod verification;
 
 pub use adversary::{
-    Adversary, BlameSpammer, Colluder, Freerider, Honest, OnOffFreerider, SelectiveFreerider,
+    AdaptiveColluder, Adversary, BlameSpammer, Colluder, FeedbackAction, Freerider,
+    GradientFreerider, Honest, OnOffFreerider, SelectiveFreerider, Whitewasher,
 };
-pub use audit::{AuditCoordinator, AuditOutcome};
+pub use audit::{AuditCoordinator, AuditOutcome, AuditRpcStats};
 pub use gossip::{GossipLayer, GossipUpcall};
 pub use reputation::ReputationLayer;
 pub use stack::{NodeStack, StreamPlane};

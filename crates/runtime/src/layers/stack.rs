@@ -163,6 +163,18 @@ impl NodeStack {
             .sum()
     }
 
+    /// Hardened-confirm retry counters summed across every plane.
+    pub fn confirm_retry_stats(&self) -> lifting_core::ConfirmRetryStats {
+        let mut total = lifting_core::ConfirmRetryStats::default();
+        for plane in &self.planes {
+            let stats = plane.verification.verifier.confirm_retry_stats();
+            total.timeouts += stats.timeouts;
+            total.resends += stats.resends;
+            total.aborts += stats.aborts;
+        }
+        total
+    }
+
     /// Runs one gossip tick: every subscribed plane runs its propose phase in
     /// stream order — the adversary may reshape each dissemination plane
     /// first, the gossip layer runs the phase, its upcalls drive the plane's
@@ -197,6 +209,11 @@ impl NodeStack {
                 plane.stream,
                 plane.gossip.node.period(),
                 &mut plane.gossip.node,
+            );
+            self.adversary.retune_membership(
+                plane.stream,
+                plane.gossip.node.period(),
+                &mut plane.gossip.selector,
             );
             plane
                 .gossip

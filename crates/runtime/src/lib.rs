@@ -36,10 +36,11 @@ pub mod runner;
 pub mod scenario;
 pub mod world;
 
-pub use layers::{Adversary, NodeStack};
+pub use layers::{Adversary, AuditRpcStats, FeedbackAction, NodeStack};
 pub use message::{Event, Message};
 pub use metrics::{
-    ChurnStats, LayerTraffic, NodeOutcome, RunOutcome, ScoreSnapshot, StackLayer, StreamOutcome,
+    ChurnStats, LayerTraffic, NodeOutcome, RecoveryReport, RunOutcome, ScoreSnapshot, StackLayer,
+    StreamOutcome, WaveKind, WaveRecovery,
 };
 pub use registry::{
     fig14_scenario_name, table03_scenario_name, table05_scenario_name, Scale, ScenarioRegistry,
@@ -50,7 +51,8 @@ pub use runner::{
     run_scenarios_parallel, run_scenarios_parallel_with_snapshots,
 };
 pub use scenario::{
-    AdversaryScenario, ChurnSchedule, ChurnWave, CollusionScenario, FreeriderScenario,
-    ScenarioConfig, StreamAudience, StreamSpec,
+    AdversaryScenario, AuditRetryPolicy, ChurnSchedule, ChurnWave, CollusionScenario,
+    FaultSchedule, FaultWave, FreeriderScenario, OnlineRecalibration, ScenarioConfig,
+    StreamAudience, StreamSpec,
 };
 pub use world::SystemWorld;

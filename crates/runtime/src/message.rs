@@ -118,6 +118,16 @@ pub enum Event {
         /// (joins are idempotent, waves apply to whatever session is live).
         epoch: u32,
     },
+    /// A scheduled network-fault transition: wave `wave` of the scenario's
+    /// [`lifting_net::FaultSchedule`] begins (`begin = true`, its members
+    /// become partitioned) or heals (`begin = false`). Nodes hit by several
+    /// overlapping waves stay partitioned until the last one heals.
+    Fault {
+        /// Index of the wave in the fault plan.
+        wave: u32,
+        /// True when the wave begins, false when it heals.
+        begin: bool,
+    },
 }
 
 /// Epoch wildcard for [`Event::Churn`]: the transition applies regardless of

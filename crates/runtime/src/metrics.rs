@@ -175,6 +175,55 @@ pub struct ChurnStats {
     pub offline_at_end: usize,
 }
 
+/// What kind of disturbance a recovery wave marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaveKind {
+    /// A scheduled network partition began (a [`crate::FaultSchedule`] wave).
+    /// Reconvergence is measured from the onset, so it spans the outage plus
+    /// the healing transient.
+    Partition,
+    /// One or more whitewashers abandoned their sessions this period (the
+    /// closed-loop churn attack).
+    Whitewash,
+}
+
+/// Reconvergence readout for one disturbance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaveRecovery {
+    /// What happened.
+    pub kind: WaveKind,
+    /// The gossip period (1-based count of completed periods) during which
+    /// the disturbance struck.
+    pub at_period: u64,
+    /// Detection precision just before the disturbance.
+    pub baseline_precision: f64,
+    /// Detection recall just before the disturbance.
+    pub baseline_recall: f64,
+    /// Completed periods until precision **and** recall were both back
+    /// within 0.05 of their pre-disturbance baselines; `None` if the run
+    /// ended first.
+    pub reconverged_after: Option<u64>,
+}
+
+/// Per-period detection-quality traces plus per-disturbance reconvergence
+/// times — the resilience plane's headline readout. Only assembled when the
+/// scenario exercises that plane
+/// ([`crate::ScenarioConfig::resilience_active`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Detection precision (TP / (TP + FP), 1.0 when nothing is flagged) at
+    /// the end of each gossip period, against the effective threshold.
+    pub period_precision: Vec<f64>,
+    /// Detection recall (TP / freeriders) at the end of each gossip period.
+    pub period_recall: Vec<f64>,
+    /// The effective detection threshold per period: the static `η`, or the
+    /// online-recalibrated value when that defence is enabled.
+    pub eta_trace: Vec<f64>,
+    /// One entry per disturbance (fault waves, whitewash departures), in
+    /// onset order.
+    pub waves: Vec<WaveRecovery>,
+}
+
 /// Per-stream readout of one run: each channel's dissemination quality over
 /// its own audience, plus the blame volume its verification plane produced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -226,6 +275,15 @@ pub struct RunOutcome {
     pub expelled_count: usize,
     /// Membership dynamics (sessions, rejoins, aborted audits).
     pub churn: ChurnStats,
+    /// Hardened-confirm retry counters summed over every node and stream
+    /// plane (all zero when `confirm_retries = 0`).
+    pub confirm_retry: lifting_core::ConfirmRetryStats,
+    /// Hardened audit-RPC counters (all zero without an
+    /// [`crate::AuditRetryPolicy`]).
+    pub audit_rpc: crate::layers::AuditRpcStats,
+    /// Per-period recovery traces and reconvergence times; `None` unless the
+    /// scenario exercises the resilience plane.
+    pub recovery: Option<RecoveryReport>,
     /// Simulated duration of the run.
     pub duration: SimDuration,
 }

@@ -152,7 +152,23 @@ impl SystemWorld {
             per_stream,
             expelled_count: self.expelled_count(),
             churn: self.churn_stats(),
+            confirm_retry: self.confirm_retry_totals(),
+            audit_rpc: self.audits.rpc_stats(),
+            recovery: self.recovery.clone(),
             duration: now.saturating_since(SimTime::ZERO),
         }
+    }
+
+    /// Confirm-RPC hardening counters summed over every node's planes (all
+    /// zero when `confirm_retries` is 0 — the paper's semantics).
+    pub fn confirm_retry_totals(&self) -> lifting_core::ConfirmRetryStats {
+        let mut total = lifting_core::ConfirmRetryStats::default();
+        for stack in &self.stacks {
+            let stats = stack.confirm_retry_stats();
+            total.timeouts += stats.timeouts;
+            total.resends += stats.resends;
+            total.aborts += stats.aborts;
+        }
+        total
     }
 }

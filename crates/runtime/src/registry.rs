@@ -14,7 +14,8 @@ use lifting_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
 use crate::scenario::{
-    AdversaryScenario, ChurnSchedule, ChurnWave, ScenarioConfig, StreamAudience, StreamSpec,
+    AdversaryScenario, AuditRetryPolicy, ChurnSchedule, ChurnWave, FaultSchedule, FaultWave,
+    OnlineRecalibration, ScenarioConfig, StreamAudience, StreamSpec,
 };
 
 /// Experiment scale.
@@ -530,6 +531,117 @@ fn register_builtin(registry: &mut ScenarioRegistry) {
     );
 
     // ------------------------------------------------------------------
+    // Resilience: closed-loop adversaries that react to the system's own
+    // feedback, injected network faults, and the online defenses that have
+    // to reconverge after each disturbance. These scenarios populate
+    // `RunOutcome::recovery` with per-period precision/recall traces and
+    // per-wave reconvergence times.
+    // ------------------------------------------------------------------
+    let planetlab_resilience = |freeriders: f64| {
+        move |scale: Scale, seed: u64| {
+            let mut config = ScenarioConfig::planetlab_baseline(seed);
+            config.nodes = scale.pick(300, 80);
+            shrink_below_planetlab(&mut config);
+            if freeriders > 0.0 {
+                config = config.with_planetlab_freeriders(freeriders);
+            }
+            config.duration = scale.secs(40, 20);
+            config
+        }
+    };
+    registry.register(
+        "resilience/gradient-freerider",
+        "15% closed-loop freeriders throttle their shirking to ride just above the static η — the evasion baseline",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_resilience(0.15)(scale, seed);
+            config.adversary = AdversaryScenario::GradientFreerider {
+                margin: 2.0,
+                step: 0.25,
+            };
+            config
+        },
+    );
+    registry.register(
+        "resilience/gradient-freerider-online",
+        "The same gradient freeriders against the online η recalibration (trimmed live-score quantile, EWMA-smoothed)",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_resilience(0.15)(scale, seed);
+            config.adversary = AdversaryScenario::GradientFreerider {
+                margin: 2.0,
+                step: 0.25,
+            };
+            config.online_recalibration = Some(OnlineRecalibration::planetlab());
+            config
+        },
+    );
+    registry.register(
+        "resilience/whitewasher",
+        "10% whitewashers depart once blame drags their score 0.5 below its peak and rejoin under a rebuilt stack; frozen-score carryover catches them",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_resilience(0.1)(scale, seed);
+            config.adversary = AdversaryScenario::Whitewasher {
+                margin: 0.5,
+                offline: SimDuration::from_secs(2),
+            };
+            config
+        },
+    );
+    registry.register(
+        "resilience/partition-waves",
+        "Two partition waves hit 25% of the population mid-run; hardened audit and confirm RPCs abort instead of blaming the unreachable",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_resilience(0.1)(scale, seed);
+            config.audits_enabled = true;
+            config.audit_interval = SimDuration::from_secs(4);
+            config.audit_retry = Some(AuditRetryPolicy::default_policy());
+            config.lifting = config.lifting.with_confirm_retries(2);
+            let third = SimDuration::from_micros(config.duration.as_micros() / 3);
+            config.faults = Some(FaultSchedule {
+                waves: vec![
+                    FaultWave {
+                        at: third,
+                        outage: SimDuration::from_secs(4),
+                        fraction: 0.25,
+                    },
+                    FaultWave {
+                        at: third.saturating_mul(2),
+                        outage: SimDuration::from_secs(4),
+                        fraction: 0.25,
+                    },
+                ],
+            });
+            config
+        },
+    );
+    registry.register(
+        "resilience/bursty-loss",
+        "Gilbert-Elliott bursty loss (≈7% stationary) plus delay spikes and duplication, with 10% freeriders and hardened confirms",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_resilience(0.1)(scale, seed);
+            config.network.loss = lifting_net::LossModel::gilbert_elliott(0.05, 0.45, 0.02, 0.5);
+            config.network.faults.delay_spike_probability = 0.05;
+            config.network.faults.delay_spike = SimDuration::from_millis(300);
+            config.network.faults.duplicate_probability = 0.02;
+            config.lifting = config.lifting.with_confirm_retries(2);
+            config
+        },
+    );
+    registry.register(
+        "resilience/adaptive-colluders",
+        "15% colluders re-aim their cover-traffic bias away from recently audited accomplices; audits on",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_resilience(0.15)(scale, seed);
+            config.audits_enabled = true;
+            config.audit_interval = SimDuration::from_secs(4);
+            config.adversary = AdversaryScenario::AdaptiveColluders {
+                partner_bias: 0.6,
+                cooldown_periods: 6,
+            };
+            config
+        },
+    );
+
+    // ------------------------------------------------------------------
     // A small smoke scenario for tests and quick sanity checks.
     // ------------------------------------------------------------------
     registry.register(
@@ -575,12 +687,18 @@ mod tests {
             "multistream/overlapping-audiences",
             "multistream/selective-freeriders",
             "multistream/rate-asymmetry",
+            "resilience/gradient-freerider",
+            "resilience/gradient-freerider-online",
+            "resilience/whitewasher",
+            "resilience/partition-waves",
+            "resilience/bursty-loss",
+            "resilience/adaptive-colluders",
             "smoke/small",
         ] {
             assert!(registry.contains(name), "missing scenario {name}");
             assert!(registry.description(name).is_some());
         }
-        assert_eq!(registry.len(), 31);
+        assert_eq!(registry.len(), 37);
     }
 
     #[test]

@@ -7,6 +7,109 @@ use lifting_sim::{SimDuration, StreamId};
 use serde::{Deserialize, Serialize};
 
 pub use lifting_membership::{ChurnSchedule, ChurnWave};
+pub use lifting_net::{FaultSchedule, FaultWave};
+
+/// Bounded retry for the audit RPCs (history polls and witness
+/// cross-checks) — the resilience hardening of the a-posteriori plane.
+///
+/// `None` in [`ScenarioConfig::audit_retry`] keeps the paper's behaviour:
+/// audits assume the auditor can always reach its target and witnesses.
+/// With a policy set, every audit RPC first checks reachability (departed,
+/// expelled or *partitioned* peers cannot answer), re-issues the request up
+/// to `attempts` times with a deterministic `backoff` between tries, and —
+/// when the retries exhaust — degrades the audit to
+/// [`crate::layers::AuditOutcome::Aborted`] instead of manufacturing a
+/// verdict from missing evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuditRetryPolicy {
+    /// Maximum number of re-sends per unanswered RPC (≥ 1).
+    pub attempts: u32,
+    /// Deterministic delay between consecutive attempts.
+    pub backoff: SimDuration,
+}
+
+impl AuditRetryPolicy {
+    /// A conservative default: two retries, half a second apart.
+    pub fn default_policy() -> Self {
+        AuditRetryPolicy {
+            attempts: 2,
+            backoff: SimDuration::from_millis(500),
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero or the backoff is zero.
+    pub fn validate(&self) {
+        assert!(self.attempts >= 1, "audit retry needs at least one attempt");
+        assert!(
+            !self.backoff.is_zero(),
+            "audit retry backoff must be positive"
+        );
+    }
+}
+
+/// Online recalibration of the detection threshold `η` — the closed-loop
+/// *defence* of the resilience plane.
+///
+/// The paper calibrates `η = −9.75` offline, for a false-positive budget
+/// `β < 1 %`, against a known honest score distribution. A closed-loop
+/// adversary (e.g. [`AdversaryScenario::GradientFreerider`]) exploits
+/// exactly that: it parks its score just above the static threshold. With
+/// recalibration enabled the managers re-derive the threshold each period
+/// from the *live* score stream — no ground truth splits honest from
+/// freerider scores, so the rule must be robust to contamination: drop the
+/// worst `trim` fraction (where adversaries congregate), estimate the
+/// honest bulk's location and spread by the median and MAD of the
+/// remainder, and place the threshold `nmads` (normal-consistent) MADs
+/// below that median. An exponential moving average smooths
+/// period-to-period jitter, and the effective threshold is
+/// `max(η_static, η_online)` — the defence only ever *tightens* the static
+/// calibration.
+///
+/// An outlier rule, not a quantile: a quantile of the kept sample sits at
+/// the trim boundary by construction and expels a fixed fraction of the
+/// population every period regardless of how the scores actually cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineRecalibration {
+    /// Fraction of the worst scores discarded before estimating the bulk.
+    pub trim: f64,
+    /// How many (normal-consistent) MADs below the bulk median the
+    /// recalibrated threshold sits. Smaller is more aggressive.
+    pub nmads: f64,
+    /// EMA smoothing factor in `(0, 1]` (1 = no smoothing).
+    pub smoothing: f64,
+}
+
+impl OnlineRecalibration {
+    /// Defaults matched to the PlanetLab deployment: 30 % trim (covers the
+    /// paper's ≤ 25 % adversary fractions), a 4-MAD outlier cut
+    /// (conservative enough that an honest score needs a large excursion
+    /// below the bulk to be flagged), moderate smoothing.
+    pub fn planetlab() -> Self {
+        OnlineRecalibration {
+            trim: 0.3,
+            nmads: 4.0,
+            smoothing: 0.3,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fraction is out of range or `nmads` is not positive.
+    pub fn validate(&self) {
+        assert!((0.0..=0.5).contains(&self.trim), "trim out of range");
+        assert!(self.nmads > 0.0, "nmads must be positive");
+        assert!(
+            self.smoothing > 0.0 && self.smoothing <= 1.0,
+            "smoothing must be in (0, 1]"
+        );
+    }
+}
 
 /// Which nodes subscribe to a stream.
 ///
@@ -164,6 +267,42 @@ pub enum AdversaryScenario {
         /// Bitmask of silenced streams (bit `s` = stream `s`).
         silent_mask: u64,
     },
+    /// Gradient freeriders — **closed loop**: each period the population
+    /// reads its own manager scores and throttles its freeriding intensity
+    /// to ride just above the public threshold `η` (back off by `step` when
+    /// `score < η + margin`, creep back up otherwise). Evades any static
+    /// threshold; countered by [`OnlineRecalibration`].
+    GradientFreerider {
+        /// Safety margin above `η` the adversary tries to keep.
+        margin: f64,
+        /// Intensity decrement applied when the score nears `η`.
+        step: f64,
+    },
+    /// Whitewashers — **closed loop**: the population freerides greedily,
+    /// watches its own score trajectory, and departs once blame has dragged
+    /// the score `margin` below its observed peak (a drawdown the node
+    /// measures locally, without knowing the managers' threshold), rejoining
+    /// after `offline` in the hope of a laundered reputation. Countered by
+    /// the frozen-score carryover across sessions.
+    Whitewasher {
+        /// Departure trigger: leave once the score sits `margin` below its
+        /// observed peak.
+        margin: f64,
+        /// Offline time before each rejoin.
+        offline: SimDuration,
+    },
+    /// Adaptive colluders — **closed loop**: a cover-up coalition that
+    /// watches which accomplices get audited and re-aims its biased partner
+    /// selection away from them for `cooldown_periods`, dodging the entropy
+    /// check's paper trail. Carries its own bias parameter so it does not
+    /// overload [`CollusionScenario`] (which configures only the baseline).
+    AdaptiveColluders {
+        /// Probability of picking an (unscrutinized) coalition member as
+        /// gossip partner.
+        partner_bias: f64,
+        /// Periods an audited accomplice stays off the bias list.
+        cooldown_periods: u64,
+    },
 }
 
 impl AdversaryScenario {
@@ -193,7 +332,45 @@ impl AdversaryScenario {
                     "a selective freerider must silence at least one stream"
                 );
             }
+            AdversaryScenario::GradientFreerider { margin, step } => {
+                assert!(*margin >= 0.0, "gradient margin must be non-negative");
+                assert!(
+                    *step > 0.0 && *step <= 1.0,
+                    "gradient step must be in (0, 1]"
+                );
+            }
+            AdversaryScenario::Whitewasher { margin, offline } => {
+                assert!(*margin >= 0.0, "whitewash margin must be non-negative");
+                assert!(
+                    !offline.is_zero(),
+                    "whitewash offline time must be positive"
+                );
+            }
+            AdversaryScenario::AdaptiveColluders {
+                partner_bias,
+                cooldown_periods,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(partner_bias),
+                    "adaptive partner bias out of range"
+                );
+                assert!(
+                    *cooldown_periods >= 1,
+                    "adaptive cooldown must cover at least one period"
+                );
+            }
         }
+    }
+
+    /// True if this adversary reacts to runtime feedback (scores, audit
+    /// observations) — i.e. the runtime must run the closed-loop upcalls.
+    pub fn closed_loop(&self) -> bool {
+        matches!(
+            self,
+            AdversaryScenario::GradientFreerider { .. }
+                | AdversaryScenario::Whitewasher { .. }
+                | AdversaryScenario::AdaptiveColluders { .. }
+        )
     }
 }
 
@@ -241,6 +418,16 @@ pub struct ScenarioConfig {
     /// catastrophic-failure and flash-crowd waves. `None` keeps the
     /// population static (the paper's controlled experiments).
     pub churn: Option<ChurnSchedule>,
+    /// Scheduled network-fault waves: each wave partitions a random fraction
+    /// of the population (both transports cut) for its outage duration.
+    /// `None` keeps the network fault-free beyond its loss model.
+    pub faults: Option<FaultSchedule>,
+    /// Bounded retry + timeout policy for audit RPCs; `None` keeps the
+    /// paper's partition-oblivious audits.
+    pub audit_retry: Option<AuditRetryPolicy>,
+    /// Online recalibration of the detection threshold from the live score
+    /// stream; `None` keeps the static `η` of [`LiftingConfig::eta`].
+    pub online_recalibration: Option<OnlineRecalibration>,
     /// Fraction of honest nodes with poor connectivity (low uplink and extra
     /// loss) — the paper attributes most false positives to such nodes.
     pub poor_node_fraction: f64,
@@ -278,6 +465,9 @@ impl ScenarioConfig {
             collusion: CollusionScenario::none(),
             adversary: AdversaryScenario::Baseline,
             churn: None,
+            faults: None,
+            audit_retry: None,
+            online_recalibration: None,
             poor_node_fraction: 0.1,
             default_upload_bps: Some(5_000_000),
             poor_upload_bps: 800_000,
@@ -323,6 +513,9 @@ impl ScenarioConfig {
             collusion: CollusionScenario::none(),
             adversary: AdversaryScenario::Baseline,
             churn: None,
+            faults: None,
+            audit_retry: None,
+            online_recalibration: None,
             poor_node_fraction: 0.0,
             default_upload_bps: None,
             poor_upload_bps: 500_000,
@@ -463,9 +656,40 @@ impl ScenarioConfig {
                 "the silent mask names streams the scenario does not run"
             );
         }
+        if let AdversaryScenario::AdaptiveColluders { .. } = self.adversary {
+            assert!(
+                self.freerider_count() >= 2,
+                "adaptive colluders need a coalition of at least two"
+            );
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate();
+            let wave_max = faults
+                .waves
+                .iter()
+                .map(|w| w.fraction)
+                .fold(0.0f64, f64::max);
+            assert!(
+                wave_max <= 0.9,
+                "a fault wave may partition at most 90% of the population"
+            );
+        }
+        if let Some(retry) = &self.audit_retry {
+            retry.validate();
+        }
+        if let Some(online) = &self.online_recalibration {
+            online.validate();
+        }
         if let Some(f) = &self.freeriders {
             f.degree.validate();
         }
+    }
+
+    /// True if the scenario exercises the resilience plane (fault waves, a
+    /// closed-loop adversary, or the online-recalibration defence) — the
+    /// runtime then tracks per-period recovery metrics.
+    pub fn resilience_active(&self) -> bool {
+        self.faults.is_some() || self.online_recalibration.is_some() || self.adversary.closed_loop()
     }
 }
 

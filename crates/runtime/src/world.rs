@@ -14,12 +14,13 @@
 //! nor receive traffic. `expelled` only records *why* a node is inactive
 //! (expulsion is permanent; departure is reversible).
 
+use lifting_analysis::robust_outlier_threshold;
 use lifting_core::Blame;
 use lifting_gossip::{Chunk, StreamSource};
 use lifting_membership::Directory;
-use lifting_net::Network;
+use lifting_net::{FaultPlan, Network};
 use lifting_reputation::ManagerAssignment;
-use lifting_sim::{derive_rng, Context, InlineVec, NodeId, SimTime, StreamId, World};
+use lifting_sim::{derive_rng, Context, InlineVec, NodeId, SimDuration, SimTime, StreamId, World};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::sync::Arc;
@@ -27,8 +28,9 @@ use std::sync::Arc;
 use lifting_core::VerificationMessage;
 
 use crate::builder;
-use crate::layers::{AuditCoordinator, AuditOutcome, Downcall, NodeStack};
-use crate::message::{Event, Message};
+use crate::layers::{AuditCoordinator, AuditOutcome, Downcall, FeedbackAction, NodeStack};
+use crate::message::{Event, Message, CHURN_EPOCH_ANY};
+use crate::metrics::{RecoveryReport, WaveKind, WaveRecovery};
 use crate::scenario::ScenarioConfig;
 
 /// Live churn state: which nodes cycle on/off and the RNG stream feeding the
@@ -99,6 +101,24 @@ pub struct SystemWorld {
     pub(crate) scratch_nodes: Vec<NodeId>,
     /// Recycled scratch for per-period `(manager, target)` expulsion votes.
     pub(crate) scratch_votes: Vec<(NodeId, NodeId)>,
+    /// Pre-drawn membership of every fault wave (`None` when the scenario
+    /// schedules no faults, so fault-free runs consume no extra RNG).
+    pub(crate) fault_plan: Option<FaultPlan>,
+    /// Per node: how many fault waves currently hold it partitioned. A node
+    /// hit by overlapping waves stays partitioned until the count drains.
+    pub(crate) partition_holds: Vec<u8>,
+    /// Gossip periods completed so far (drives the recovery traces).
+    pub(crate) periods_elapsed: u64,
+    /// The expulsion threshold actually applied this period: the static
+    /// configured η, or the online-recalibrated value when
+    /// [`crate::scenario::OnlineRecalibration`] is active.
+    pub(crate) eta_live: f64,
+    /// EWMA state of the online recalibration (equals η when off).
+    pub(crate) eta_smoothed: f64,
+    /// Recovery-convergence traces, populated only when the scenario's
+    /// resilience features are active (see
+    /// [`ScenarioConfig::resilience_active`]).
+    pub(crate) recovery: Option<RecoveryReport>,
 }
 
 impl SystemWorld {
@@ -218,8 +238,22 @@ impl SystemWorld {
         let outcome = self
             .network
             .send(now, from, to, message.wire_size(), message.category());
-        if let lifting_net::DeliveryOutcome::Deliver { at } = outcome {
-            ctx.schedule_at(at, Event::Deliver { from, to, message });
+        match outcome {
+            lifting_net::DeliveryOutcome::Deliver { at } => {
+                ctx.schedule_at(at, Event::Deliver { from, to, message });
+            }
+            lifting_net::DeliveryOutcome::Duplicated { at, duplicate_at } => {
+                ctx.schedule_at(
+                    at,
+                    Event::Deliver {
+                        from,
+                        to,
+                        message: message.clone(),
+                    },
+                );
+                ctx.schedule_at(duplicate_at, Event::Deliver { from, to, message });
+            }
+            lifting_net::DeliveryOutcome::Lost => {}
         }
     }
 
@@ -406,7 +440,64 @@ impl SystemWorld {
         }
     }
 
+    /// The expulsion threshold applied at the most recent period end: the
+    /// configured η, or the online-recalibrated value when that defense is
+    /// active.
+    pub fn effective_eta(&self) -> f64 {
+        self.eta_live
+    }
+
+    /// Records the onset of a disruption (a partition wave beginning, a
+    /// whitewash departure burst) in the recovery traces, capturing the
+    /// detection quality just before the hit as the reconvergence baseline.
+    fn register_wave(&mut self, kind: WaveKind) {
+        let at_period = self.periods_elapsed;
+        if let Some(recovery) = &mut self.recovery {
+            let baseline_precision = recovery.period_precision.last().copied().unwrap_or(1.0);
+            let baseline_recall = recovery.period_recall.last().copied().unwrap_or(0.0);
+            recovery.waves.push(WaveRecovery {
+                kind,
+                at_period,
+                baseline_precision,
+                baseline_recall,
+                reconverged_after: None,
+            });
+        }
+    }
+
+    /// Applies one scheduled fault-wave transition: partitions the wave's
+    /// members on `begin`, releases them on heal. Hold counts make
+    /// overlapping waves compose — a node stays partitioned until the last
+    /// wave covering it heals.
+    fn handle_fault(&mut self, wave: u32, begin: bool) {
+        let Some(plan) = &self.fault_plan else {
+            return;
+        };
+        let members = &plan.members[wave as usize];
+        for (i, hit) in members.iter().enumerate() {
+            if !hit {
+                continue;
+            }
+            let node = NodeId::new(i as u32);
+            if begin {
+                self.partition_holds[i] += 1;
+                if self.partition_holds[i] == 1 {
+                    self.network.set_partitioned(node, true);
+                }
+            } else {
+                self.partition_holds[i] = self.partition_holds[i].saturating_sub(1);
+                if self.partition_holds[i] == 0 {
+                    self.network.set_partitioned(node, false);
+                }
+            }
+        }
+        if begin {
+            self.register_wave(WaveKind::Partition);
+        }
+    }
+
     fn handle_period_end(&mut self, _now: SimTime, ctx: &mut Context<Event>) {
+        self.periods_elapsed += 1;
         if std::env::var_os("LIFTING_AUDIT_DEBUG").is_some() {
             let snap = self.score_snapshot(_now);
             let min = snap
@@ -424,7 +515,6 @@ impl SystemWorld {
             );
         }
         if self.lifting_on() {
-            let eta = self.config.lifting.eta;
             let min_periods = self.config.lifting.min_periods_before_expulsion;
             // Score aging is churn-aware: a departed node is not being
             // observed, so it neither accrues periods nor collects the
@@ -467,6 +557,42 @@ impl SystemWorld {
                     .reputation
                     .end_period_credited(|n| observed(n).then(|| credit(n)));
             }
+            // One post-aging score snapshot feeds every resilience feature of
+            // this period (recalibration, closed-loop feedback, recovery
+            // traces); legacy scenarios take none and pay nothing.
+            let snap = (self.recovery.is_some()
+                || self.config.online_recalibration.is_some()
+                || self.config.adversary.closed_loop())
+            .then(|| self.score_snapshot(_now));
+            // Online defense: recalibrate the expulsion threshold from the
+            // live score distribution with a robust low-outlier rule — trim
+            // the suspected-freerider tail, then place the threshold `nmads`
+            // MADs below the surviving bulk's median. A coalition throttling
+            // just above the static η cannot drag the threshold down with it
+            // (it is trimmed away), and the honest bulk cannot be eaten by a
+            // fixed-quantile cut (the threshold tracks the bulk's own
+            // spread); the EWMA smooths period-to-period jitter and the
+            // static η stays a hard floor.
+            if let Some(online) = self.config.online_recalibration {
+                if self.periods_elapsed >= min_periods {
+                    let snap = snap.as_ref().expect("snapshot taken when online is set");
+                    let live: Vec<f64> = snap
+                        .outcomes
+                        .iter()
+                        .filter(|o| !o.expelled && self.directory.is_active(o.node))
+                        .filter_map(|o| o.score)
+                        .collect();
+                    if let Some(raw) = robust_outlier_threshold(&live, online.trim, online.nmads) {
+                        self.eta_smoothed =
+                            online.smoothing * raw + (1.0 - online.smoothing) * self.eta_smoothed;
+                        self.eta_live = self.eta_smoothed.max(self.config.lifting.eta);
+                    }
+                }
+            }
+            // The threshold the managers apply this period: the configured η
+            // unless the online recalibration moved it (`eta_live == η`
+            // whenever that defense is off, keeping legacy runs bit-exact).
+            let eta = self.eta_live;
             // Expulsion votes, attributed per manager. Departed managers are
             // skipped (a node that left cannot cast votes, mirroring the
             // frozen books above), and each (manager, target) pair counts at
@@ -505,6 +631,93 @@ impl SystemWorld {
                 }
             }
             self.scratch_votes = votes;
+            // Closed-loop adversaries read their own manager-score feedback —
+            // the public score a freerider can probe for itself — and adapt.
+            // The feedback hands them the *static* η: the paper's threshold
+            // is public knowledge, the defender's recalibrated one is not.
+            if self.config.adversary.closed_loop() {
+                let snap = snap.as_ref().expect("snapshot taken for closed loop");
+                let eta_static = self.config.lifting.eta;
+                let mut departs: Vec<(NodeId, SimDuration)> = Vec::new();
+                for o in &snap.outcomes {
+                    let i = o.node.index();
+                    if !o.is_freerider || self.expelled[i] || !self.directory.is_active(o.node) {
+                        continue;
+                    }
+                    let adversary = &mut self.stacks[i].adversary;
+                    if !adversary.wants_score_feedback() {
+                        continue;
+                    }
+                    match adversary.on_score_feedback(self.periods_elapsed, o.score, eta_static) {
+                        FeedbackAction::None => {}
+                        FeedbackAction::Depart { offline } => departs.push((o.node, offline)),
+                    }
+                }
+                if !departs.is_empty() {
+                    // A whitewash burst is a disruption the detector must
+                    // reconverge from, just like a partition wave.
+                    self.register_wave(WaveKind::Whitewash);
+                }
+                for (node, offline) in departs {
+                    self.handle_churn(node, false, CHURN_EPOCH_ANY, _now, ctx);
+                    ctx.schedule_after(
+                        offline,
+                        Event::Churn {
+                            node,
+                            up: true,
+                            epoch: CHURN_EPOCH_ANY,
+                        },
+                    );
+                }
+            }
+            // Recovery traces: per-period detection precision/recall against
+            // ground truth, the applied threshold, and per-wave reconvergence
+            // (first period back within 5 points of the pre-wave baseline).
+            if self.recovery.is_some() {
+                let snap = snap.as_ref().expect("snapshot taken for recovery");
+                let (mut tp, mut fp, mut freeriders) = (0u64, 0u64, 0u64);
+                for o in &snap.outcomes {
+                    if o.is_freerider {
+                        freeriders += 1;
+                    }
+                    // Expulsions may have landed after the snapshot was read,
+                    // so detection consults the live expulsion state.
+                    let detected =
+                        self.expelled[o.node.index()] || o.score.map(|s| s < eta).unwrap_or(false);
+                    if detected {
+                        if o.is_freerider {
+                            tp += 1;
+                        } else {
+                            fp += 1;
+                        }
+                    }
+                }
+                let precision = if tp + fp == 0 {
+                    1.0
+                } else {
+                    tp as f64 / (tp + fp) as f64
+                };
+                let recall = if freeriders == 0 {
+                    1.0
+                } else {
+                    tp as f64 / freeriders as f64
+                };
+                let period = self.periods_elapsed;
+                if let Some(recovery) = self.recovery.as_mut() {
+                    recovery.period_precision.push(precision);
+                    recovery.period_recall.push(recall);
+                    recovery.eta_trace.push(eta);
+                    for wave in &mut recovery.waves {
+                        if wave.reconverged_after.is_none()
+                            && period > wave.at_period
+                            && precision >= wave.baseline_precision - 0.05
+                            && recall >= wave.baseline_recall - 0.05
+                        {
+                            wave.reconverged_after = Some(period - wave.at_period);
+                        }
+                    }
+                }
+            }
         }
         ctx.schedule_after(self.config.gossip.gossip_period, Event::PeriodEnd);
     }
@@ -556,6 +769,17 @@ impl SystemWorld {
                 AuditOutcome::Blame(blame) => self.route_blame(auditor, blame, now, ctx),
                 AuditOutcome::Pass => {}
                 AuditOutcome::Aborted => self.audits_aborted_by_departure += 1,
+            }
+            // Closed-loop colluders watch the audit plane: an accomplice that
+            // just answered for its history is "burned" and the coalition
+            // re-aims its cover-traffic bias elsewhere for a cooldown.
+            if self.config.adversary.closed_loop() {
+                let period = self.periods_elapsed;
+                for (i, stack) in self.stacks.iter_mut().enumerate() {
+                    if stack.is_freerider && self.directory.is_active(NodeId::new(i as u32)) {
+                        stack.adversary.on_audit_observed(target, period);
+                    }
+                }
             }
         }
         self.scratch_nodes = candidates;
@@ -646,6 +870,7 @@ impl World for SystemWorld {
             Event::PeriodEnd => self.handle_period_end(now, ctx),
             Event::AuditTick { auditor, epoch } => self.handle_audit_tick(auditor, epoch, now, ctx),
             Event::Churn { node, up, epoch } => self.handle_churn(node, up, epoch, now, ctx),
+            Event::Fault { wave, begin } => self.handle_fault(wave, begin),
         }
     }
 }

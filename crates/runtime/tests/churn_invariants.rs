@@ -63,7 +63,7 @@ fn audit_with(directory: &Directory) -> (AuditOutcome, u64) {
         let node = NodeId::new(i);
         network.set_cut_off(node, !directory.is_active(node));
     }
-    let coordinator =
+    let mut coordinator =
         AuditCoordinator::new(Auditor::with_threshold(LiftingConfig::planetlab(), 7, 0.5));
     let outcome = coordinator.audit(
         &stacks,
