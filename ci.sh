@@ -43,8 +43,11 @@ LIFTING_EXAMPLE_QUICK=1 ./target/release/examples/quickstart > /dev/null
 LIFTING_EXAMPLE_QUICK=1 ./target/release/examples/streaming_freeriders > /dev/null
 echo "examples smoke OK"
 
-echo "==> run_all_experiments --quick (parallel)"
-./target/release/run_all_experiments --quick
+echo "==> run_all_experiments --quick (parallel, 4 shards)"
+# The parallel leg also runs every scenario through the sharded wave executor
+# (LIFTING_SHARDS is honored by the convenience entry points), so the
+# determinism diff below doubles as a whole-suite sharded-vs-sequential gate.
+LIFTING_SHARDS=4 ./target/release/run_all_experiments --quick
 mv experiments_summary.json /tmp/summary_parallel.json
 
 echo "==> run_all_experiments --quick --sequential"
@@ -98,6 +101,30 @@ health = (d.get('stream_health') or {}).get('fraction_clear') or []
 if not health or health[-1] <= 0.2:
     sys.exit(f'fault smoke: stream collapsed under partition waves ({health[-1:]})')
 print('fault-injection smoke OK')
+EOF
+
+echo "==> scale smoke (scale/1k sharded vs sequential, paper scale)"
+# One beyond-golden-size scenario (n=1000, the first population that uses the
+# large-world manager sampler) through the sharded wave executor: the readout
+# must match the sequential run byte for byte at 4 shards, and the memory
+# metric must stay within the per-node budget the scale/ family exists to
+# protect.
+./target/release/run_scenario scale/1k > /tmp/scale_sequential.json
+./target/release/run_scenario scale/1k --shards 4 > /tmp/scale_sharded.json
+python3 - <<'EOF'
+import json, sys
+a = json.load(open('/tmp/scale_sequential.json'))
+b = json.load(open('/tmp/scale_sharded.json'))
+if a != b:
+    diff = {k for k in set(a) | set(b) if a.get(k) != b.get(k)}
+    sys.exit(f'scale smoke: sharded readout diverged from sequential: {sorted(diff)}')
+mem = a.get('memory_per_node_bytes') or 0
+if not 0 < mem < 1_000_000:
+    sys.exit(f'scale smoke: memory_per_node_bytes out of range ({mem})')
+health = (a.get('stream_health') or {}).get('fraction_clear') or []
+if not health or health[-1] <= 0.2:
+    sys.exit(f'scale smoke: stream collapsed at n=1000 ({health[-1:]})')
+print(f'scale smoke OK (sharded == sequential, {mem/1024:.1f} KiB/node)')
 EOF
 
 echo "==> bench smoke (quick wall-clock vs committed baseline)"

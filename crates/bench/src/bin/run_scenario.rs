@@ -3,13 +3,16 @@
 //! smoke gate and handy for ad-hoc inspection:
 //!
 //! ```text
-//! run_scenario resilience/partition-waves --quick [--seed N]
+//! run_scenario resilience/partition-waves --quick [--seed N] [--shards K]
 //! ```
 //!
-//! Pass `--list` to print every registered name instead.
+//! `--shards K` runs the scenario through the sharded wave executor; the
+//! readout is bit-identical to the sequential one at any shard count, which
+//! is exactly what the CI scale gate diffs. Pass `--list` to print every
+//! registered name instead.
 
 use lifting_bench::experiments::Scale;
-use lifting_runtime::{run_scenario, ScenarioRegistry};
+use lifting_runtime::{run_scenario_sharded, ScenarioRegistry};
 use serde_json::{json, to_value};
 
 fn main() {
@@ -35,12 +38,17 @@ fn main() {
         .position(|a| a == "--seed")
         .map(|i| args[i + 1].parse().expect("--seed needs an integer"))
         .unwrap_or(55);
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .map(|i| args[i + 1].parse().expect("--shards needs an integer"))
+        .unwrap_or(1);
     assert!(
         registry.contains(name),
         "unknown scenario {name:?}; see --list"
     );
 
-    let outcome = run_scenario(registry.build(name, scale, seed));
+    let outcome = run_scenario_sharded(registry.build(name, scale, seed), shards);
     let readout = json!({
         "scenario": name,
         "scale": format!("{scale:?}"),
@@ -52,6 +60,7 @@ fn main() {
         "recovery": to_value(&outcome.recovery),
         "stream_health": to_value(&outcome.stream_health),
         "traffic_total_bytes_sent": outcome.traffic.total_bytes_sent,
+        "memory_per_node_bytes": outcome.memory_per_node_bytes,
     });
     println!(
         "{}",

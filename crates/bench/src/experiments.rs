@@ -824,6 +824,94 @@ pub fn resilience_sweep(scale: Scale, seed: u64) -> Vec<ResilienceScenarioResult
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// scale/ — detection quality and memory beyond the paper's population.
+// ---------------------------------------------------------------------------
+
+/// The scale/ scenario family, in ascending population order. Run smallest
+/// first so an out-of-memory failure at the top end cannot mask the results
+/// of the populations below it.
+pub const SCALE_SCENARIOS: [&str; 3] = ["scale/1k", "scale/10k", "scale/100k"];
+
+/// One population of the scale sweep: Figure 14's detection readout (10 %
+/// freeriders, pdcc = 1) at a beyond-paper population, plus the per-node
+/// memory bill of the whole protocol state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleScenarioResult {
+    /// Registered scenario name.
+    pub scenario: String,
+    /// Population size of the run.
+    pub nodes: usize,
+    /// Simulated duration in seconds.
+    pub duration_secs: f64,
+    /// Expulsion threshold calibrated from this population's honest scores
+    /// (β = 1 %), falling back to the paper's η only on an empty sample.
+    pub eta: f64,
+    /// Fraction of freeriders detected at `eta` (recall).
+    pub detection: f64,
+    /// Fraction of honest nodes below `eta`.
+    pub false_positives: f64,
+    /// Of everything flagged at `eta`, the fraction that really freerides.
+    pub precision: f64,
+    /// Nodes expelled during the run.
+    pub expelled: usize,
+    /// Estimated protocol-state heap bytes per node at the end of the run
+    /// (deterministic capacity walk; identical across worker/shard counts).
+    pub memory_per_node_bytes: f64,
+    /// Fraction of nodes viewing a clear stream at the largest lag.
+    pub final_clear_fraction: f64,
+}
+
+/// Runs the `scale/*` family — the Figure 14 deployment pushed to 1k, 10k
+/// and 100k nodes — and reports precision/recall at a per-population
+/// calibrated threshold together with `memory_per_node_bytes`. The runs are
+/// deliberately sequential (not fanned out through the pool): the 100k
+/// population dominates peak memory, and stacking it on top of concurrent
+/// jobs would make the sweep's footprint depend on worker count.
+pub fn scale_sweep(scale: Scale, seed: u64) -> Vec<ScaleScenarioResult> {
+    let registry = ScenarioRegistry::builtin();
+    SCALE_SCENARIOS
+        .iter()
+        .map(|name| {
+            let config = registry.build(name, scale, seed);
+            let nodes = config.nodes;
+            let duration_secs = config.duration.as_secs_f64();
+            let outcome = run_scenario(config);
+            let honest = outcome.finals.honest_scores();
+            let freeriders = outcome.finals.freerider_scores();
+            let eta = calibrated_eta(&honest, 0.01);
+            let detection = outcome.detection_rate(eta);
+            let false_positives = outcome.false_positive_rate(eta);
+            // Precision from the two rates and the population split: of the
+            // nodes flagged at η, how many actually freeride.
+            let flagged_bad = detection * freeriders.len() as f64;
+            let flagged_good = false_positives * honest.len() as f64;
+            let precision = if flagged_bad + flagged_good > 0.0 {
+                flagged_bad / (flagged_bad + flagged_good)
+            } else {
+                1.0
+            };
+            ScaleScenarioResult {
+                scenario: name.to_string(),
+                nodes,
+                duration_secs,
+                eta,
+                detection,
+                false_positives,
+                precision,
+                expelled: outcome.expelled_count,
+                memory_per_node_bytes: outcome.memory_per_node_bytes,
+                final_clear_fraction: outcome
+                    .stream_health
+                    .fraction_clear
+                    .last()
+                    .copied()
+                    .unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
 /// Runs the pluggable-adversary scenarios (attacks the pre-refactor wiring
 /// could not express: on-off freeriders and blame spammers) and reports how
 /// the detector fares against each.
@@ -973,6 +1061,41 @@ mod tests {
             selective.false_positives, 0.0,
             "compensation must keep honest nodes clear of the threshold"
         );
+    }
+
+    #[test]
+    fn quick_scale_scale_sweep_reports_detection_and_memory() {
+        let results = scale_sweep(Scale::Quick, 9);
+        assert_eq!(results.len(), SCALE_SCENARIOS.len());
+        // Populations ascend; every run reports a positive memory bill and a
+        // live stream, and the η calibration keeps false positives near its
+        // 1 % target. (Detection itself is a *finding* of the sweep — the
+        // paper-scale calibration does not transfer to 10k+ populations — so
+        // the test pins the readout's integrity, not a detection floor.)
+        for pair in results.windows(2) {
+            assert!(pair[0].nodes < pair[1].nodes);
+        }
+        for r in &results {
+            assert!(
+                r.memory_per_node_bytes > 0.0,
+                "{}: no memory bill",
+                r.scenario
+            );
+            assert!(
+                r.final_clear_fraction > 0.2,
+                "{}: stream collapsed ({})",
+                r.scenario,
+                r.final_clear_fraction
+            );
+            assert!(
+                r.false_positives <= 0.05,
+                "{}: false positives {} far above the 1% calibration target",
+                r.scenario,
+                r.false_positives
+            );
+            assert!((0.0..=1.0).contains(&r.detection), "{}", r.scenario);
+            assert!((0.0..=1.0).contains(&r.precision), "{}", r.scenario);
+        }
     }
 
     #[test]

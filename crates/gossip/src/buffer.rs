@@ -36,6 +36,11 @@ impl PlayoutBuffer {
         PlayoutBuffer::default()
     }
 
+    /// Heap bytes held by the receipt table (capacity walk, deterministic).
+    pub fn estimated_heap_bytes(&self) -> usize {
+        self.received.capacity() * std::mem::size_of::<Option<Receipt>>()
+    }
+
     /// Creates an empty buffer for `stream`.
     pub fn for_stream(stream: StreamId) -> Self {
         PlayoutBuffer {

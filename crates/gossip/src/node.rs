@@ -131,8 +131,12 @@ pub struct GossipNode {
     fresh_by_source: DetHashMap<NodeId, Vec<ChunkId>>,
     /// Chunks already proposed (or deliberately skipped): infect-and-die.
     proposed: ChunkIdSet,
-    /// Latest proposal sent to each partner, flat-indexed by partner.
-    offers_out: Vec<Option<OutstandingOffer>>,
+    /// Latest proposal sent to each partner: `(partner id, offer)` pairs
+    /// sorted by partner id. A node only ever holds one live offer per
+    /// distinct partner it has gossiped with, so this stays O(partners seen);
+    /// the earlier partner-id-indexed vector made every node's gossip state
+    /// O(world size), an O(n²) memory bill across the population.
+    offers_out: Vec<(u32, OutstandingOffer)>,
     /// Per-chunk expiry of an outstanding request, flat-indexed by chunk id;
     /// a chunk counts as requested while its entry is after "now", which
     /// replaces the old map's insert/expire/remove cycle with plain stores
@@ -235,6 +239,32 @@ impl GossipNode {
         self.period
     }
 
+    /// Heap bytes held by this plane's gossip state: chunk store slots, the
+    /// infect-and-die bitset, outstanding offers, request expiries and the
+    /// playout buffer. A deterministic capacity walk (no allocator queries),
+    /// so the number is identical across worker counts and shard counts;
+    /// shared `Arc` chunk lists are attributed to every holder, making this a
+    /// slight over-estimate rather than an audit.
+    pub fn estimated_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.store.slots.capacity() * size_of::<Option<Chunk>>()
+            + self.proposed.words.capacity() * size_of::<u64>()
+            + self.offers_out.capacity() * size_of::<(u32, OutstandingOffer)>()
+            + self.requested_until.capacity() * size_of::<SimTime>()
+            + self.playout.estimated_heap_bytes();
+        bytes += self
+            .fresh_by_source
+            .capacity()
+            .saturating_mul(size_of::<(NodeId, Vec<ChunkId>)>());
+        for fresh in self.fresh_by_source.values() {
+            bytes += fresh.capacity() * size_of::<ChunkId>();
+        }
+        for (_, offer) in &self.offers_out {
+            bytes += offer.chunks.len() * size_of::<ChunkId>();
+        }
+        bytes
+    }
+
     /// Number of partners this node will contact in its next propose phase
     /// (honest: `f`; freerider: `(1-δ1)·f` with randomized rounding).
     pub fn desired_fanout<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
@@ -320,14 +350,17 @@ impl GossipNode {
         let chunks: Arc<[ChunkId]> = chunks.into();
 
         for partner in &partners {
-            let idx = partner.index();
-            if idx >= self.offers_out.len() {
-                self.offers_out.resize_with(idx + 1, || None);
-            }
-            self.offers_out[idx] = Some(OutstandingOffer {
+            let idx = partner.index() as u32;
+            let offer = OutstandingOffer {
                 period: this_period,
                 chunks: chunks.clone(),
-            });
+            };
+            // Partners repeat across periods; insertion of a new partner is
+            // rare, so the sorted pair vector stays cheap to maintain.
+            match self.offers_out.binary_search_by_key(&idx, |(i, _)| *i) {
+                Ok(pos) => self.offers_out[pos].1 = offer,
+                Err(pos) => self.offers_out.insert(pos, (idx, offer)),
+            }
         }
 
         Some(ProposeRound {
@@ -370,9 +403,13 @@ impl GossipNode {
         requested: &[ChunkId],
         rng: &mut R,
     ) -> Vec<Chunk> {
-        let Some(offer) = self.offers_out.get(from.index()).and_then(Option::as_ref) else {
+        let Ok(pos) = self
+            .offers_out
+            .binary_search_by_key(&(from.index() as u32), |(i, _)| *i)
+        else {
             return Vec::new(); // request without a proposal: ignored
         };
+        let offer = &self.offers_out[pos].1;
         let mut valid: Vec<ChunkId> = requested
             .iter()
             .copied()

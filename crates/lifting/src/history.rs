@@ -117,6 +117,28 @@ impl NodeHistory {
         self.owner
     }
 
+    /// Heap bytes held by the recorded periods and the derived index
+    /// (capacity walk, deterministic; shared `Arc` chunk lists are attributed
+    /// to every holder).
+    pub fn estimated_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.periods.capacity() * size_of::<PeriodRecord>()
+            + self
+                .received_index
+                .capacity()
+                .saturating_mul(size_of::<((NodeId, ChunkId), u32)>());
+        for p in &self.periods {
+            bytes += p.proposals_sent.capacity() * size_of::<ProposalRecord>()
+                + p.serves_received.capacity() * size_of::<(NodeId, ChunkId)>()
+                + p.proposals_received.capacity() * size_of::<(NodeId, Arc<[ChunkId]>)>()
+                + p.confirms_received.capacity() * size_of::<(NodeId, NodeId)>();
+            for (_, chunks) in &p.proposals_received {
+                bytes += chunks.len() * size_of::<ChunkId>();
+            }
+        }
+        bytes
+    }
+
     /// Number of periods currently recorded.
     pub fn len(&self) -> usize {
         self.periods.len()

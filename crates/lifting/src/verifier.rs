@@ -249,6 +249,43 @@ impl Verifier {
         self.pending_serves.len() + self.pending_acks.len() + self.pending_confirms.len()
     }
 
+    /// Heap bytes held by the verification plane: the bounded history plus
+    /// the outstanding-check tables and their payloads (capacity walk,
+    /// deterministic; shared `Arc` lists attributed to every holder).
+    pub fn estimated_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let tables = self
+            .pending_serves
+            .capacity()
+            .saturating_mul(size_of::<(u64, PendingServe)>())
+            + self
+                .pending_acks
+                .capacity()
+                .saturating_mul(size_of::<(u64, PendingAck)>())
+            + self
+                .pending_confirms
+                .capacity()
+                .saturating_mul(size_of::<(u64, PendingConfirm)>());
+        let serves: usize = self
+            .pending_serves
+            .values()
+            .map(|p| p.requested.len() * size_of::<ChunkId>())
+            .sum();
+        let acks: usize = self
+            .pending_acks
+            .values()
+            .map(|p| p.chunks.capacity() * size_of::<ChunkId>())
+            .sum();
+        let confirms: usize = self
+            .pending_confirms
+            .values()
+            .map(|p| {
+                p.witnesses.len() * size_of::<NodeId>() + p.chunks.len() * size_of::<ChunkId>()
+            })
+            .sum();
+        tables + serves + acks + confirms + self.history.estimated_heap_bytes()
+    }
+
     fn token(&mut self) -> u64 {
         let t = self.next_token;
         self.next_token += 1;

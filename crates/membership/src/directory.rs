@@ -143,6 +143,18 @@ impl Directory {
         self.active_count
     }
 
+    /// Heap bytes held by the membership tables (capacity walk,
+    /// deterministic).
+    pub fn estimated_heap_bytes(&self) -> usize {
+        self.active.capacity()
+            + self
+                .subscriptions
+                .iter()
+                .map(|s| s.subscribed.capacity())
+                .sum::<usize>()
+            + self.subscriptions.capacity() * std::mem::size_of::<StreamSubscribers>()
+    }
+
     /// True if the node is currently active.
     pub fn is_active(&self, node: NodeId) -> bool {
         self.active.get(node.index()).copied().unwrap_or(false)

@@ -174,6 +174,16 @@ impl Network {
         self.capabilities.len()
     }
 
+    /// Heap bytes held by the per-node link state (capacity walk,
+    /// deterministic).
+    pub fn estimated_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.capabilities.capacity() * size_of::<NodeCapability>()
+            + self.uplinks.capacity() * size_of::<UplinkState>()
+            + self.expelled.capacity()
+            + self.partitioned.capacity()
+    }
+
     /// True if the network has no nodes.
     pub fn is_empty(&self) -> bool {
         self.capabilities.is_empty()

@@ -2,6 +2,16 @@
 
 use lifting_sim::{derive_rng, NodeId};
 use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Population size at which [`ManagerAssignment::new`] switches from the
+/// legacy full-shuffle sampler to rejection sampling. Below this every
+/// historical assignment (and therefore every golden digest) is reproduced
+/// bit-for-bit; at or above it the shuffle's O(n) work and O(n) scratch *per
+/// node* would make construction O(n²) — minutes of setup and gigabytes of
+/// transient allocation at 100k nodes — so large worlds draw `M` distinct
+/// ids directly instead.
+const REJECTION_SAMPLING_THRESHOLD: usize = 1_000;
 
 /// Deterministic, seed-derived assignment of `M` managers to every node.
 ///
@@ -31,13 +41,30 @@ impl ManagerAssignment {
         let managers = (0..n)
             .map(|i| {
                 let mut rng = derive_rng(seed, 0x000A_111A_0000 + i as u64);
-                let mut candidates: Vec<NodeId> = (0..n as u32)
-                    .filter(|j| *j as usize != i)
-                    .map(NodeId::new)
-                    .collect();
-                candidates.shuffle(&mut rng);
-                candidates.truncate(per_node);
-                candidates
+                if n < REJECTION_SAMPLING_THRESHOLD {
+                    let mut candidates: Vec<NodeId> = (0..n as u32)
+                        .filter(|j| *j as usize != i)
+                        .map(NodeId::new)
+                        .collect();
+                    candidates.shuffle(&mut rng);
+                    candidates.truncate(per_node);
+                    // `truncate` keeps the full n-sized backing allocation;
+                    // the table must cost O(M) per node, not O(n).
+                    candidates.shrink_to_fit();
+                    candidates
+                } else {
+                    // Rejection sampling: O(M²) per node instead of O(n).
+                    // Duplicate probability is M/n, vanishing at this scale.
+                    let mut picked: Vec<NodeId> = Vec::with_capacity(per_node);
+                    while picked.len() < per_node {
+                        let j = rng.gen_range(0..n as u32);
+                        if j as usize == i || picked.iter().any(|p| p.index() == j as usize) {
+                            continue;
+                        }
+                        picked.push(NodeId::new(j));
+                    }
+                    picked
+                }
             })
             .collect();
         ManagerAssignment { managers, per_node }
@@ -56,6 +83,18 @@ impl ManagerAssignment {
     /// True if the assignment covers no nodes.
     pub fn is_empty(&self) -> bool {
         self.managers.is_empty()
+    }
+
+    /// Heap bytes held by the assignment tables (capacity walk,
+    /// deterministic).
+    pub fn estimated_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.managers.capacity() * size_of::<Vec<NodeId>>()
+            + self
+                .managers
+                .iter()
+                .map(|m| m.capacity() * size_of::<NodeId>())
+                .sum::<usize>()
     }
 
     /// The managers of `node`.
@@ -130,5 +169,28 @@ mod tests {
     #[should_panic]
     fn too_many_managers_panics() {
         let _ = ManagerAssignment::new(5, 5, 0);
+    }
+
+    #[test]
+    fn large_world_sampler_keeps_the_invariants_and_compact_memory() {
+        // Above the threshold the rejection sampler takes over: managers must
+        // still be distinct, never the node itself, deterministic in the
+        // seed, and the table must cost O(M) per node rather than O(n).
+        let n = REJECTION_SAMPLING_THRESHOLD;
+        let a = ManagerAssignment::new(n, 25, 7);
+        let b = ManagerAssignment::new(n, 25, 7);
+        for i in (0..n as u32).step_by(97) {
+            let ms = a.managers_of(NodeId::new(i));
+            assert_eq!(ms.len(), 25);
+            let unique: HashSet<_> = ms.iter().collect();
+            assert_eq!(unique.len(), 25, "managers must be distinct");
+            assert!(!ms.contains(&NodeId::new(i)), "a node never manages itself");
+            assert_eq!(ms, b.managers_of(NodeId::new(i)));
+        }
+        assert!(
+            a.estimated_heap_bytes() < n * 64 * 25,
+            "assignment must be O(n·M) memory, got {} bytes",
+            a.estimated_heap_bytes()
+        );
     }
 }

@@ -30,13 +30,23 @@ impl ScoreRecord {
 
 /// The state a manager node keeps about the nodes it manages.
 ///
-/// Stored as a flat `Vec` indexed by dense `NodeId` (no hashing on the blame
-/// hot path); every walk is in ascending node order, which is exactly the
-/// sorted order the hash-map version exposed, so outputs are unchanged.
+/// Stored as two parallel vectors — managed ids sorted ascending and their
+/// records — so the book costs O(managed) memory, not O(world size). An
+/// earlier dense id-indexed layout made every manager's book world-sized,
+/// which is an O(n²) memory bill across the population: at 100k nodes that
+/// alone is hundreds of gigabytes. A manager only ever holds a small fixed
+/// fan-in of nodes, so lookups are a binary search over ~25 ids (cheaper
+/// than hashing) and every walk ([`end_period_credited`]
+/// (Self::end_period_credited), [`expulsion_votes_into`]
+/// (Self::expulsion_votes_into), [`iter`](Self::iter)) is a plain ascending
+/// scan of the managed records — the same visit order as the dense and
+/// hash-map layouts before it, so outputs are bit-identical.
 #[derive(Debug, Clone, Default)]
 pub struct ManagerState {
-    records: Vec<Option<ScoreRecord>>,
-    managed: usize,
+    /// Managed node ids, sorted ascending.
+    ids: Vec<u32>,
+    /// The record of `ids[i]` lives at `records[i]`.
+    records: Vec<ScoreRecord>,
 }
 
 impl ManagerState {
@@ -46,16 +56,23 @@ impl ManagerState {
     }
 
     fn slot_mut(&mut self, node: NodeId) -> &mut ScoreRecord {
-        let idx = node.index();
-        if idx >= self.records.len() {
-            self.records.resize(idx + 1, None);
+        let idx = node.index() as u32;
+        // Registration is rare (once per managed node); keep both vectors
+        // sorted on insert so every hot walk stays a plain ascending scan.
+        let pos = self.ids.partition_point(|&i| i < idx);
+        if self.ids.get(pos) != Some(&idx) {
+            self.ids.insert(pos, idx);
+            self.records.insert(pos, ScoreRecord::default());
         }
-        let slot = &mut self.records[idx];
-        if slot.is_none() {
-            *slot = Some(ScoreRecord::default());
-            self.managed += 1;
-        }
-        slot.as_mut().expect("just filled")
+        &mut self.records[pos]
+    }
+
+    fn slot(&self, node: NodeId) -> Option<&ScoreRecord> {
+        let idx = node.index() as u32;
+        self.ids
+            .binary_search(&idx)
+            .ok()
+            .map(|pos| &self.records[pos])
     }
 
     /// Registers a node under this manager (idempotent).
@@ -65,7 +82,13 @@ impl ManagerState {
 
     /// Number of nodes managed.
     pub fn managed_count(&self) -> usize {
-        self.managed
+        self.ids.len()
+    }
+
+    /// Heap bytes held by the book (capacity walk, deterministic).
+    pub fn estimated_heap_bytes(&self) -> usize {
+        self.records.capacity() * std::mem::size_of::<ScoreRecord>()
+            + self.ids.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Applies a blame of `value` to `node` (registering it if needed).
@@ -103,20 +126,24 @@ impl ManagerState {
     /// node the sum of its subscribed streams' Equation 5 values — a node
     /// watching one channel is only exposed to that channel's wrongful
     /// blames, so it must only be compensated for them.
-    pub fn end_period_credited(&mut self, credit: impl Fn(NodeId) -> Option<f64>) {
-        for (idx, r) in self.records.iter_mut().enumerate() {
-            let Some(r) = r else { continue };
-            let Some(c) = credit(NodeId::new(idx as u32)) else {
+    ///
+    /// Returns the number of records visited, which is always the managed
+    /// count — never the world size. Scaling tests pin this so the
+    /// period-end walk can't silently regress to O(world size).
+    pub fn end_period_credited(&mut self, credit: impl Fn(NodeId) -> Option<f64>) -> usize {
+        for (&idx, r) in self.ids.iter().zip(self.records.iter_mut()) {
+            let Some(c) = credit(NodeId::new(idx)) else {
                 continue;
             };
             r.periods += 1;
             r.compensation += c.max(0.0);
         }
+        self.ids.len()
     }
 
     /// The record for `node`, if managed.
     pub fn record(&self, node: NodeId) -> Option<ScoreRecord> {
-        self.records.get(node.index()).copied().flatten()
+        self.slot(node).copied()
     }
 
     /// The normalized score of `node`, if managed.
@@ -153,21 +180,20 @@ impl ManagerState {
     /// appends the newly voted nodes (in ascending id order, matching the
     /// sorted output of the owned variant) to `out`.
     pub fn expulsion_votes_into(&mut self, eta: f64, min_periods: u64, out: &mut Vec<NodeId>) {
-        for (idx, r) in self.records.iter_mut().enumerate() {
-            let Some(r) = r else { continue };
+        for (&idx, r) in self.ids.iter().zip(self.records.iter_mut()) {
             if !r.expelled && r.periods >= min_periods && r.normalized_score() < eta {
                 r.expelled = true;
-                out.push(NodeId::new(idx as u32));
+                out.push(NodeId::new(idx));
             }
         }
     }
 
     /// Iterates over `(node, record)` pairs in ascending node order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &ScoreRecord)> + '_ {
-        self.records
+        self.ids
             .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.as_ref().map(|r| (NodeId::new(i as u32), r)))
+            .zip(self.records.iter())
+            .map(|(&idx, r)| (NodeId::new(idx), r))
     }
 }
 
@@ -276,6 +302,60 @@ mod tests {
         // The unfiltered variant behaves exactly like an always-true filter.
         m.end_period(5.0);
         assert_eq!(m.record(departed).unwrap().periods, 1);
+    }
+
+    #[test]
+    fn period_end_cost_scales_with_managed_not_world_size() {
+        // A manager in a 10k-node world that manages only 100 of them: both
+        // the memory and the period-end walk must scale with the managed
+        // count, never with the id space.
+        let world = 10_000u32;
+        let managed = 100u32;
+        let mut m = ManagerState::new();
+        for i in 0..managed {
+            // Spread ids across the whole space; the last one lands at 9999.
+            m.register(NodeId::new(i * (world / managed) + world / managed - 1));
+        }
+        assert_eq!(m.managed_count(), managed as usize);
+        assert!(
+            m.estimated_heap_bytes() < 64 * managed as usize,
+            "the book must cost O(managed) memory, not O(world): {} bytes",
+            m.estimated_heap_bytes()
+        );
+        let visited = m.end_period_credited(|_| Some(1.0));
+        assert_eq!(
+            visited, managed as usize,
+            "period end must walk the live index, not the id-indexed book"
+        );
+        // Every managed record aged exactly once; the walk stayed ascending.
+        let ids: Vec<u32> = m
+            .iter()
+            .map(|(n, r)| {
+                assert_eq!(r.periods, 1);
+                n.index() as u32
+            })
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids.len(), managed as usize);
+    }
+
+    #[test]
+    fn late_registration_keeps_walk_order_ascending() {
+        // Out-of-order registration (rejoins, blames against unseen ids) must
+        // keep the live index — and therefore every walk — sorted by id.
+        let mut m = ManagerState::new();
+        for id in [9u32, 2, 7, 0, 5] {
+            m.apply_blame(NodeId::new(id), 1.0);
+        }
+        let ids: Vec<usize> = m.iter().map(|(n, _)| n.index()).collect();
+        assert_eq!(ids, vec![0, 2, 5, 7, 9]);
+        let mut votes = Vec::new();
+        m.end_period_credited(|_| Some(0.0));
+        m.expulsion_votes_into(-0.5, 1, &mut votes);
+        let vote_ids: Vec<usize> = votes.iter().map(|n| n.index()).collect();
+        assert_eq!(vote_ids, vec![0, 2, 5, 7, 9]);
     }
 
     #[test]

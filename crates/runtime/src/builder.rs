@@ -292,6 +292,7 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
         }
     });
 
+    let hot = crate::hot::HotNodeState::from_stacks(&stacks);
     SystemWorld {
         directory,
         network,
@@ -305,7 +306,8 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
         blame_values: vec![0.0; n * streams],
         expulsion_voters: vec![Vec::new(); n],
         expelled: vec![false; n],
-        tick_epochs: vec![0; n],
+        hot,
+        wave_exec: None,
         churn,
         churn_departures: 0,
         churn_rejoins: 0,

@@ -48,9 +48,11 @@ impl ReputationLayer {
 
     /// Per-node credited period end: `None` freezes the record (departed),
     /// `Some(c)` ages it and credits `c` — the multi-channel runtime passes
-    /// each node's subscription-weighted compensation here.
-    pub fn end_period_credited(&mut self, credit: impl Fn(NodeId) -> Option<f64>) {
-        self.manager.end_period_credited(credit);
+    /// each node's subscription-weighted compensation here. Returns the
+    /// number of records visited (always the managed count, never the world
+    /// size — see [`lifting_reputation::ManagerState::end_period_credited`]).
+    pub fn end_period_credited(&mut self, credit: impl Fn(NodeId) -> Option<f64>) -> usize {
+        self.manager.end_period_credited(credit)
     }
 
     /// Nodes newly voted for expulsion at the current scores (Equation 6).
@@ -67,6 +69,11 @@ impl ReputationLayer {
     /// The normalized score this manager holds for `node`, if managed.
     pub fn score(&self, node: NodeId) -> Option<f64> {
         self.manager.normalized_score(node)
+    }
+
+    /// Heap bytes held by the manager book (capacity walk, deterministic).
+    pub fn estimated_heap_bytes(&self) -> usize {
+        self.manager.estimated_heap_bytes()
     }
 }
 

@@ -163,6 +163,27 @@ impl NodeStack {
             .sum()
     }
 
+    /// Heap bytes held by this node's whole protocol state: every stream
+    /// plane's gossip and verification structures plus the shared manager
+    /// book. A deterministic capacity walk — identical across worker and
+    /// shard counts — feeding the `memory_per_node_bytes` metric.
+    pub fn estimated_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let planes: usize = self
+            .planes
+            .iter()
+            .map(|p| {
+                p.gossip.node.estimated_heap_bytes()
+                    + p.verification.verifier.estimated_heap_bytes()
+            })
+            .sum();
+        planes
+            + self.planes.capacity() * size_of::<StreamPlane>()
+            + self.reputation.estimated_heap_bytes()
+            + self.scratch_sends.capacity() * size_of::<Downcall>()
+            + self.scratch_upcalls.capacity() * size_of::<GossipUpcall>()
+    }
+
     /// Hardened-confirm retry counters summed across every plane.
     pub fn confirm_retry_stats(&self) -> lifting_core::ConfirmRetryStats {
         let mut total = lifting_core::ConfirmRetryStats::default();

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub(crate) mod hot;
 pub mod layers;
 pub mod message;
 pub mod metrics;
@@ -34,6 +35,7 @@ pub mod observe;
 pub mod registry;
 pub mod runner;
 pub mod scenario;
+pub(crate) mod wave;
 pub mod world;
 
 pub use layers::{Adversary, AuditRpcStats, FeedbackAction, NodeStack};
@@ -47,8 +49,9 @@ pub use registry::{
     FIG14_PDCCS, TABLE03_PDCCS, TABLE05_PDCCS, TABLE05_STREAM_KBPS,
 };
 pub use runner::{
-    build_engine, run_jobs_parallel, run_scenario, run_scenario_with_snapshots,
-    run_scenarios_parallel, run_scenarios_parallel_with_snapshots,
+    build_engine, run_jobs_parallel, run_scenario, run_scenario_sharded,
+    run_scenario_with_snapshots, run_scenario_with_snapshots_sharded, run_scenarios_parallel,
+    run_scenarios_parallel_with_snapshots, SHARDS_ENV,
 };
 pub use scenario::{
     AdversaryScenario, AuditRetryPolicy, ChurnSchedule, ChurnWave, CollusionScenario,

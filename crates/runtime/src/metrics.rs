@@ -284,6 +284,10 @@ pub struct RunOutcome {
     /// Per-period recovery traces and reconvergence times; `None` unless the
     /// scenario exercises the resilience plane.
     pub recovery: Option<RecoveryReport>,
+    /// Estimated heap bytes of protocol state per node at the end of the run
+    /// (deterministic capacity walk — identical across worker and shard
+    /// counts; see `SystemWorld::estimated_memory_bytes`).
+    pub memory_per_node_bytes: f64,
     /// Simulated duration of the run.
     pub duration: SimDuration,
 }

@@ -28,7 +28,7 @@ impl SystemWorld {
                     .collect();
                 NodeOutcome {
                     node: id,
-                    is_freerider: self.stacks[i].is_freerider,
+                    is_freerider: self.hot.freerider[i],
                     score: lifting_reputation::aggregate_min(&replies),
                     expelled: self.expelled[i],
                 }
@@ -80,6 +80,46 @@ impl SystemWorld {
         )
     }
 
+    /// Estimated heap bytes of the whole simulated system's protocol state:
+    /// every stack, the network's link tables, the directory, the manager
+    /// assignment and the world-level dense columns. A deterministic capacity
+    /// walk (no allocator queries), so the figure is bit-identical across
+    /// worker counts and shard counts; executor scratch is deliberately
+    /// excluded — it belongs to the runner, not to the simulated system.
+    pub fn estimated_memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let stacks: usize = self.stacks.iter().map(|s| s.estimated_heap_bytes()).sum();
+        let emitted: usize = self
+            .emitted
+            .iter()
+            .map(|e| e.capacity() * size_of::<Chunk>())
+            .sum();
+        let voters: usize = self
+            .expulsion_voters
+            .iter()
+            .map(|v| v.capacity() * size_of::<NodeId>())
+            .sum();
+        (stacks
+            + self.stacks.capacity() * size_of::<crate::layers::NodeStack>()
+            + self.network.estimated_heap_bytes()
+            + self.directory.estimated_heap_bytes()
+            + self.assignment.estimated_heap_bytes()
+            + self.hot.estimated_heap_bytes()
+            + emitted
+            + voters
+            + self.expulsion_voters.capacity() * size_of::<Vec<NodeId>>()
+            + self.blame_counts.capacity() * size_of::<u64>()
+            + self.blame_values.capacity() * size_of::<f64>()
+            + self.expelled.capacity()
+            + self.partition_holds.capacity()) as u64
+    }
+
+    /// [`estimated_memory_bytes`](Self::estimated_memory_bytes) divided by
+    /// the population — the scale experiments' headline memory metric.
+    pub fn memory_per_node_bytes(&self) -> f64 {
+        self.estimated_memory_bytes() as f64 / self.config.nodes.max(1) as f64
+    }
+
     /// Membership dynamics observed so far (all zero in a static population).
     pub fn churn_stats(&self) -> ChurnStats {
         let expelled = self.expelled_count();
@@ -113,7 +153,7 @@ impl SystemWorld {
                     .map(|i| self.blame_value_against(NodeId::new(i as u32), stream))
                     .sum();
                 let freerider_blame_value = (0..self.config.nodes)
-                    .filter(|i| self.stacks[*i].is_freerider)
+                    .filter(|i| self.hot.freerider[*i])
                     .map(|i| self.blame_value_against(NodeId::new(i as u32), stream))
                     .sum();
                 StreamOutcome {
@@ -155,6 +195,7 @@ impl SystemWorld {
             confirm_retry: self.confirm_retry_totals(),
             audit_rpc: self.audits.rpc_stats(),
             recovery: self.recovery.clone(),
+            memory_per_node_bytes: self.memory_per_node_bytes(),
             duration: now.saturating_since(SimTime::ZERO),
         }
     }

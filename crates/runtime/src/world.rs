@@ -28,10 +28,12 @@ use std::sync::Arc;
 use lifting_core::VerificationMessage;
 
 use crate::builder;
+use crate::hot::HotNodeState;
 use crate::layers::{AuditCoordinator, AuditOutcome, Downcall, FeedbackAction, NodeStack};
 use crate::message::{Event, Message, CHURN_EPOCH_ANY};
 use crate::metrics::{RecoveryReport, WaveKind, WaveRecovery};
 use crate::scenario::ScenarioConfig;
+use crate::wave::WaveExec;
 
 /// Live churn state: which nodes cycle on/off and the RNG stream feeding the
 /// session/offline duration draws as the run progresses.
@@ -73,10 +75,12 @@ pub struct SystemWorld {
     /// vote, which must not count twice toward the quorum.
     pub(crate) expulsion_voters: Vec<Vec<NodeId>>,
     pub(crate) expelled: Vec<bool>,
-    /// Per-node session epoch: bumped when churn rebuilds the node's stack,
-    /// so events scheduled for an earlier session are dropped (see
-    /// [`Event`]).
-    pub(crate) tick_epochs: Vec<u32>,
+    /// Dense hot columns (session epochs, freerider flags) — the
+    /// struct-of-arrays fields every event gate reads (see [`crate::hot`]).
+    pub(crate) hot: HotNodeState,
+    /// Sharded-execution state; `None` runs the classic sequential dispatch
+    /// (see [`crate::wave`] and [`SystemWorld::set_shard_count`]).
+    pub(crate) wave_exec: Option<WaveExec>,
     /// Live churn state (`None` for a static population).
     pub(crate) churn: Option<ChurnRuntime>,
     pub(crate) churn_departures: u64,
@@ -227,7 +231,60 @@ impl SystemWorld {
         self.config.lifting_enabled
     }
 
-    fn send(
+    /// The number of shards the world executes waves over (1 = sequential).
+    pub fn shard_count(&self) -> usize {
+        self.wave_exec.as_ref().map_or(1, |e| e.map.shards())
+    }
+
+    /// Switches the world to shard-parallel wave execution over `shards`
+    /// contiguous node ranges (1 or 0 restores classic sequential dispatch).
+    /// Results are bit-identical at any shard count; only wall-clock time and
+    /// the per-shard observability counters change. Call before running the
+    /// engine via [`lifting_sim::Engine::run_until_sharded`].
+    pub fn set_shard_count(&mut self, shards: usize) {
+        let map = lifting_sim::ShardMap::new(self.config.nodes, shards);
+        self.wave_exec = (map.shards() > 1).then(|| WaveExec::new(map));
+    }
+
+    /// Cumulative wave-executor counters: `(waves, events in waves,
+    /// intra-shard staged entries, cross-shard staged entries)`. `None` when
+    /// running sequentially. Observability only — never part of a
+    /// [`crate::RunOutcome`], which must be shard-invariant.
+    pub fn wave_stats(&self) -> Option<(u64, u64, u64, u64)> {
+        self.wave_exec.as_ref().map(|e| {
+            let (intra, cross) = e.mailbox_totals();
+            (e.waves, e.wave_events, intra, cross)
+        })
+    }
+
+    /// Cumulative staged wave entries for one `(src, dst)` shard pair (see
+    /// [`lifting_sim::ShardMailboxes::pushed`]); 0 when running sequentially.
+    pub fn wave_mailbox_pushed(&self, src: usize, dst: usize) -> u64 {
+        self.wave_exec
+            .as_ref()
+            .map_or(0, |e| e.mailbox_pushed(src, dst))
+    }
+
+    /// The contiguous node-id range `[lo, hi)` owned by one shard; the whole
+    /// population as a single range when running sequentially.
+    pub fn shard_range(&self, shard: usize) -> (u32, u32) {
+        match &self.wave_exec {
+            Some(e) => {
+                let r = e.map.range(shard);
+                (r.start, r.end)
+            }
+            None => (0, self.config.nodes as u32),
+        }
+    }
+
+    /// Total messages handed to the network so far — a cheap divergence probe
+    /// for tools that compare a sharded run against a sequential one without
+    /// paying for a full [`crate::RunOutcome`].
+    pub fn traffic_messages_sent(&self) -> u64 {
+        self.network.stats().report().total_messages_sent
+    }
+
+    pub(crate) fn send(
         &mut self,
         now: SimTime,
         from: NodeId,
@@ -267,7 +324,7 @@ impl SystemWorld {
         now: SimTime,
         ctx: &mut Context<Event>,
     ) {
-        let epoch = self.tick_epochs[node.index()];
+        let epoch = self.hot.epoch(node);
         for downcall in downcalls.drain(..) {
             match downcall {
                 Downcall::Send { to, message } => self.send(now, node, to, message, ctx),
@@ -291,7 +348,13 @@ impl SystemWorld {
         }
     }
 
-    fn route_blame(&mut self, from: NodeId, blame: Blame, now: SimTime, ctx: &mut Context<Event>) {
+    pub(crate) fn route_blame(
+        &mut self,
+        from: NodeId,
+        blame: Blame,
+        now: SimTime,
+        ctx: &mut Context<Event>,
+    ) {
         if !self.lifting_on() || blame.target == NodeId::new(0) {
             return; // the source is not scored
         }
@@ -327,7 +390,7 @@ impl SystemWorld {
     /// blank manager book (re-registered below) and a new session RNG stream.
     fn rebuild_stack(&mut self, node: NodeId) {
         let i = node.index();
-        let session = self.tick_epochs[i] as u64;
+        let session = self.hot.epochs[i] as u64;
         // A distinct, collision-free stream per (node, session): sessions ≥ 1
         // land past the builder's `1000 + i` block.
         let rng = derive_rng(self.config.seed, 1_000_000 + i as u64 + session * 1_000_003);
@@ -350,6 +413,7 @@ impl SystemWorld {
             }
         }
         self.stacks[i] = stack;
+        self.hot.refresh(node, &self.stacks[i]);
     }
 
     /// Executes one membership transition of the churn schedule.
@@ -364,10 +428,7 @@ impl SystemWorld {
         if node == NodeId::new(0) {
             return; // the broadcast source never churns
         }
-        if !up
-            && epoch != crate::message::CHURN_EPOCH_ANY
-            && epoch != self.tick_epochs[node.index()]
-        {
+        if !up && epoch != crate::message::CHURN_EPOCH_ANY && epoch != self.hot.epoch(node) {
             // A session-end departure from a previous session: a wave already
             // took this node down and a rejoin opened a new session in the
             // meantime. Firing it would fork a second departure/rejoin chain.
@@ -379,11 +440,11 @@ impl SystemWorld {
             }
             self.directory.activate(node);
             self.network.set_cut_off(node, false);
-            self.tick_epochs[node.index()] += 1;
+            self.hot.epochs[node.index()] += 1;
             self.rebuild_stack(node);
             self.churn_rejoins += 1;
             self.churn_sessions += 1;
-            let epoch = self.tick_epochs[node.index()];
+            let epoch = self.hot.epoch(node);
             ctx.schedule_at(now, Event::GossipTick { node, epoch });
             if self.config.audits_enabled {
                 ctx.schedule_after(
@@ -729,7 +790,7 @@ impl SystemWorld {
         now: SimTime,
         ctx: &mut Context<Event>,
     ) {
-        if epoch != self.tick_epochs[auditor.index()]
+        if epoch != self.hot.epoch(auditor)
             || !self.config.audits_enabled
             || !self.directory.is_active(auditor)
         {
@@ -775,8 +836,9 @@ impl SystemWorld {
             // re-aims its cover-traffic bias elsewhere for a cooldown.
             if self.config.adversary.closed_loop() {
                 let period = self.periods_elapsed;
+                let freerider = &self.hot.freerider;
                 for (i, stack) in self.stacks.iter_mut().enumerate() {
-                    if stack.is_freerider && self.directory.is_active(NodeId::new(i as u32)) {
+                    if freerider[i] && self.directory.is_active(NodeId::new(i as u32)) {
                         stack.adversary.on_audit_observed(target, period);
                     }
                 }
@@ -807,7 +869,7 @@ impl World for SystemWorld {
                 ctx.schedule_at(next, Event::SourceEmit { stream });
             }
             Event::GossipTick { node, epoch } => {
-                if epoch != self.tick_epochs[node.index()] || !self.directory.is_active(node) {
+                if epoch != self.hot.epoch(node) || !self.directory.is_active(node) {
                     return; // stale session, or expelled/departed: chain dies
                 }
                 let mut downcalls = std::mem::take(&mut self.scratch_downcalls);
@@ -846,7 +908,7 @@ impl World for SystemWorld {
                 timer,
                 epoch,
             } => {
-                if epoch != self.tick_epochs[node.index()]
+                if epoch != self.hot.epoch(node)
                     || !self.directory.is_active(node)
                     || !self.lifting_on()
                 {
@@ -872,6 +934,28 @@ impl World for SystemWorld {
             Event::Churn { node, up, epoch } => self.handle_churn(node, up, epoch, now, ctx),
             Event::Fault { wave, begin } => self.handle_fault(wave, begin),
         }
+    }
+}
+
+impl lifting_sim::ShardedWorld for SystemWorld {
+    fn shard_count(&self) -> usize {
+        self.shard_count()
+    }
+
+    /// Node-local events: handlers that mutate only the acting node's stack
+    /// (plus its private RNG), with all cross-node effects expressed as
+    /// downcalls. Everything else — source emissions, period ends, audits,
+    /// churn, faults — is a barrier and runs solo through `handle_event`.
+    fn local_node(&self, event: &Event) -> Option<NodeId> {
+        match event {
+            Event::GossipTick { node, .. } | Event::Timer { node, .. } => Some(*node),
+            Event::Deliver { to, .. } => Some(*to),
+            _ => None,
+        }
+    }
+
+    fn handle_wave(&mut self, now: SimTime, wave: &mut Vec<Event>, ctx: &mut Context<Event>) {
+        self.execute_wave(now, wave, ctx);
     }
 }
 

@@ -1,0 +1,81 @@
+//! Property test: every registered scenario runs sharded == sequential
+//! bit-for-bit, at every shard count.
+//!
+//! The sharded wave executor must never change results — only how the
+//! node-local event waves are executed. The property samples (scenario,
+//! seed) pairs from the builtin registry — including the dynamic-membership
+//! `churn/*` family (rebuild sessions, epoch bumps), the fault-injecting
+//! `resilience/*` family and the multi-channel `multistream/*` family, all
+//! of which route messages, timers and blames through the wave executor's
+//! Phase A/B split — runs each at 1, 2, 4 and 8 shards, and compares every
+//! number down to the bit pattern. Durations are truncated so the property
+//! stays fast; determinism must hold at every prefix of a run. Shard counts
+//! are passed as explicit parameters (never via `LIFTING_SHARDS`) so
+//! concurrently running tests cannot race on process environment.
+
+use lifting_runtime::{run_scenario_sharded, RunOutcome, Scale, ScenarioRegistry};
+use lifting_sim::SimDuration;
+use proptest::prelude::*;
+
+fn assert_bit_identical(a: &RunOutcome, b: &RunOutcome, scenario: &str, shards: usize) {
+    assert_eq!(
+        a.finals.outcomes, b.finals.outcomes,
+        "{scenario} @ {shards} shards: outcomes"
+    );
+    assert_eq!(
+        a.expelled_count, b.expelled_count,
+        "{scenario} @ {shards} shards: expulsions"
+    );
+    assert_eq!(
+        a.traffic.total_bytes_sent, b.traffic.total_bytes_sent,
+        "{scenario} @ {shards} shards: bytes"
+    );
+    assert_eq!(
+        a.traffic.total_messages_sent, b.traffic.total_messages_sent,
+        "{scenario} @ {shards} shards: messages"
+    );
+    assert_eq!(
+        a.traffic.overhead_ratio.to_bits(),
+        b.traffic.overhead_ratio.to_bits(),
+        "{scenario} @ {shards} shards: overhead"
+    );
+    assert_eq!(
+        a.layer_traffic, b.layer_traffic,
+        "{scenario} @ {shards} shards: layer traffic"
+    );
+    assert_eq!(
+        a.stream_health.fraction_clear, b.stream_health.fraction_clear,
+        "{scenario} @ {shards} shards: stream health"
+    );
+    assert_eq!(
+        a.emitted_chunks, b.emitted_chunks,
+        "{scenario} @ {shards} shards: chunks"
+    );
+    assert_eq!(
+        a.memory_per_node_bytes.to_bits(),
+        b.memory_per_node_bytes.to_bits(),
+        "{scenario} @ {shards} shards: memory metric"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn any_registered_scenario_is_shard_invariant(
+        scenario_index in 0usize..ScenarioRegistry::builtin().len(),
+        seed in 1u64..10_000,
+    ) {
+        let registry = ScenarioRegistry::builtin();
+        let name = registry.names()[scenario_index].to_string();
+        let mut config = registry.build(&name, Scale::Quick, seed);
+        // Keep the property fast: a short prefix of the run is just as
+        // deterministic as the full scenario.
+        config.duration = config.duration.min(SimDuration::from_secs(3));
+
+        let sequential = run_scenario_sharded(config.clone(), 1);
+        for shards in [2usize, 4, 8] {
+            let sharded = run_scenario_sharded(config.clone(), shards);
+            assert_bit_identical(&sharded, &sequential, &name, shards);
+        }
+    }
+}
