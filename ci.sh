@@ -43,6 +43,21 @@ LIFTING_EXAMPLE_QUICK=1 ./target/release/examples/quickstart > /dev/null
 LIFTING_EXAMPLE_QUICK=1 ./target/release/examples/streaming_freeriders > /dev/null
 echo "examples smoke OK"
 
+echo "==> registry validation (components + scenario manifest)"
+# Every registered component of every kind (transport, loss, capability,
+# workload, adversary, exporter) must instantiate with default parameters,
+# and the scenario registry must match the committed manifest exactly — a
+# scenario added without updating the manifest (or silently dropped by a
+# refactor) fails here before any experiment runs.
+./target/release/run_scenario --validate-registry
+./target/release/run_scenario --list-names > /tmp/scenario_names.txt
+diff -u tests/scenario_manifest.txt /tmp/scenario_names.txt || {
+    echo "scenario registry diverged from tests/scenario_manifest.txt;"
+    echo "regenerate with: ./target/release/run_scenario --list-names > tests/scenario_manifest.txt"
+    exit 1
+}
+echo "registry validation OK"
+
 echo "==> run_all_experiments --quick (parallel, 4 shards)"
 # The parallel leg also runs every scenario through the sharded wave executor
 # (LIFTING_SHARDS is honored by the convenience entry points), so the
@@ -79,8 +94,13 @@ if 'multistream' not in a or not a['multistream']:
 # losing the section would silently un-gate the whole plane.
 if 'resilience' not in a or not a['resilience']:
     sys.exit('summary is missing the resilience sweep')
+# And the workload sweep: trace-driven membership plans expand from their own
+# RNG stream and drive depart/rejoin/resubscribe events through the executor,
+# all of which must stay bit-deterministic under workers and shards.
+if 'workload' not in a or not a['workload']:
+    sys.exit('summary is missing the workload sweep')
 print('parallel and sequential outputs are identical '
-      '(churn, multistream and resilience sweeps included)')
+      '(churn, multistream, resilience and workload sweeps included)')
 EOF
 
 echo "==> fault-injection smoke (quick scale)"

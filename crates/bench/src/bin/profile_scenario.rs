@@ -167,7 +167,7 @@ fn per_event_kind_attribution(base: &ScenarioConfig) {
                 Event::Timer { .. } => 4,
                 Event::Churn { .. } => 5,
                 // Rare membership-level transitions share the churn bucket.
-                Event::Fault { .. } => 5,
+                Event::Fault { .. } | Event::Resubscribe { .. } => 5,
                 Event::Deliver { message, .. } => match message {
                     Message::Gossip(g) => match g {
                         lifting_gossip::GossipMessage::Propose(_) => 6,

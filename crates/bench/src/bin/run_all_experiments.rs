@@ -15,7 +15,13 @@
 //! * `--filter <substring>` runs only the jobs whose name contains the
 //!   substring (e.g. `--filter multistream`) and writes a partial summary
 //!   marked `"filtered": true` — a development loop need not pay for the
-//!   full suite.
+//!   full suite;
+//! * `--tier scale-heavy` opts into the heavy tail of the scale sweep
+//!   (`scale/100k`); the default tier stops at `scale/10k` so the `--paper`
+//!   suite stays around a minute. Both tiers' per-population timings are
+//!   recorded under `scale_tiers` in `BENCH_experiments.json`;
+//! * `--list` prints the scenario registry grouped by family, with each
+//!   scenario's resolved component composition, and exits.
 
 use std::time::Instant;
 
@@ -58,7 +64,7 @@ const PRIOR_PAPER_HEAVY_SECS: [(&str, f64); 3] = [
 
 type Job = (&'static str, Box<dyn Fn() -> Value + Send + Sync>);
 
-fn build_jobs(scale: Scale) -> Vec<Job> {
+fn build_jobs(scale: Scale, heavy_scale_tier: bool) -> Vec<Job> {
     // Every experiment is a job; independent scenarios *inside* an experiment
     // fan out further through the same pool (fig01's three cases, fig12's
     // delta sweep, the table grids), and fig14's two pdcc runs are jobs of
@@ -120,8 +126,33 @@ fn build_jobs(scale: Scale) -> Vec<Job> {
             "resilience",
             Box::new(move || to_value(&resilience_sweep(scale, 55))),
         ),
-        ("scale", Box::new(move || to_value(&scale_sweep(scale, 66)))),
+        (
+            "workload",
+            Box::new(move || to_value(&workload_sweep(scale, 77))),
+        ),
+        (
+            "scale",
+            Box::new(move || to_value(&scale_sweep_tier(scale, 66, heavy_scale_tier))),
+        ),
     ]
+}
+
+/// Recursively removes `key` from every object of a value tree — used to
+/// keep the nondeterministic per-population `wall_secs` timings out of
+/// `experiments_summary.json` (which CI diffs bit-for-bit across worker and
+/// shard counts) while `BENCH_experiments.json` keeps them.
+fn strip_key(value: &Value, key: &str) -> Value {
+    match value {
+        Value::Object(entries) => Value::Object(
+            entries
+                .iter()
+                .filter(|(k, _)| k != key)
+                .map(|(k, v)| (k.clone(), strip_key(v, key)))
+                .collect(),
+        ),
+        Value::Array(items) => Value::Array(items.iter().map(|v| strip_key(v, key)).collect()),
+        other => other.clone(),
+    }
 }
 
 /// Results of one full sweep at one scale.
@@ -152,14 +183,14 @@ impl SuiteRun {
     }
 }
 
-fn run_suite(scale: Scale, filter: Option<&str>) -> SuiteRun {
-    let mut jobs = build_jobs(scale);
+fn run_suite(scale: Scale, filter: Option<&str>, heavy_scale_tier: bool) -> SuiteRun {
+    let mut jobs = build_jobs(scale, heavy_scale_tier);
     if let Some(needle) = filter {
         jobs.retain(|(name, _)| name.contains(needle));
         assert!(
             !jobs.is_empty(),
             "--filter {needle:?} matches no experiment; known jobs: {:?}",
-            build_jobs(scale)
+            build_jobs(scale, heavy_scale_tier)
                 .iter()
                 .map(|(n, _)| *n)
                 .collect::<Vec<_>>()
@@ -194,6 +225,10 @@ fn run_suite(scale: Scale, filter: Option<&str>) -> SuiteRun {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        lifting_bench::listing::print_registry_listing();
+        return;
+    }
     if args.iter().any(|a| a == "--sequential") {
         std::env::set_var(lifting_sim::pool::WORKERS_ENV, "1");
     }
@@ -203,6 +238,18 @@ fn main() {
         .iter()
         .position(|a| a == "--filter")
         .map(|i| args.get(i + 1).expect("--filter needs a substring").clone());
+    let heavy_scale_tier = args
+        .iter()
+        .position(|a| a == "--tier")
+        .map(|i| {
+            let tier = args.get(i + 1).expect("--tier needs a name");
+            assert!(
+                tier == "scale-heavy",
+                "unknown tier {tier:?}; the only opt-in tier is scale-heavy"
+            );
+            true
+        })
+        .unwrap_or(false);
     let workers = lifting_sim::worker_count(usize::MAX);
     eprintln!("experiment suite on {workers} worker(s)");
 
@@ -210,10 +257,10 @@ fn main() {
     // Paper otherwise) provides the figure/table values of the summary.
     let mut runs: Vec<SuiteRun> = Vec::new();
     if quick_only || both {
-        runs.push(run_suite(Scale::Quick, filter.as_deref()));
+        runs.push(run_suite(Scale::Quick, filter.as_deref(), heavy_scale_tier));
     }
     if !quick_only {
-        runs.push(run_suite(Scale::Paper, filter.as_deref()));
+        runs.push(run_suite(Scale::Paper, filter.as_deref(), heavy_scale_tier));
     }
     let primary = runs.last().expect("at least one scale runs");
 
@@ -297,7 +344,7 @@ fn main() {
             ("workers".to_string(), to_value(&workers)),
         ];
         for (name, value, _) in &primary.results {
-            sections.push((name.to_string(), value.clone()));
+            sections.push((name.to_string(), strip_key(value, "wall_secs")));
         }
         sections.push(("timings_secs".to_string(), primary.timings()));
         Value::Object(sections)
@@ -322,7 +369,9 @@ fn main() {
             "churn": primary.by_name("churn"),
             "multistream": primary.by_name("multistream"),
             "resilience": primary.by_name("resilience"),
-            "scale_sweep": primary.by_name("scale"),
+            "workload": primary.by_name("workload"),
+            "scale_sweep": strip_key(primary.by_name("scale"), "wall_secs"),
+            "scale_tier": if heavy_scale_tier { "scale-heavy" } else { "standard" },
             // Times a sweep's η calibration fell back to the paper's −9.75
             // because its honest sample was empty; anything non-zero means a
             // reported detection rate ran against an uncalibrated threshold.
@@ -337,6 +386,49 @@ fn main() {
     std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap()).expect("write summary");
     println!("wrote {path}");
 
+    // Per-tier scale-sweep timings: the standard tier (always run) and the
+    // opt-in scale-heavy tail, each with per-population seconds pulled from
+    // the sweep's own `wall_secs` records. Keeping both in the snapshot lets
+    // the perf trajectory track the 100k run even though the default
+    // `--paper` suite no longer pays for it.
+    let scale_tiers = primary
+        .results
+        .iter()
+        .find(|(n, _, _)| *n == "scale")
+        .map(|(_, v, _)| {
+            let mut standard: Vec<(String, Value)> = Vec::new();
+            let mut heavy: Vec<(String, Value)> = Vec::new();
+            if let Value::Array(rows) = v {
+                for row in rows {
+                    let (Some(Value::String(name)), Some(secs)) =
+                        (row.get("scenario"), row.get("wall_secs"))
+                    else {
+                        continue;
+                    };
+                    if SCALE_HEAVY_SCENARIOS.contains(&name.as_str()) {
+                        heavy.push((name.clone(), secs.clone()));
+                    } else {
+                        standard.push((name.clone(), secs.clone()));
+                    }
+                }
+            }
+            let total = |entries: &[(String, Value)]| -> f64 {
+                entries.iter().filter_map(|(_, v)| v.as_f64()).sum()
+            };
+            json!({
+                "standard": json!({
+                    "scenario_secs": Value::Object(standard.clone()),
+                    "total_secs": total(&standard),
+                }),
+                "scale-heavy": json!({
+                    "ran": heavy_scale_tier,
+                    "scenario_secs": Value::Object(heavy.clone()),
+                    "total_secs": if heavy_scale_tier { Value::Float(total(&heavy)) } else { Value::Null },
+                }),
+            })
+        })
+        .unwrap_or(Value::Null);
+
     // Timing snapshot: the perf trajectory across PRs. With workers > 1 the
     // per-experiment spans overlap and include descheduled time (their sum
     // exceeds the wall clock); `contended` flags that, and the per-scale
@@ -350,6 +442,8 @@ fn main() {
         "experiments_secs": primary.timings(),
         "total_wall_secs": primary.total_secs,
         "scales": per_scale_timings,
+        "scale_tier": if heavy_scale_tier { "scale-heavy" } else { "standard" },
+        "scale_tiers": scale_tiers,
         "speedup_vs_seed": speedup_vs_seed.unwrap_or(Value::Null),
         "heavy_job_speedup": heavy_job_speedup.unwrap_or(Value::Null),
         "memory_per_node_bytes": primary

@@ -8,20 +8,38 @@
 //!
 //! `--shards K` runs the scenario through the sharded wave executor; the
 //! readout is bit-identical to the sequential one at any shard count, which
-//! is exactly what the CI scale gate diffs. Pass `--list` to print every
-//! registered name instead.
+//! is exactly what the CI scale gate diffs. `--exporter <name>` renders the
+//! outcome through a registered outcome exporter (`json`, `summary-line`,
+//! `digest`) instead of the default readout.
+//!
+//! Registry introspection:
+//! * `--list` prints every scenario grouped by family, with its description
+//!   and resolved component composition;
+//! * `--list-names` prints the bare names (the CI manifest gate diffs this
+//!   against `tests/scenario_manifest.txt`);
+//! * `--validate-registry` instantiates every registered component of every
+//!   kind with default parameters and exits non-zero on any failure.
 
-use lifting_bench::experiments::Scale;
-use lifting_runtime::{run_scenario_sharded, ScenarioRegistry};
+use lifting_bench::experiments::{Scale, PAPER_ETA};
+use lifting_bench::listing;
+use lifting_runtime::{exporter_components, run_scenario_sharded, ScenarioRegistry};
+use lifting_sim::{ParamMap, SeedSplitter};
 use serde_json::{json, to_value};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let registry = ScenarioRegistry::builtin();
     if args.iter().any(|a| a == "--list") {
-        for name in registry.names() {
-            println!("{name}");
-        }
+        listing::print_registry_listing();
+        return;
+    }
+    if args.iter().any(|a| a == "--list-names") {
+        listing::print_registry_names();
+        return;
+    }
+    if args.iter().any(|a| a == "--validate-registry") {
+        let validated = listing::validate_component_registries();
+        println!("validated {validated} components across 6 registries");
         return;
     }
     let name = args
@@ -43,12 +61,24 @@ fn main() {
         .position(|a| a == "--shards")
         .map(|i| args[i + 1].parse().expect("--shards needs an integer"))
         .unwrap_or(1);
+    let exporter = args
+        .iter()
+        .position(|a| a == "--exporter")
+        .map(|i| args[i + 1].as_str());
     assert!(
         registry.contains(name),
         "unknown scenario {name:?}; see --list"
     );
 
     let outcome = run_scenario_sharded(registry.build(name, scale, seed), shards);
+    if let Some(exporter_name) = exporter {
+        let mut seeds = SeedSplitter::new(seed);
+        let exporter = exporter_components()
+            .build(exporter_name, &ParamMap::new(), &mut seeds)
+            .unwrap_or_else(|e| panic!("--exporter: {e}"));
+        println!("{}", exporter.export(name, PAPER_ETA, &outcome));
+        return;
+    }
     let readout = json!({
         "scenario": name,
         "scale": format!("{scale:?}"),

@@ -825,6 +825,93 @@ pub fn resilience_sweep(scale: Scale, seed: u64) -> Vec<ResilienceScenarioResult
 }
 
 // ---------------------------------------------------------------------------
+// Workload sweep: trace-driven membership workloads expanded from registered
+// generator components (diurnal cycles, regional failures, channel zapping).
+// ---------------------------------------------------------------------------
+
+/// The registered `workload/*` scenarios the sweep runs, in registry order.
+pub const WORKLOAD_SCENARIOS: [&str; 3] = [
+    "workload/diurnal",
+    "workload/regional-failure",
+    "workload/zap",
+];
+
+/// Outcome of one workload scenario: detection quality (α/β at η = −9.75)
+/// plus the membership/subscription dynamics the generator drove.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadScenarioResult {
+    /// The registered scenario that was run.
+    pub scenario: String,
+    /// Detection probability at η = −9.75 (score below η or expelled).
+    pub detection: f64,
+    /// False-positive probability at η = −9.75.
+    pub false_positives: f64,
+    /// Nodes expelled during the run.
+    pub expelled: usize,
+    /// Online sessions begun (initially online nodes plus rejoins).
+    pub sessions: u64,
+    /// Departures the workload plan executed (diurnal troughs, outages).
+    pub departures: u64,
+    /// Rejoins the workload plan executed (diurnal peaks, outage recovery).
+    pub rejoins: u64,
+    /// Nodes offline (departed, not expelled) when the run ended.
+    pub offline_at_end: usize,
+    /// Number of concurrent channels.
+    pub streams: usize,
+    /// Fraction of nodes viewing a clear stream at the largest lag.
+    pub final_clear_fraction: f64,
+    /// Each channel's clear fraction at the largest lag (zap redistributes
+    /// audiences between channels; every channel must stay alive).
+    pub per_stream_final_clear: Vec<f64>,
+}
+
+/// Runs the `workload/*` scenario family — a diurnal participation cycle
+/// over tiered access classes, correlated regional-failure waves, and
+/// zap-style channel surfing across three channels — and reports detection
+/// quality plus the membership dynamics each trace drove.
+pub fn workload_sweep(scale: Scale, seed: u64) -> Vec<WorkloadScenarioResult> {
+    let registry = ScenarioRegistry::builtin();
+    let configs: Vec<ScenarioConfig> = WORKLOAD_SCENARIOS
+        .iter()
+        .map(|name| registry.build(name, scale, seed))
+        .collect();
+    let outcomes = run_scenarios_parallel(configs);
+    let eta = PAPER_ETA;
+    WORKLOAD_SCENARIOS
+        .iter()
+        .zip(outcomes)
+        .map(|(scenario, outcome)| WorkloadScenarioResult {
+            scenario: scenario.to_string(),
+            detection: outcome.detection_rate(eta),
+            false_positives: outcome.false_positive_rate(eta),
+            expelled: outcome.expelled_count,
+            sessions: outcome.churn.sessions,
+            departures: outcome.churn.departures,
+            rejoins: outcome.churn.rejoins,
+            offline_at_end: outcome.churn.offline_at_end,
+            streams: outcome.per_stream.len(),
+            final_clear_fraction: outcome
+                .stream_health
+                .fraction_clear
+                .last()
+                .copied()
+                .unwrap_or(0.0),
+            per_stream_final_clear: outcome
+                .per_stream
+                .iter()
+                .map(|s| {
+                    s.stream_health
+                        .fraction_clear
+                        .last()
+                        .copied()
+                        .unwrap_or(0.0)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 // scale/ — detection quality and memory beyond the paper's population.
 // ---------------------------------------------------------------------------
 
@@ -832,6 +919,12 @@ pub fn resilience_sweep(scale: Scale, seed: u64) -> Vec<ResilienceScenarioResult
 /// first so an out-of-memory failure at the top end cannot mask the results
 /// of the populations below it.
 pub const SCALE_SCENARIOS: [&str; 3] = ["scale/1k", "scale/10k", "scale/100k"];
+
+/// The heavy tail of the scale family: populations that dominate the whole
+/// Paper suite's wall clock. `run_all_experiments` runs them only behind the
+/// opt-in `--tier scale-heavy` flag so the default `--paper` sweep stays
+/// around a minute.
+pub const SCALE_HEAVY_SCENARIOS: [&str; 1] = ["scale/100k"];
 
 /// One population of the scale sweep: Figure 14's detection readout (10 %
 /// freeriders, pdcc = 1) at a beyond-paper population, plus the per-node
@@ -860,6 +953,9 @@ pub struct ScaleScenarioResult {
     pub memory_per_node_bytes: f64,
     /// Fraction of nodes viewing a clear stream at the largest lag.
     pub final_clear_fraction: f64,
+    /// Wall-clock seconds this population's run took — the per-tier timing
+    /// record `BENCH_experiments.json` tracks across revisions.
+    pub wall_secs: f64,
 }
 
 /// Runs the `scale/*` family — the Figure 14 deployment pushed to 1k, 10k
@@ -869,14 +965,24 @@ pub struct ScaleScenarioResult {
 /// population dominates peak memory, and stacking it on top of concurrent
 /// jobs would make the sweep's footprint depend on worker count.
 pub fn scale_sweep(scale: Scale, seed: u64) -> Vec<ScaleScenarioResult> {
+    scale_sweep_tier(scale, seed, true)
+}
+
+/// [`scale_sweep`] with the heavy tail gated: `include_heavy = false` skips
+/// the [`SCALE_HEAVY_SCENARIOS`] populations (the `--paper` default in
+/// `run_all_experiments`); `true` runs the full family.
+pub fn scale_sweep_tier(scale: Scale, seed: u64, include_heavy: bool) -> Vec<ScaleScenarioResult> {
     let registry = ScenarioRegistry::builtin();
     SCALE_SCENARIOS
         .iter()
+        .filter(|name| include_heavy || !SCALE_HEAVY_SCENARIOS.contains(name))
         .map(|name| {
             let config = registry.build(name, scale, seed);
             let nodes = config.nodes;
             let duration_secs = config.duration.as_secs_f64();
+            let run_start = std::time::Instant::now();
             let outcome = run_scenario(config);
+            let wall_secs = run_start.elapsed().as_secs_f64();
             let honest = outcome.finals.honest_scores();
             let freeriders = outcome.finals.freerider_scores();
             let eta = calibrated_eta(&honest, 0.01);
@@ -907,6 +1013,7 @@ pub fn scale_sweep(scale: Scale, seed: u64) -> Vec<ScaleScenarioResult> {
                     .last()
                     .copied()
                     .unwrap_or(0.0),
+                wall_secs,
             }
         })
         .collect()
@@ -1061,6 +1168,56 @@ mod tests {
             selective.false_positives, 0.0,
             "compensation must keep honest nodes clear of the threshold"
         );
+    }
+
+    #[test]
+    fn quick_scale_workload_sweep_drives_every_trace() {
+        let results = workload_sweep(Scale::Quick, 9);
+        assert_eq!(results.len(), WORKLOAD_SCENARIOS.len());
+        let by_name = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.scenario == name)
+                .unwrap_or_else(|| panic!("missing workload result {name}"))
+        };
+        // The diurnal cycle swings participation both ways.
+        let diurnal = by_name("workload/diurnal");
+        assert!(diurnal.departures > 0 && diurnal.rejoins > 0);
+        // Regional outages knock regions down and bring them back.
+        let regional = by_name("workload/regional-failure");
+        assert!(regional.departures > 0 && regional.rejoins > 0);
+        // Zapping is pure channel switching: membership stays put, and all
+        // three channels stay alive under the shifting audiences.
+        let zap = by_name("workload/zap");
+        assert_eq!(zap.departures, 0);
+        assert_eq!(zap.streams, 3);
+        for (i, clear) in zap.per_stream_final_clear.iter().enumerate() {
+            assert!(
+                *clear > 0.2,
+                "workload/zap: channel {i} collapsed ({clear})"
+            );
+        }
+        // Dissemination survives every trace.
+        for r in &results {
+            assert!(
+                r.final_clear_fraction > 0.2,
+                "{}: stream collapsed ({})",
+                r.scenario,
+                r.final_clear_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn scale_sweep_standard_tier_skips_the_heavy_tail() {
+        let results = scale_sweep_tier(Scale::Quick, 9, false);
+        assert_eq!(
+            results.len(),
+            SCALE_SCENARIOS.len() - SCALE_HEAVY_SCENARIOS.len()
+        );
+        assert!(results
+            .iter()
+            .all(|r| !SCALE_HEAVY_SCENARIOS.contains(&r.scenario.as_str())));
     }
 
     #[test]

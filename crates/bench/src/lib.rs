@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod listing;
 pub mod output;
 
 pub use experiments::Scale;

@@ -9,7 +9,8 @@
 //! drift is the thing this file exists to catch.
 
 use lifting_bench::experiments::{
-    churn_sweep, fig01_stream_health, fig12_detection_vs_delta, multistream_sweep, Scale,
+    churn_sweep, fig01_stream_health, fig12_detection_vs_delta, multistream_sweep, workload_sweep,
+    Scale,
 };
 
 /// FNV-1a over a stream of 64-bit words.
@@ -34,6 +35,7 @@ const FIG01_DIGEST: u64 = 0x784bcd7f34320fdf;
 const FIG12_DIGEST: u64 = 0x0aef8a93dd7e5a93;
 const CHURN_DIGEST: u64 = 0xa50071d0866d834b;
 const MULTISTREAM_DIGEST: u64 = 0xf97016a068001857;
+const WORKLOAD_DIGEST: u64 = 0x78c5d274fdcc256e;
 
 #[test]
 fn fig01_quick_scale_run_outcome_is_pinned() {
@@ -123,6 +125,41 @@ fn multistream_sweep_quick_scale_is_pinned() {
         digest, MULTISTREAM_DIGEST,
         "multistream quick-scale output drifted; if intentional, update \
          MULTISTREAM_DIGEST (run with LIFTING_PRINT_GOLDEN=1 to print the new digest)"
+    );
+}
+
+#[test]
+fn workload_sweep_quick_scale_is_pinned() {
+    // Trace-driven membership determinism: the digest covers every workload
+    // scenario's detection numbers, the membership transitions its generator
+    // plan executed, and each channel's final clear fraction, so a reordered
+    // draw anywhere in the workload plane (plan expansion from the dedicated
+    // RNG stream, tiered capability assignment, resubscribe handling) fails
+    // this test.
+    let results = workload_sweep(Scale::Quick, 21);
+    assert_eq!(results.len(), 3);
+    let words = results.iter().flat_map(|r| {
+        [
+            r.detection.to_bits(),
+            r.false_positives.to_bits(),
+            r.expelled as u64,
+            r.sessions,
+            r.departures,
+            r.rejoins,
+            r.offline_at_end as u64,
+            r.streams as u64,
+            r.final_clear_fraction.to_bits(),
+        ]
+        .into_iter()
+        .chain(r.per_stream_final_clear.iter().map(|x| x.to_bits()))
+        .collect::<Vec<u64>>()
+    });
+    let digest = fnv1a(words);
+    maybe_print("WORKLOAD_DIGEST", digest);
+    assert_eq!(
+        digest, WORKLOAD_DIGEST,
+        "workload quick-scale output drifted; if intentional, update \
+         WORKLOAD_DIGEST (run with LIFTING_PRINT_GOLDEN=1 to print the new digest)"
     );
 }
 

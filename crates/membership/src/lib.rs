@@ -13,7 +13,10 @@
 //!   designed to defeat, and
 //! * deterministic **churn schedules** ([`ChurnSchedule`]): per-node
 //!   session/offline cycling plus catastrophic-failure and flash-crowd waves,
-//!   expanded into per-node plans by [`ChurnPlan`].
+//!   expanded into per-node plans by [`ChurnPlan`], and
+//! * trace-driven **workload generators** ([`WorkloadGenerator`]): diurnal
+//!   audience cycles, correlated regional-failure waves and zap-style channel
+//!   switching, expanded into pre-drawn [`WorkloadPlan`]s the same way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,9 +24,14 @@
 pub mod churn;
 pub mod directory;
 pub mod selector;
+pub mod workload;
 
 pub use churn::{ChurnPlan, ChurnSchedule, ChurnWave};
 pub use directory::Directory;
 pub use selector::{PartnerSelector, SelectionPolicy};
+pub use workload::{
+    DiurnalCycle, RegionalFailureWaves, WorkloadAction, WorkloadEvent, WorkloadGenerator,
+    WorkloadPlan, ZapSwitching,
+};
 
 pub use lifting_sim::NodeId;

@@ -19,6 +19,12 @@ pub struct NodeCapability {
     /// Additional, node-specific loss probability applied on top of the
     /// network-wide loss model (models flaky access links).
     pub extra_loss: f64,
+    /// Multiplier applied to the sampled propagation latency of messages this
+    /// node sends or receives (access technologies differ: fiber sits close
+    /// to the backbone, mobile links add tens of milliseconds). `1.0` — the
+    /// default — is applied nowhere, so homogeneous deployments stay
+    /// bit-identical to the pre-class network.
+    pub latency_scale: f64,
 }
 
 impl NodeCapability {
@@ -28,6 +34,7 @@ impl NodeCapability {
         NodeCapability {
             upload_bps: None,
             extra_loss: 0.0,
+            latency_scale: 1.0,
         }
     }
 
@@ -36,6 +43,7 @@ impl NodeCapability {
         NodeCapability {
             upload_bps: Some(upload_bps),
             extra_loss: 0.0,
+            latency_scale: 1.0,
         }
     }
 
@@ -45,7 +53,15 @@ impl NodeCapability {
         NodeCapability {
             upload_bps: Some(upload_bps),
             extra_loss,
+            latency_scale: 1.0,
         }
+    }
+
+    /// Scales this node's propagation latency (builder style) — the knob the
+    /// per-node capability *classes* use to model access technologies.
+    pub fn with_latency_scale(mut self, scale: f64) -> Self {
+        self.latency_scale = scale;
+        self
     }
 }
 

@@ -30,6 +30,7 @@ pub mod fault;
 pub mod latency;
 pub mod loss;
 pub mod network;
+pub mod provider;
 pub mod traffic;
 pub mod transport;
 
@@ -38,6 +39,9 @@ pub use fault::{FaultPlan, FaultSchedule, FaultWave};
 pub use latency::LatencyModel;
 pub use loss::{BurstState, LossModel};
 pub use network::{DeliveryOutcome, LinkFaults, Network, NetworkConfig};
+pub use provider::{
+    capability_components, loss_components, transport_components, CapabilityClassAssigner,
+};
 pub use traffic::{TrafficCategory, TrafficReport, TrafficStats};
 pub use transport::{Transport, TransportPolicy};
 

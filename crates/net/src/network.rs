@@ -323,6 +323,14 @@ impl Network {
         }
 
         let mut latency = self.config.latency.sample(from, to, &mut self.rng);
+        // Per-node latency classes: the endpoints' scales stretch the sampled
+        // propagation delay. Applied only when a scale differs from 1.0, so
+        // class-free deployments perform no float work here and stay
+        // bit-identical.
+        let latency_scale = capability.latency_scale * self.capabilities[to.index()].latency_scale;
+        if latency_scale != 1.0 {
+            latency = SimDuration::from_secs_f64(latency.as_secs_f64() * latency_scale);
+        }
         // Fault knobs consume RNG only when enabled: inert configurations
         // stay bit-identical.
         let faults = self.config.faults;
@@ -336,7 +344,12 @@ impl Network {
             // The copy rides the same uplink transmission (no second enqueue)
             // but takes an independently sampled network path; it is
             // accounted as an extra delivery of the same sent message.
-            let duplicate_at = leaves_at + self.config.latency.sample(from, to, &mut self.rng);
+            let mut copy_latency = self.config.latency.sample(from, to, &mut self.rng);
+            if latency_scale != 1.0 {
+                copy_latency =
+                    SimDuration::from_secs_f64(copy_latency.as_secs_f64() * latency_scale);
+            }
+            let duplicate_at = leaves_at + copy_latency;
             self.stats.record_delivered(category, wire_bytes);
             return DeliveryOutcome::Duplicated { at, duplicate_at };
         }

@@ -12,12 +12,15 @@ use lifting_analysis::entropy::calibrate_gamma;
 use lifting_analysis::ProtocolParams;
 use lifting_core::Auditor;
 use lifting_gossip::StreamSource;
-use lifting_membership::{ChurnPlan, Directory};
+use lifting_membership::{ChurnPlan, Directory, WorkloadAction, WorkloadPlan};
+use lifting_net::provider::{capability_components, CapabilityClassAssigner};
 use lifting_net::{FaultPlan, Network, NodeCapability};
 use lifting_reputation::ManagerAssignment;
-use lifting_sim::{derive_rng, NodeId, SimDuration, SimTime, StreamId};
-use rand::Rng;
+use lifting_sim::{
+    derive_rng, NodeId, ParamMap, ParamValue, SeedSplitter, SimDuration, SimTime, StreamId,
+};
 
+use crate::components::{resolve_components, workload_components};
 use crate::layers::{
     AdaptiveColluder, Adversary, AuditCoordinator, BlameSpammer, Colluder, Freerider,
     GradientFreerider, Honest, NodeStack, OnOffFreerider, SelectiveFreerider, Whitewasher,
@@ -43,6 +46,60 @@ const MULTISTREAM_STREAM: u64 = 8;
 /// when the scenario schedules fault waves, so fault-free runs keep their
 /// exact historical stream consumption.
 const FAULT_PLAN_STREAM: u64 = 9;
+/// Fresh RNG stream for the workload plan's draws. Like the churn plan
+/// stream it is expanded independently by [`build_world`] and
+/// [`initial_events`] (both see the identical plan), and it is only consumed
+/// when the scenario declares a `workload` component — every pre-workload
+/// scenario keeps its exact historical stream consumption.
+const WORKLOAD_PLAN_STREAM: u64 = 10;
+
+/// Expands the scenario's declared workload component into its pre-drawn
+/// event plan (`None` when no workload component is declared). The expansion
+/// is a pure function of `(seed, component spec, nodes, streams, duration)`,
+/// so every call site sees the identical plan.
+pub(crate) fn workload_plan(config: &ScenarioConfig) -> Option<WorkloadPlan> {
+    let spec = config.components.workload.as_ref()?;
+    let generator = workload_components()
+        .build(
+            &spec.name,
+            &spec.params,
+            &mut SeedSplitter::new(config.seed),
+        )
+        .unwrap_or_else(|e| panic!("workload component failed to resolve: {e}"));
+    Some(generator.expand(
+        config.nodes,
+        config.stream_count(),
+        config.duration,
+        &mut derive_rng(config.seed, WORKLOAD_PLAN_STREAM),
+    ))
+}
+
+/// The capability-class provider the builder assigns node attachments with:
+/// the declared `capability` component, or the legacy poor-fraction fields
+/// expressed as the equivalent registered component. Both paths consume the
+/// capability RNG stream identically, so pre-registry scenarios stay
+/// bit-identical.
+fn capability_assigner(config: &ScenarioConfig) -> Box<dyn CapabilityClassAssigner> {
+    let registry = capability_components();
+    let mut seeds = SeedSplitter::new(config.seed);
+    match &config.components.capability {
+        Some(spec) => registry
+            .build(&spec.name, &spec.params, &mut seeds)
+            .unwrap_or_else(|e| panic!("capability component failed to resolve: {e}")),
+        None => {
+            let params = ParamMap::new()
+                .with("fraction", ParamValue::Float(config.poor_node_fraction))
+                .with(
+                    "poor_upload_bps",
+                    ParamValue::Int(config.poor_upload_bps as i64),
+                )
+                .with("poor_extra_loss", ParamValue::Float(config.poor_extra_loss));
+            registry
+                .build("poor-fraction", &params, &mut seeds)
+                .expect("legacy capability fields are valid poor-fraction params")
+        }
+    }
+}
 
 /// Expands the scenario's fault schedule into its pre-drawn per-wave
 /// membership (`None` when no faults are configured).
@@ -142,7 +199,13 @@ pub fn adversary_for(
 }
 
 /// Builds the system described by `config`.
-pub fn build_world(config: ScenarioConfig) -> SystemWorld {
+pub fn build_world(mut config: ScenarioConfig) -> SystemWorld {
+    // Resolve the declarative component axes first: the transport, loss and
+    // adversary components write back into their legacy fields, so the rest
+    // of the construction (and `validate`) sees one source of truth.
+    resolve_components(&mut config)
+        .unwrap_or_else(|e| panic!("scenario component resolution failed: {e}"));
+    let config = config;
     config.validate();
     let n = config.nodes;
     let seed = config.seed;
@@ -165,24 +228,17 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
     }
     let mut network = Network::new(n, config.network.clone(), derive_rng(seed, 1));
 
-    // Node capabilities: the source and a fraction of the honest nodes.
+    // Node capabilities: assigned per node by the scenario's capability-class
+    // provider (the legacy poor-fraction loop is the default provider, draw
+    // for draw).
+    let assigner = capability_assigner(&config);
+    let default_capability = match config.default_upload_bps {
+        Some(bps) => NodeCapability::broadband(bps),
+        None => NodeCapability::unconstrained(),
+    };
     let mut cap_rng = derive_rng(seed, 2);
     for i in 0..n {
-        let default = match config.default_upload_bps {
-            Some(bps) => NodeCapability::broadband(bps),
-            None => NodeCapability::unconstrained(),
-        };
-        let cap = if i == 0 {
-            // The source is always well provisioned.
-            default
-        } else if !config.is_freerider(i)
-            && config.poor_node_fraction > 0.0
-            && cap_rng.gen_bool(config.poor_node_fraction)
-        {
-            NodeCapability::poor(config.poor_upload_bps, config.poor_extra_loss)
-        } else {
-            default
-        };
+        let cap = assigner.assign(i, config.is_freerider(i), default_capability, &mut cap_rng);
         network.set_capability(NodeId::new(i as u32), cap);
     }
 
@@ -292,6 +348,30 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
         }
     });
 
+    // Workload plan: zap-style plans assign each viewer an initial home
+    // channel — prune the other subscriptions so the directory starts where
+    // the plan says (the events themselves are scheduled by
+    // `initial_events`, which expands the identical plan).
+    if let Some(plan) = workload_plan(&config) {
+        if streams > 1 {
+            for i in 1..n {
+                if let Some(home) = plan.initial_stream[i] {
+                    let node = NodeId::new(i as u32);
+                    for stream in config.stream_ids() {
+                        if stream != home {
+                            directory.unsubscribe(node, stream);
+                        }
+                    }
+                }
+            }
+        }
+        // Workload-driven membership counts sessions like churn does: every
+        // node online at the start opens one.
+        if config.churn.is_none() {
+            initial_sessions = directory.active_count() as u64 - 1;
+        }
+    }
+
     let hot = crate::hot::HotNodeState::from_stacks(&stacks);
     SystemWorld {
         directory,
@@ -312,6 +392,7 @@ pub fn build_world(config: ScenarioConfig) -> SystemWorld {
         churn_departures: 0,
         churn_rejoins: 0,
         churn_sessions: initial_sessions,
+        workload_switches: 0,
         audits_aborted_by_departure: 0,
         coalition,
         rng: derive_rng(seed, 3),
@@ -415,6 +496,41 @@ pub fn initial_events(config: &ScenarioConfig) -> Vec<(SimTime, Event)> {
                         epoch: CHURN_EPOCH_ANY,
                     },
                 ));
+            }
+        }
+    }
+    // Workload plan: pre-drawn membership and channel-switch transitions.
+    // Departures/rejoins ride the churn event path with the epoch wildcard
+    // (the plan pre-draws every rejoin, so the world schedules no follow-ups);
+    // switches ride their own barrier event.
+    if let Some(plan) = workload_plan(config) {
+        for event in &plan.events {
+            let at = SimTime::ZERO + event.at;
+            match event.action {
+                WorkloadAction::Depart => events.push((
+                    at,
+                    Event::Churn {
+                        node: event.node,
+                        up: false,
+                        epoch: CHURN_EPOCH_ANY,
+                    },
+                )),
+                WorkloadAction::Rejoin => events.push((
+                    at,
+                    Event::Churn {
+                        node: event.node,
+                        up: true,
+                        epoch: CHURN_EPOCH_ANY,
+                    },
+                )),
+                WorkloadAction::Switch { from, to } => events.push((
+                    at,
+                    Event::Resubscribe {
+                        node: event.node,
+                        from,
+                        to,
+                    },
+                )),
             }
         }
     }

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod components;
 pub(crate) mod hot;
 pub mod layers;
 pub mod message;
@@ -38,6 +39,10 @@ pub mod scenario;
 pub(crate) mod wave;
 pub mod world;
 
+pub use components::{
+    adversary_components, component_summary, exporter_components, resolve_components,
+    workload_components, OutcomeExporter,
+};
 pub use layers::{Adversary, AuditRpcStats, FeedbackAction, NodeStack};
 pub use message::{Event, Message};
 pub use metrics::{
@@ -45,8 +50,8 @@ pub use metrics::{
     StreamOutcome, WaveKind, WaveRecovery,
 };
 pub use registry::{
-    fig14_scenario_name, table03_scenario_name, table05_scenario_name, Scale, ScenarioRegistry,
-    FIG14_PDCCS, TABLE03_PDCCS, TABLE05_PDCCS, TABLE05_STREAM_KBPS,
+    fig14_scenario_name, scenario_family, table03_scenario_name, table05_scenario_name, Scale,
+    ScenarioRegistry, FIG14_PDCCS, TABLE03_PDCCS, TABLE05_PDCCS, TABLE05_STREAM_KBPS,
 };
 pub use runner::{
     build_engine, run_jobs_parallel, run_scenario, run_scenario_sharded,
@@ -55,7 +60,7 @@ pub use runner::{
 };
 pub use scenario::{
     AdversaryScenario, AuditRetryPolicy, ChurnSchedule, ChurnWave, CollusionScenario,
-    FaultSchedule, FaultWave, FreeriderScenario, OnlineRecalibration, ScenarioConfig,
-    StreamAudience, StreamSpec,
+    ComponentSpec, ComponentsSpec, FaultSchedule, FaultWave, FreeriderScenario,
+    OnlineRecalibration, ScenarioConfig, StreamAudience, StreamSpec,
 };
 pub use world::SystemWorld;

@@ -118,6 +118,17 @@ pub enum Event {
         /// (joins are idempotent, waves apply to whatever session is live).
         epoch: u32,
     },
+    /// A workload-driven channel switch: the node leaves stream `from` and
+    /// joins stream `to` (zap-style channel surfing). Expanded from the
+    /// scenario's pre-drawn workload plan, like [`Event::Churn`] transitions.
+    Resubscribe {
+        /// The switching viewer.
+        node: NodeId,
+        /// The channel being left.
+        from: StreamId,
+        /// The channel being joined.
+        to: StreamId,
+    },
     /// A scheduled network-fault transition: wave `wave` of the scenario's
     /// [`lifting_net::FaultSchedule`] begins (`begin = true`, its members
     /// become partitioned) or heals (`begin = false`). Nodes hit by several

@@ -14,9 +14,17 @@ use lifting_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
 use crate::scenario::{
-    AdversaryScenario, AuditRetryPolicy, ChurnSchedule, ChurnWave, FaultSchedule, FaultWave,
-    OnlineRecalibration, ScenarioConfig, StreamAudience, StreamSpec,
+    AdversaryScenario, AuditRetryPolicy, ChurnSchedule, ChurnWave, ComponentSpec, FaultSchedule,
+    FaultWave, OnlineRecalibration, ScenarioConfig, StreamAudience, StreamSpec,
 };
+use lifting_sim::ParamValue;
+
+/// The family prefix of a scenario name: the part before the first `/`
+/// (`"fig01"`, `"churn"`, `"workload"`, …). Scenario names are
+/// `family/variant` by convention; a name without a slash is its own family.
+pub fn scenario_family(name: &str) -> &str {
+    name.split('/').next().unwrap_or(name)
+}
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -117,6 +125,20 @@ impl ScenarioRegistry {
     /// The registered scenario names, in registration order.
     pub fn names(&self) -> Vec<&str> {
         self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// The registry grouped by family prefix (see [`scenario_family`]), in
+    /// first-appearance order — what `run_scenario --list` prints.
+    pub fn families(&self) -> Vec<(&str, Vec<&str>)> {
+        let mut grouped: Vec<(&str, Vec<&str>)> = Vec::new();
+        for entry in &self.entries {
+            let family = scenario_family(&entry.name);
+            match grouped.iter_mut().find(|(f, _)| *f == family) {
+                Some((_, members)) => members.push(entry.name.as_str()),
+                None => grouped.push((family, vec![entry.name.as_str()])),
+            }
+        }
+        grouped
     }
 
     /// The description of one scenario, if registered.
@@ -680,6 +702,71 @@ fn register_builtin(registry: &mut ScenarioRegistry) {
     );
 
     // ------------------------------------------------------------------
+    // workload/ — trace-driven membership workloads expanded from registered
+    // generator components (see `lifting_membership::workload` and the
+    // component registry in `crate::components`). Where the churn/ family
+    // draws sessions from exponential distributions, these replay shaped
+    // audience behaviour: diurnal participation swings, correlated regional
+    // outages, and zap-style channel surfing.
+    // ------------------------------------------------------------------
+    let planetlab_workload = |freeriders: f64| {
+        move |scale: Scale, seed: u64| {
+            let mut config = ScenarioConfig::planetlab_baseline(seed);
+            config.nodes = scale.pick(300, 80);
+            shrink_below_planetlab(&mut config);
+            if freeriders > 0.0 {
+                config = config.with_planetlab_freeriders(freeriders);
+            }
+            config.duration = scale.secs(40, 20);
+            config
+        }
+    };
+    registry.register(
+        "workload/diurnal",
+        "Diurnal audience: participation swings around 60% over a sinusoidal cycle, tiered access classes (fiber/cable/DSL/mobile), 10% freeriders",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_workload(0.1)(scale, seed);
+            // The tiered capability component replaces the flat poor-node draw.
+            config.poor_node_fraction = 0.0;
+            config.components.capability = Some(ComponentSpec::new("tiered"));
+            config.components.workload = Some(
+                ComponentSpec::new("diurnal")
+                    .with("participation", ParamValue::Float(0.6))
+                    .with("cycle_secs", ParamValue::Float(12.0)),
+            );
+            config
+        },
+    );
+    registry.register(
+        "workload/regional-failure",
+        "Regional-failure waves: the population splits into 4 regions and 2 correlated outages knock whole regions offline before they rejoin",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_workload(0.1)(scale, seed);
+            config.components.workload = Some(
+                ComponentSpec::new("regional-failure")
+                    .with("regions", ParamValue::Int(4))
+                    .with("waves", ParamValue::Int(2)),
+            );
+            config
+        },
+    );
+    registry.register(
+        "workload/zap",
+        "Channel zapping: three channels, half the viewers surf between them with exponentially distributed dwell times",
+        move |scale: Scale, seed: u64| {
+            let mut config = planetlab_workload(0.1)(scale, seed);
+            config.duration = scale.secs(30, 15);
+            let chunk = config.chunk_size;
+            config.streams.push(StreamSpec::new(300_000, chunk));
+            config.streams.push(StreamSpec::new(200_000, chunk));
+            config.components.workload = Some(
+                ComponentSpec::new("zap").with("zappers", ParamValue::Float(0.5)),
+            );
+            config
+        },
+    );
+
+    // ------------------------------------------------------------------
     // A small smoke scenario for tests and quick sanity checks.
     // ------------------------------------------------------------------
     registry.register(
@@ -734,12 +821,40 @@ mod tests {
             "scale/1k",
             "scale/10k",
             "scale/100k",
+            "workload/diurnal",
+            "workload/regional-failure",
+            "workload/zap",
             "smoke/small",
         ] {
             assert!(registry.contains(name), "missing scenario {name}");
             assert!(registry.description(name).is_some());
         }
-        assert_eq!(registry.len(), 40);
+        assert_eq!(registry.len(), 43);
+    }
+
+    #[test]
+    fn families_group_names_in_first_appearance_order() {
+        let registry = ScenarioRegistry::builtin();
+        let families = registry.families();
+        let family_names: Vec<&str> = families.iter().map(|(f, _)| *f).collect();
+        assert_eq!(family_names.first(), Some(&"fig01"));
+        assert_eq!(family_names.last(), Some(&"smoke"));
+        let total: usize = families.iter().map(|(_, members)| members.len()).sum();
+        assert_eq!(total, registry.len());
+        let (_, workload) = families
+            .iter()
+            .find(|(f, _)| *f == "workload")
+            .expect("workload family registered");
+        assert_eq!(
+            workload,
+            &vec![
+                "workload/diurnal",
+                "workload/regional-failure",
+                "workload/zap"
+            ]
+        );
+        assert_eq!(scenario_family("smoke/small"), "smoke");
+        assert_eq!(scenario_family("bare"), "bare");
     }
 
     #[test]

@@ -3,11 +3,79 @@
 use lifting_core::LiftingConfig;
 use lifting_gossip::{FreeriderConfig, GossipConfig};
 use lifting_net::NetworkConfig;
-use lifting_sim::{SimDuration, StreamId};
+use lifting_sim::{ParamMap, ParamValue, SimDuration, StreamId};
 use serde::{Deserialize, Serialize};
 
 pub use lifting_membership::{ChurnSchedule, ChurnWave};
 pub use lifting_net::{FaultSchedule, FaultWave};
+
+/// One named component with its parameter overrides — an entry of the
+/// declarative [`ScenarioConfig::components`] section. The name is looked up
+/// in the axis's [`lifting_sim::ComponentRegistry`] and the parameters are
+/// validated against the component's schema at resolution time (see
+/// [`crate::components::resolve_components`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentSpec {
+    /// Registered component name (e.g. `"tiered"`, `"diurnal"`).
+    pub name: String,
+    /// Parameter overrides; unset parameters take the schema's defaults.
+    pub params: ParamMap,
+}
+
+impl ComponentSpec {
+    /// A spec with no parameter overrides.
+    pub fn new(name: impl Into<String>) -> Self {
+        ComponentSpec {
+            name: name.into(),
+            params: ParamMap::new(),
+        }
+    }
+
+    /// Adds a parameter override (builder style).
+    pub fn with(mut self, key: &str, value: ParamValue) -> Self {
+        self.params.set(key, value);
+        self
+    }
+}
+
+/// The declarative component composition of a scenario: which registered
+/// component provides each axis of the system. Every field is optional — an
+/// unset axis falls back to the legacy configuration fields, which keeps
+/// every pre-registry scenario bit-identical while letting new scenarios
+/// compose `transport + loss + capability + workload + adversary + exporter`
+/// by name.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ComponentsSpec {
+    /// Transport policy (see [`lifting_net::provider::transport_components`]).
+    pub transport: Option<ComponentSpec>,
+    /// Loss model (see [`lifting_net::provider::loss_components`]).
+    pub loss: Option<ComponentSpec>,
+    /// Per-node capability class assignment (see
+    /// [`lifting_net::provider::capability_components`]).
+    pub capability: Option<ComponentSpec>,
+    /// Trace-driven workload generator (see
+    /// [`crate::components::workload_components`]). Mutually exclusive with
+    /// [`ScenarioConfig::churn`] — both drive membership transitions.
+    pub workload: Option<ComponentSpec>,
+    /// Adversary family (see [`crate::components::adversary_components`]);
+    /// resolves into [`ScenarioConfig::adversary`].
+    pub adversary: Option<ComponentSpec>,
+    /// Outcome exporter the binaries render results through (see
+    /// [`crate::components::exporter_components`]).
+    pub exporter: Option<ComponentSpec>,
+}
+
+impl ComponentsSpec {
+    /// True if no axis is declared (the scenario is fully legacy-configured).
+    pub fn is_empty(&self) -> bool {
+        self.transport.is_none()
+            && self.loss.is_none()
+            && self.capability.is_none()
+            && self.workload.is_none()
+            && self.adversary.is_none()
+            && self.exporter.is_none()
+    }
+}
 
 /// Bounded retry for the audit RPCs (history polls and witness
 /// cross-checks) — the resilience hardening of the a-posteriori plane.
@@ -438,6 +506,10 @@ pub struct ScenarioConfig {
     pub poor_upload_bps: u64,
     /// Extra access-link loss of a poor node.
     pub poor_extra_loss: f64,
+    /// Declarative component composition: named providers for the transport,
+    /// loss, capability, workload, adversary and exporter axes. Unset axes
+    /// fall back to the legacy fields above, bit-identically.
+    pub components: ComponentsSpec,
     /// Total simulated duration.
     pub duration: SimDuration,
     /// Master seed.
@@ -472,6 +544,7 @@ impl ScenarioConfig {
             default_upload_bps: Some(5_000_000),
             poor_upload_bps: 800_000,
             poor_extra_loss: 0.03,
+            components: ComponentsSpec::default(),
             duration: SimDuration::from_secs(40),
             seed,
         }
@@ -520,6 +593,7 @@ impl ScenarioConfig {
             default_upload_bps: None,
             poor_upload_bps: 500_000,
             poor_extra_loss: 0.0,
+            components: ComponentsSpec::default(),
             duration: SimDuration::from_secs(15),
             seed,
         }
@@ -618,6 +692,10 @@ impl ScenarioConfig {
             );
         }
         assert!(!self.duration.is_zero(), "duration must be positive");
+        assert!(
+            self.components.workload.is_none() || self.churn.is_none(),
+            "a workload generator and a churn schedule cannot drive membership simultaneously"
+        );
         self.adversary.validate();
         if let Some(churn) = &self.churn {
             churn.validate();

@@ -87,6 +87,8 @@ pub struct SystemWorld {
     pub(crate) churn_rejoins: u64,
     /// Online sessions begun (nodes that started online plus every rejoin).
     pub(crate) churn_sessions: u64,
+    /// Channel switches executed by the workload plan (zap scenarios).
+    pub(crate) workload_switches: u64,
     /// Audits whose negative verdict was discarded because a witness named in
     /// the audited history had departed (benefit of the doubt: absence of a
     /// confirmation is indistinguishable from churn).
@@ -499,6 +501,25 @@ impl SystemWorld {
                 }
             }
         }
+    }
+
+    /// Executes one channel switch of the workload plan: the viewer leaves
+    /// `from` and joins `to`. Pre-drawn switches targeting a departed or
+    /// expelled viewer are dropped (the plan does not know who churn or the
+    /// managers removed); the source never switches — it feeds every channel.
+    fn handle_resubscribe(&mut self, node: NodeId, from: StreamId, to: StreamId) {
+        if node == NodeId::new(0) || !self.directory.is_active(node) || from == to {
+            return;
+        }
+        self.directory.unsubscribe(node, from);
+        self.directory.subscribe(node, to);
+        self.workload_switches += 1;
+    }
+
+    /// Channel switches executed so far by the workload plan (zap-style
+    /// scenarios; 0 everywhere else).
+    pub fn workload_switches(&self) -> u64 {
+        self.workload_switches
     }
 
     /// The expulsion threshold applied at the most recent period end: the
@@ -932,6 +953,7 @@ impl World for SystemWorld {
             Event::PeriodEnd => self.handle_period_end(now, ctx),
             Event::AuditTick { auditor, epoch } => self.handle_audit_tick(auditor, epoch, now, ctx),
             Event::Churn { node, up, epoch } => self.handle_churn(node, up, epoch, now, ctx),
+            Event::Resubscribe { node, from, to } => self.handle_resubscribe(node, from, to),
             Event::Fault { wave, begin } => self.handle_fault(wave, begin),
         }
     }

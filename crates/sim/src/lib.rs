@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod collections;
+pub mod component;
 pub mod engine;
 pub mod event;
 pub mod id;
@@ -51,6 +52,10 @@ pub mod shard;
 pub mod time;
 
 pub use collections::InlineVec;
+pub use component::{
+    Component, ComponentError, ComponentRegistry, ParamKind, ParamMap, ParamSpec, ParamValue,
+    ParamsSchema, SeedSplitter,
+};
 pub use engine::{Context, Engine, RunReport, ShardedWorld, World};
 pub use event::EventQueue;
 pub use id::{NodeId, StreamId};
